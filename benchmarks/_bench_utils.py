@@ -1,0 +1,11 @@
+"""Helpers shared by the figure-regeneration benchmarks."""
+
+from __future__ import annotations
+
+import pathlib
+
+
+def write_artifact(out_dir: pathlib.Path, name: str, text: str) -> None:
+    path = out_dir / name
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

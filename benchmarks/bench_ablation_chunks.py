@@ -1,0 +1,72 @@
+"""Ablation: the chunk-size design choice ("chunks of four iterations").
+
+The paper farms I-lines in chunks of 4.  Smaller chunks balance load
+better but multiply the per-chunk scheduling cost (the PPE bottleneck);
+larger chunks amortize dispatch but starve SPEs on short diagonals.
+This bench sweeps the chunk size and shows 4 sits in the sweet region.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.model import predict
+from repro.perf.processors import measured_cell_config
+from repro.perf.report import format_series
+from repro.sweep.input import benchmark_deck
+
+from _bench_utils import write_artifact
+
+CHUNK_SIZES = (1, 2, 4, 8, 16)
+
+
+def sweep_chunk_sizes():
+    deck = benchmark_deck(fixup=False)
+    base = measured_cell_config()
+    return {
+        c: predict(deck, base.with_(chunk_lines=c)).seconds
+        for c in CHUNK_SIZES
+    }
+
+
+def test_ablation_chunk_size(benchmark, out_dir):
+    times = benchmark(sweep_chunk_sizes)
+    write_artifact(
+        out_dir, "ablation_chunks.txt",
+        format_series(
+            "Ablation - chunk size (50-cubed, measured config)",
+            list(times), list(times.values()), "chunk", "time [s]",
+        ),
+    )
+    # chunks of 1 pay heavy per-chunk scheduling
+    assert times[1] > times[4]
+    # oversized chunks hurt load balance on ~30-line diagonals
+    assert times[16] > times[4]
+    # the paper's choice is within 10% of the best examined
+    best = min(times.values())
+    assert times[4] <= 1.10 * best
+
+
+def test_chunk_32_does_not_fit_the_local_store():
+    """The upper limit is architectural, not a tuning preference: a
+    32-line double-buffered working set exceeds 256 KB, so the simulator
+    rejects the configuration outright."""
+    from repro.errors import LocalStoreError
+    from repro.perf.counters import chunk_costs
+
+    deck = benchmark_deck(fixup=False)
+    cfg = measured_cell_config().with_(chunk_lines=32)
+    with pytest.raises(LocalStoreError, match="local store exhausted"):
+        chunk_costs(deck, cfg)
+
+
+def test_ablation_chunk_scheduling_tradeoff(out_dir):
+    """Mechanism check: chunk=1 loses on scheduling, chunk=16 on load
+    imbalance (the exposed-compute bucket)."""
+    deck = benchmark_deck(fixup=False)
+    base = measured_cell_config()
+    fine = predict(deck, base.with_(chunk_lines=1))
+    paper = predict(deck, base.with_(chunk_lines=4))
+    coarse = predict(deck, base.with_(chunk_lines=16))
+    assert fine.scheduling_seconds > paper.scheduling_seconds
+    assert coarse.compute_seconds > paper.compute_seconds

@@ -1,0 +1,70 @@
+"""Ablation: the MK/MMI pipelining parameters (paper Figure 3).
+
+MK (K-planes per block) and MMI (angles pipelined together) control the
+depth of the jkm diagonals: deeper pipelines mean more independent
+I-lines per diagonal -- better SPE utilisation -- at the price of a
+larger working set and coarser MPI pipelining in the cluster case.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.model import predict
+from repro.perf.processors import measured_cell_config
+from repro.perf.report import format_series
+from repro.sweep.input import benchmark_deck
+from repro.sweep.pipelining import diagonal_sizes
+
+from _bench_utils import write_artifact
+
+
+def sweep_mk():
+    cfg = measured_cell_config()
+    return {
+        mk: predict(benchmark_deck(fixup=False).with_(mk=mk), cfg).seconds
+        for mk in (1, 2, 5, 10, 25, 50)
+    }
+
+
+def sweep_mmi():
+    cfg = measured_cell_config()
+    return {
+        mmi: predict(benchmark_deck(fixup=False).with_(mmi=mmi), cfg).seconds
+        for mmi in (1, 2, 3, 6)
+    }
+
+
+def test_ablation_mk(benchmark, out_dir):
+    times = benchmark(sweep_mk)
+    write_artifact(
+        out_dir, "ablation_mk.txt",
+        format_series("Ablation - MK (K-planes per block)",
+                      list(times), list(times.values()), "mk", "time [s]"),
+    )
+    # mk=1 collapses the K pipelining: diagonals of <= jt*mmi/(jt+mmi)
+    # lines keep SPEs idle and multiply per-diagonal costs.
+    assert times[1] > times[10]
+    # the benchmark's mk=10 is within 15% of the best examined
+    assert times[10] <= 1.15 * min(times.values())
+
+
+def test_ablation_mmi(benchmark, out_dir):
+    times = benchmark(sweep_mmi)
+    write_artifact(
+        out_dir, "ablation_mmi.txt",
+        format_series("Ablation - MMI (angles per block)",
+                      list(times), list(times.values()), "mmi", "time [s]"),
+    )
+    # pipelining angles deepens diagonals: mmi=3 beats mmi=1 ("MMI
+    # angles (1 or 3)" -- the paper uses 3).
+    assert times[3] < times[1]
+
+
+def test_diagonal_depth_mechanism():
+    """The mechanism: larger mk x mmi -> more lines on the dominant
+    diagonals -> lower scheduling-grain imbalance."""
+    shallow = max(diagonal_sizes(50, 1, 1))
+    paper = max(diagonal_sizes(50, 10, 3))
+    deep = max(diagonal_sizes(50, 50, 6))
+    assert shallow < paper < deep

@@ -1,0 +1,55 @@
+"""Ablation: SPE-count scaling of the thread-level parallelism.
+
+Not reported in the paper (it always uses all eight SPEs); this bench
+characterizes how the implementation scales from 1 to 8 SPEs and where
+the bottleneck moves from compute to memory bandwidth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.model import compute_bound, predict
+from repro.perf.processors import measured_cell_config
+from repro.perf.report import format_series
+from repro.sweep.input import benchmark_deck
+
+from _bench_utils import write_artifact
+
+
+def sweep_spes():
+    deck = benchmark_deck(fixup=False)
+    base = measured_cell_config()
+    return {
+        s: predict(deck, base.with_(num_spes=s)).seconds
+        for s in range(1, 9)
+    }
+
+
+def test_ablation_spe_scaling(benchmark, out_dir):
+    times = benchmark(sweep_spes)
+    write_artifact(
+        out_dir, "ablation_spes.txt",
+        format_series(
+            "Ablation - SPE count (50-cubed, measured config)",
+            list(times), list(times.values()), "SPEs", "time [s]",
+        ),
+    )
+    # monotone improvement
+    ordered = [times[s] for s in range(1, 9)]
+    assert all(a >= b for a, b in zip(ordered, ordered[1:]))
+    # early scaling is strong (compute-bound), late scaling flattens
+    # (memory bandwidth and scheduling are shared).
+    early = times[1] / times[2]
+    late = times[4] / times[8]
+    assert early > late
+    assert times[1] / times[8] > 2.0
+
+
+def test_single_spe_is_compute_bound(out_dir):
+    deck = benchmark_deck(fixup=False)
+    cfg = measured_cell_config().with_(num_spes=1)
+    report = predict(deck, cfg)
+    # one SPE: kernel cycles dominate the critical path
+    assert report.compute_seconds > report.dma_seconds
+    assert compute_bound(deck, cfg) > 0.5 * report.seconds

@@ -1,0 +1,69 @@
+"""Ablation: synchronization protocol x scheduler matrix.
+
+Crosses the two coordination design choices the paper explores:
+mailbox vs LS-poke synchronization (the last Figure-5 rung) and
+centralized vs distributed scheduling (the big Figure-10 projection),
+isolating each one's contribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.levels import SchedulerKind, SyncProtocol
+from repro.perf.model import predict
+from repro.perf.processors import measured_cell_config
+from repro.perf.report import Row, format_table
+from repro.sweep.input import benchmark_deck
+
+from _bench_utils import write_artifact
+
+
+def sweep_matrix():
+    deck = benchmark_deck(fixup=False)
+    base = measured_cell_config()
+    out = {}
+    for sync in SyncProtocol:
+        for sched in SchedulerKind:
+            cfg = base.with_(sync=sync, scheduler=sched)
+            out[(sync.value, sched.value)] = predict(deck, cfg).seconds
+    return out
+
+
+def test_ablation_sync_scheduler(benchmark, out_dir):
+    times = benchmark(sweep_matrix)
+    rows = [
+        Row(f"{sync} + {sched}", t, None)
+        for (sync, sched), t in sorted(times.items())
+    ]
+    write_artifact(
+        out_dir, "ablation_sync_sched.txt",
+        format_table("Ablation - sync protocol x scheduler (50-cubed)", rows),
+    )
+    # under the centralized scheduler the protocol matters ...
+    assert (
+        times[("ls_poke", "centralized")]
+        < times[("mailbox", "centralized")]
+    )
+    # ... under the distributed scheduler the PPE protocol is off the
+    # critical path, so the protocol difference collapses.
+    delta_central = (
+        times[("mailbox", "centralized")] - times[("ls_poke", "centralized")]
+    )
+    delta_dist = abs(
+        times[("mailbox", "distributed")] - times[("ls_poke", "distributed")]
+    )
+    assert delta_dist < 0.25 * delta_central
+    # distributed beats centralized regardless of protocol
+    for sync in ("mailbox", "ls_poke"):
+        assert times[(sync, "distributed")] < times[(sync, "centralized")]
+
+
+def test_sync_gain_matches_figure5_rung(out_dir):
+    """The mailbox -> LS-poke rung of Figure 5 measured 0.15 s; the model
+    attributes a comparable gain to the protocol swap alone."""
+    deck = benchmark_deck(fixup=False)
+    base = measured_cell_config()
+    mailbox = predict(deck, base.with_(sync=SyncProtocol.MAILBOX)).seconds
+    poke = predict(deck, base.with_(sync=SyncProtocol.LS_POKE)).seconds
+    assert 0.05 < mailbox - poke < 0.5

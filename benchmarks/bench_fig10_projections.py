@@ -1,0 +1,52 @@
+"""Figure 10 — expected impact of planned optimizations and what-ifs.
+
+Paper series (cumulative, from the measured 1.33 s): larger DMA
+granularity -> 1.2 s; distributed SPE-side scheduling -> 0.9 s; a fully
+pipelined double-precision unit -> 0.85 s ("contrary to our
+expectations ... only a marginal improvement"); single precision ->
+~0.45 s ("again determined by the main memory bandwidth").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.projections import pipelined_dp_is_marginal, project
+from repro.perf.model import bandwidth_bound
+from repro.perf.processors import measured_cell_config
+from repro.perf.report import Row, ascii_bars, format_table
+from repro.sweep.input import benchmark_deck
+
+from _bench_utils import write_artifact
+
+
+@pytest.fixture(scope="module")
+def deck():
+    return benchmark_deck(fixup=False)
+
+
+def test_fig10_projections(benchmark, deck, out_dir):
+    series = benchmark(project, deck, measured_cell_config())
+    times = {p.key: t for p, t in series}
+
+    rows = [Row(p.key, t, p.paper_seconds) for p, t in series]
+    table = format_table("Figure 10 - projected optimizations (cumulative)", rows)
+    bars = ascii_bars([p.key for p, _ in series], [t for _, t in series])
+    write_artifact(out_dir, "fig10_projections.txt", table + "\n\n" + bars)
+
+    ordered = [t for _, t in series]
+    assert all(a >= b - 1e-12 for a, b in zip(ordered, ordered[1:]))
+    # distributed scheduling is the big win
+    gain = {
+        "gran": times["measured"] - times["dma-granularity"],
+        "sched": times["dma-granularity"] - times["distributed-scheduling"],
+        "dp": times["distributed-scheduling"] - times["pipelined-dp"],
+    }
+    assert gain["sched"] > gain["gran"] and gain["sched"] > gain["dp"]
+    # the paper's surprise: pipelined DP is marginal once bandwidth-bound
+    assert pipelined_dp_is_marginal(deck, measured_cell_config())
+    # single precision buys ~2x, pinned by memory bandwidth
+    factor = times["pipelined-dp"] / times["single-precision"]
+    assert 1.5 < factor < 2.5
+    sp_cfg = [p for p, _ in series if p.key == "single-precision"][0].config
+    assert times["single-precision"] < 1.6 * bandwidth_bound(deck, sp_cfg)

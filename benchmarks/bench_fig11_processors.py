@@ -1,0 +1,71 @@
+"""Figure 11 — performance comparison with other processors.
+
+Paper: "The Cell BE is approximately 4.5 and 5.5 times faster than the
+Power5 and AMD Opteron ... When compared to the other processors in the
+same figure, Cell BE is about 20 times faster."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.processors import (
+    CONVENTIONAL,
+    OPTERON,
+    POWER5,
+    comparison_table,
+    speedup_over,
+)
+from repro.perf.report import Row, ascii_bars, format_table
+from repro.sweep.input import benchmark_deck
+
+from _bench_utils import write_artifact
+
+PAPER_TIMES = {
+    "Cell BE (8 SPEs)": 1.33,
+    "Cell PPE (GCC)": 22.3,
+    "Cell PPE (XLC)": 19.9,
+    "IBM Power5": 4.5 * 1.33,
+    "AMD Opteron": 5.5 * 1.33,
+    "Conventional processor": 20 * 1.33,
+}
+
+
+@pytest.fixture(scope="module")
+def deck():
+    return benchmark_deck(fixup=False)
+
+
+def test_fig11_comparison(benchmark, deck, out_dir):
+    rows_raw = benchmark(comparison_table, deck)
+
+    rows = [
+        Row(name, seconds, PAPER_TIMES.get(name))
+        for name, seconds, _ in rows_raw
+    ]
+    table = format_table("Figure 11 - processor comparison (50-cubed)", rows)
+    bars = ascii_bars([n for n, _, _ in rows_raw], [t for _, t, _ in rows_raw])
+    write_artifact(out_dir, "fig11_processors.txt", table + "\n\n" + bars)
+
+    # the Cell wins against every row
+    cell_time = rows_raw[0][1]
+    assert all(t > cell_time for _, t, _ in rows_raw[1:])
+    # ordering: Power5 < Opteron < PPE XLC < PPE GCC < conventional
+    by_name = {n: t for n, t, _ in rows_raw}
+    assert (
+        by_name["IBM Power5"]
+        < by_name["AMD Opteron"]
+        < by_name["Cell PPE (XLC)"]
+        < by_name["Cell PPE (GCC)"]
+        < by_name["Conventional processor"]
+    )
+    # speedup bands: the paper's 4.5x / 5.5x / 20x, scaled by our model's
+    # ~25% faster Cell prediction
+    assert 3.5 < speedup_over(deck, POWER5) < 9.0
+    assert 4.5 < speedup_over(deck, OPTERON) < 11.0
+    assert 15.0 < speedup_over(deck, CONVENTIONAL) < 40.0
+    # the paper's projected post-optimization ratios (6.5x / 8.5x) remain
+    # proportional: Opteron/Power5 ratio is fixed at 5.5/4.5
+    assert speedup_over(deck, OPTERON) / speedup_over(deck, POWER5) == pytest.approx(
+        5.5 / 4.5, rel=1e-6
+    )

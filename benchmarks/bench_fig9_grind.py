@@ -1,0 +1,50 @@
+"""Figure 9 — grind time as a function of the cube size.
+
+Paper: "For a cube size larger than 25 cells, the grind time is almost
+constant ... optimal load balancing can be achieved when the total
+number of iterations is an integer multiple of 4 x 8, as witnessed by
+the minor dents."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.grind import grind_curve, plateau
+from repro.perf.report import format_series
+
+from _bench_utils import write_artifact
+
+
+def test_fig9_grind_curve(benchmark, out_dir):
+    curve = benchmark(grind_curve, list(range(5, 61)))
+
+    series = format_series(
+        "Figure 9 - grind time vs cube size",
+        [p.cube for p in curve],
+        [p.grind_ns for p in curve],
+        "cube", "grind [ns/visit]",
+    )
+    write_artifact(out_dir, "fig9_grind.txt", series)
+
+    level = plateau(curve, threshold_cube=25)
+    # near-constant plateau above 25
+    for p in curve:
+        if p.cube > 25:
+            assert abs(p.grind_ns - level) / level < 0.35, p
+    # the small end is far above the plateau
+    tiny = min(p.grind_ns for p in curve if p.cube <= 8)
+    assert tiny > 2.5 * level
+    # dents exist (local minima driven by chunk-grain load balance)
+    tail = [p for p in curve if p.cube >= 26]
+    dents = [
+        b.cube
+        for a, b, c in zip(tail, tail[1:], tail[2:])
+        if b.grind_ns < a.grind_ns and b.grind_ns < c.grind_ns
+    ]
+    assert len(dents) >= 3
+    # the load-imbalance mechanism: line-weighted imbalance correlates
+    # with grind along the plateau.
+    best = min(tail, key=lambda p: p.mean_imbalance)
+    worst = max(tail, key=lambda p: p.mean_imbalance)
+    assert best.grind_ns < worst.grind_ns

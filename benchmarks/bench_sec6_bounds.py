@@ -1,0 +1,67 @@
+"""Sec. 6 — memory traffic and the two lower bounds.
+
+Paper: "With a 50-cubed input size, the SPEs transfer 17.6 Gbytes of
+data.  Considering that the peak memory bandwidth is 25.6 Gbytes/second,
+this sets a lower bound of 0.7 seconds ... By profiling the amount of
+computation performed by the SPUs we obtain a similar lower bound, 0.68
+seconds.  The gap between this bound and the actual run-time of 1.3
+seconds is mostly caused by the communication and synchronization
+protocols."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.model import bandwidth_bound, compute_bound, predict
+from repro.perf.processors import measured_cell_config
+from repro.perf.report import Row, format_table
+from repro.sweep.input import benchmark_deck
+
+from _bench_utils import write_artifact
+
+
+def compute_all():
+    deck = benchmark_deck(fixup=False)
+    cfg = measured_cell_config()
+    return {
+        "report": predict(deck, cfg),
+        "bw_bound": bandwidth_bound(deck, cfg),
+        "comp_bound": compute_bound(deck, cfg),
+    }
+
+
+def test_sec6_bounds(benchmark, out_dir):
+    results = benchmark(compute_all)
+    report = results["report"]
+    bw = results["bw_bound"]
+    comp = results["comp_bound"]
+
+    rows = [
+        Row("DMA traffic", report.dma_bytes / 1e9, 17.6, unit="GB"),
+        Row("bandwidth lower bound", bw, 0.70),
+        Row("compute lower bound", comp, 0.68),
+        Row("predicted run time", report.seconds, 1.33),
+        Row("gap: time / max(bounds)", report.seconds / max(bw, comp),
+            1.33 / 0.70, unit="x"),
+        Row("  exposed compute", report.compute_seconds, None),
+        Row("  exposed DMA", report.dma_seconds, None),
+        Row("  PPE scheduling", report.scheduling_seconds, None),
+        Row("  barriers", report.barrier_seconds, None),
+    ]
+    write_artifact(
+        out_dir, "sec6_bounds.txt",
+        format_table("Sec. 6 - traffic and lower bounds (50-cubed)", rows),
+    )
+
+    # same order of magnitude of traffic (our per-cell working set is
+    # lighter than original Sweep3D's; see EXPERIMENTS.md)
+    assert 8 < report.dma_bytes / 1e9 < 20
+    # both bounds lie below the predicted time, with a real gap
+    assert bw < report.seconds
+    assert comp < report.seconds
+    # the gap is explained by scheduling/synchronization/serialization,
+    # like the paper argues: run time well above either bound alone.
+    assert report.seconds / max(bw, comp) > 1.3
+    # the two bounds are of similar size ("a similar lower bound")
+    assert 0.3 < comp / bw < 3.0

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Diffusion synthetic acceleration: taming high scattering ratios.
+
+Source iteration converges like c^k -- at c = 0.98 that is hundreds of
+transport sweeps.  The Sweep3D code family pairs the sweep with a cheap
+diffusion solve for the iteration error (DSA).  This example sweeps the
+scattering ratio and compares iteration counts with and without DSA,
+and shows the per-sweep cost asymmetry that makes it worthwhile on the
+Cell: a sweep moves gigabytes through the MIC, the diffusion solve is a
+single factorized back-substitution.
+
+Usage:  python examples/dsa_acceleration.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.sweep import SerialSweep3D, small_deck
+from repro.sweep.dsa import accelerated_solve
+
+
+def main() -> None:
+    base = small_deck(n=8, sn=4, nm=1, iterations=800, mk=2)
+    print(f"deck: {base.grid.shape}, S{base.sn}, epsilon 1e-6\n")
+    print(f"{'c':>6s} {'plain sweeps':>13s} {'DSA sweeps':>11s} {'speedup':>8s}")
+    for c in (0.3, 0.6, 0.9, 0.95, 0.98):
+        deck = base.with_(scattering_ratio=c)
+        plain = SerialSweep3D(deck.with_(epsilon=1e-6)).solve()
+        _, dsa_iters, _ = accelerated_solve(deck, epsilon=1e-6)
+        print(f"{c:6.2f} {plain.iterations:13d} {dsa_iters:11d} "
+              f"{plain.iterations / dsa_iters:7.1f}x")
+
+    deck = base.with_(scattering_ratio=0.98)
+    t0 = time.perf_counter()
+    SerialSweep3D(deck.with_(iterations=1)).solve()
+    sweep_cost = time.perf_counter() - t0
+    from repro.sweep.dsa import DSAAccelerator
+    import numpy as np
+
+    dsa = DSAAccelerator(deck)
+    phi = np.ones(deck.grid.shape)
+    t0 = time.perf_counter()
+    dsa.correct(phi * 0.9, phi)
+    solve_cost = time.perf_counter() - t0
+    print(f"\nper-iteration cost: transport sweep {sweep_cost * 1e3:.1f} ms "
+          f"vs diffusion solve {solve_cost * 1e3:.2f} ms "
+          f"({sweep_cost / solve_cost:.0f}x cheaper)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Figures 9 and 11: problem-size scaling and processor comparison.
+
+Plots (as ASCII) the grind time across cube sizes, showing the plateau
+above edge 25 and the load-balance dents from the chunks-of-4 x 8-SPEs
+scheduling grain, then prints the Figure 11 processor comparison.
+
+Usage:  python examples/grind_and_processors.py
+"""
+
+from __future__ import annotations
+
+from repro.perf import comparison_table, grind_curve, plateau
+from repro.perf.report import ascii_bars
+from repro.sweep import benchmark_deck
+
+
+def grind_demo() -> None:
+    curve = grind_curve(cubes=list(range(5, 61, 1)))
+    level = plateau(curve, threshold_cube=25)
+    print("Figure 9 - grind time vs cube size "
+          f"(plateau above 25: {level:.1f} ns/visit)\n")
+    peak = max(p.grind_ns for p in curve)
+    for p in curve:
+        if p.cube % 2 and p.cube > 11:
+            continue  # thin the printout
+        bar = "#" * int(round(40 * p.grind_ns / peak))
+        marker = " <- dent region" if p.mean_imbalance < 1.25 and p.cube > 25 else ""
+        print(f"  {p.cube:3d}  {p.grind_ns:6.1f} ns |{bar}{marker}")
+    small = [p for p in curve if p.cube <= 10]
+    print(f"\nsmall cubes starve the SPEs: {small[0].grind_ns / level:.1f}x "
+          f"the plateau at edge {small[0].cube}")
+
+
+def processors_demo() -> None:
+    deck = benchmark_deck(fixup=False)
+    rows = comparison_table(deck)
+    print("\nFigure 11 - processor comparison (50-cubed)\n")
+    print(ascii_bars([n for n, _, _ in rows], [t for _, t, _ in rows]))
+    cell = rows[0][1]
+    for name, seconds, speedup in rows[1:]:
+        print(f"  Cell is {speedup:5.1f}x faster than {name}")
+    del cell
+
+
+if __name__ == "__main__":
+    grind_demo()
+    processors_demo()

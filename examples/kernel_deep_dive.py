@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Sec. 5.1 deep dive: the SIMDized SPE kernel under the microscope.
+
+Shows (1) the functional side -- the vectorized kernel producing
+bit-identical fluxes to the NumPy reference on a block of I-lines --
+and (2) the timing side: the emitted instruction stream replayed
+through the dual-issue SPU pipeline model, reproducing the paper's
+efficiency story (64 % of DP peak, fixups ~3x slower, ~25 % SP, low
+dual-issue rate, and why: the 7-cycle double-precision issue
+restriction).
+
+Usage:  python examples/kernel_deep_dive.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cell.isa import OpClass
+from repro.core.spe_kernel import (
+    cells_per_invocation,
+    kernel_cycle_report,
+    simd_execute_block,
+)
+from repro.sweep.pipelining import LineBlock, numpy_line_executor
+
+
+def functional_demo() -> None:
+    rng = np.random.default_rng(2007)
+    L, it = 10, 12
+    block = LineBlock(
+        octant=0, diagonal=0,
+        lines=[(l, 0, 0) for l in range(L)], angles=[0] * L,
+        source=rng.random((L, it)) * 0.1,
+        sigma_t=6.0,
+        phi_i=rng.random(L) * 4.0,      # strong inflows: fixups will fire
+        phi_j=rng.random((L, it)),
+        phi_k=rng.random((L, it)),
+        cx=rng.random(L) + 0.1,
+        cy=rng.random(L) + 0.1,
+        cz=rng.random(L) + 0.1,
+        fixup=True,
+    )
+    ref_block = LineBlock(**{
+        **block.__dict__,
+        "phi_j": block.phi_j.copy(),
+        "phi_k": block.phi_k.copy(),
+    })
+    psi_ref, pi_ref, fix_ref = numpy_line_executor(ref_block)
+    psi_simd, pi_simd, fix_simd = simd_execute_block(block)
+    print(f"block: {L} I-lines x {it} cells, fixups on")
+    print(f"  reference fixups: {fix_ref}, SIMD fixups: {fix_simd}")
+    print(f"  psi bitwise equal:  {np.array_equal(psi_ref, psi_simd)}")
+    print(f"  faces bitwise equal: "
+          f"{np.array_equal(ref_block.phi_j, block.phi_j)}")
+
+
+def timing_demo() -> None:
+    print("\npipeline statistics of one steady-state inner iteration")
+    print("(4 logical vectorization threads, nm = 4 moments)\n")
+    header = (f"{'kernel':14s} {'cells':>5s} {'cycles':>7s} {'flops':>6s} "
+              f"{'cyc/cell':>8s} {'dual':>5s} {'eff':>7s}")
+    print(header)
+    for name, fixup, double in (
+        ("DP", False, True),
+        ("DP + fixups", True, True),
+        ("SP", False, False),
+    ):
+        r = kernel_cycle_report(nm=4, fixup=fixup, double=double)
+        cells = cells_per_invocation(double)
+        eff = r.efficiency(double)
+        print(f"{name:14s} {cells:5d} {r.cycles:7d} {r.flops:6d} "
+              f"{r.cycles / cells:8.1f} {r.dual_issues:5d} {eff:7.1%}")
+
+    r = kernel_cycle_report(nm=4, fixup=False, double=True)
+    dp_ops = r.dp_instructions
+    print(f"\nwhy 64%: {dp_ops} DP instructions x 7-cycle issue interval = "
+          f"{dp_ops * 7} of the {r.cycles} cycles")
+    print(f"chip throughput at this efficiency: {r.gflops() * 8:.1f} Gflop/s "
+          f"(paper: 9.3 Gflop/s)")
+    # instruction mix of the measured step
+    loads = sum(1 for i in r.records if i.instruction.opclass is OpClass.LOAD)
+    stores = sum(1 for i in r.records if i.instruction.opclass is OpClass.STORE)
+    print(f"instruction mix: {r.instructions} total, {dp_ops} DP-even, "
+          f"{loads} loads, {stores} stores")
+
+
+def schedule_demo() -> None:
+    from repro.cell.schedule_view import format_schedule, occupancy_histogram
+
+    r = kernel_cycle_report(nm=4, fixup=False, double=True)
+    print("\nfirst 24 cycles of the schedule:")
+    print(format_schedule(r, max_cycles=24))
+    hist = occupancy_histogram(r)
+    total = sum(hist.values())
+    print("\noccupancy:")
+    for name, cycles in hist.items():
+        print(f"  {name:17s} {cycles:5d} cycles ({cycles / total:5.1%})")
+
+
+def register_demo() -> None:
+    from repro.cell.registers import kernel_pressure
+
+    print("\nregister pressure (128-register file, 120 usable):")
+    for threads in (1, 2, 4, 8):
+        rep = kernel_pressure(nm=4, fixup=False, logical_threads=threads)
+        verdict = "fits" if rep.fits else f"needs {rep.spills_needed} spills"
+        print(f"  {threads} logical threads: {rep.max_live:3d} live -> {verdict}")
+    print("  -> four threads is the most unrolling the register file allows:")
+    print("     the paper's choice is architecturally forced, not a tuning whim")
+
+
+if __name__ == "__main__":
+    functional_demo()
+    timing_demo()
+    schedule_demo()
+    register_demo()

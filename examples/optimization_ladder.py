@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Walk the paper's Figure-5 optimization ladder.
+
+For each rung: what changed, which of the five parallelism levels it
+engages, the model's predicted 50-cubed time, and the paper's measured
+time.  Then verifies functionally (on a small deck) that every rung's
+configuration still computes the exact reference answer -- optimizations
+that break the physics don't count.
+
+Usage:  python examples/optimization_ladder.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import CellSweep3D, LADDER, ladder_times
+from repro.perf import ascii_bars
+from repro.sweep import SerialSweep3D, benchmark_deck, small_deck
+
+
+def main() -> None:
+    deck = benchmark_deck(fixup=False)
+    series = ladder_times(deck)
+
+    print("Figure 5 - the optimization ladder (50-cubed)\n")
+    prev = None
+    for stage, seconds in series:
+        gain = f"  ({prev / seconds:4.2f}x)" if prev else ""
+        print(f"{stage.key:14s} {seconds:6.2f} s  paper {stage.paper_seconds:5.2f} s{gain}")
+        print(f"               {stage.description}")
+        if stage.on_spes:
+            levels = [k for k, v in stage.config.levels_active().items() if v]
+            print(f"               levels: {', '.join(levels)}")
+        prev = seconds
+        print()
+
+    print(ascii_bars([s.key for s, _ in series], [t for _, t in series]))
+
+    # -- functional verification of every SPE rung -----------------------
+    print("\nverifying every rung computes the reference answer ...")
+    tiny = small_deck(n=5, sn=4, nm=2, iterations=2, mk=5)
+    reference = SerialSweep3D(tiny).solve()
+    for stage, _ in series:
+        if not stage.on_spes:
+            continue
+        result = CellSweep3D(tiny, stage.config).solve()
+        ok = np.array_equal(result.flux, reference.flux)
+        print(f"  {stage.key:14s} bitwise equal: {ok}")
+        assert ok
+
+
+if __name__ == "__main__":
+    main()

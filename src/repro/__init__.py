@@ -1,0 +1,31 @@
+"""repro: reproduction of "Multicore Surprises: Lessons Learned from
+Optimizing Sweep3D on the Cell Broadband Engine" (IPDPS 2007).
+
+Subpackages
+-----------
+``repro.cell``
+    Cell Broadband Engine simulator (SPU ISA + pipeline, local stores,
+    MFC/DMA, EIB, memory banks, mailboxes/signals/atomics).
+``repro.sweep``
+    Discrete-ordinates Sweep3D numerics: quadrature, diamond-difference
+    kernel with flux fixups, MK/MMI pipelining, serial reference solver.
+``repro.mpi``
+    In-process message-passing runtime with the KBA wavefront
+    decomposition of Figure 1.
+``repro.core``
+    The paper's contribution: the five-level parallelization of Sweep3D
+    on the simulated Cell, the Figure 5 optimization ladder, and the
+    Figure 10 projections.
+``repro.perf``
+    Performance models: work counting, the per-diagonal discrete-event
+    execution model, processor comparisons, grind-time analysis.
+
+See ``DESIGN.md`` for the full inventory and ``EXPERIMENTS.md`` for
+paper-versus-measured results.
+"""
+
+__version__ = "1.0.0"
+
+from . import cell, core, errors, mpi, perf, sweep, units
+
+__all__ = ["cell", "core", "errors", "mpi", "perf", "sweep", "units", "__version__"]

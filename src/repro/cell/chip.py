@@ -1,0 +1,120 @@
+"""Whole-chip composition: one Cell Broadband Engine.
+
+A :class:`CellBE` owns the PPE, the eight SPEs, the shared main-memory
+address space, the bus/memory timing models, the atomic domain and a
+chip-level clock.  Application layers (:mod:`repro.core`) drive Sweep3D
+through this object; the performance model reads its counters back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .atomic import AtomicDomain
+from .clock import CycleClock
+from .dma import AddressSpace
+from .eib import EIBModel
+from .mic import MemoryTimingModel
+from .ppe import PPE
+from .spe import SPE
+from . import constants
+
+
+@dataclass(frozen=True)
+class ChipTraffic:
+    """Aggregate DMA traffic of a run, chip-wide."""
+
+    bytes_get: int
+    bytes_put: int
+    commands: int
+    list_elements: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_get + self.bytes_put
+
+
+class CellBE:
+    """A simulated Cell Broadband Engine processor."""
+
+    def __init__(
+        self,
+        num_spes: int = constants.NUM_SPES,
+        ls_capacity: int = constants.LOCAL_STORE_BYTES,
+        spe_code_bytes: int = 24 * 1024,
+    ) -> None:
+        if not 1 <= num_spes <= constants.NUM_SPES:
+            raise ConfigurationError(
+                f"Cell BE has 1..{constants.NUM_SPES} usable SPEs, got {num_spes}"
+            )
+        self.memory_timing = MemoryTimingModel()
+        self.ppe = PPE()
+        self.spes = [
+            SPE(i, timing=self.memory_timing, ls_capacity=ls_capacity,
+                code_bytes=spe_code_bytes)
+            for i in range(num_spes)
+        ]
+        self.address_space = AddressSpace()
+        self.eib = EIBModel()
+        self.atomics = AtomicDomain()
+        self.clock = CycleClock()
+
+    @property
+    def num_spes(self) -> int:
+        return len(self.spes)
+
+    def host_alloc(
+        self,
+        name: str,
+        shape: tuple[int, ...] | int,
+        dtype: np.dtype | type = np.float64,
+        bank_offset: int = 0,
+        pad_rows_to_line: bool = False,
+    ) -> "np.ndarray":
+        """Allocate a main-memory array registered in the address space.
+
+        ``pad_rows_to_line`` pads the last dimension so each row starts on
+        a 128-byte boundary -- the paper's "array allocation to ensure
+        that the rows of the 'multi-dimensional' arrays are 128-byte
+        aligned" (Sec. 5).  Returns the *logical* (unpadded) view; the
+        padded storage is what the address space registers.
+        """
+        if isinstance(shape, int):
+            shape = (shape,)
+        dt = np.dtype(dtype)
+        if pad_rows_to_line and len(shape) >= 1:
+            row = shape[-1]
+            per_line = constants.CACHE_LINE_BYTES // dt.itemsize
+            padded_row = -(-row // per_line) * per_line
+            storage = np.zeros(shape[:-1] + (padded_row,), dtype=dt)
+            self.address_space.allocate(name, storage, bank_offset=bank_offset)
+            return storage[..., :row]
+        storage = np.zeros(shape, dtype=dt)
+        self.address_space.allocate(name, storage, bank_offset=bank_offset)
+        return storage
+
+    def traffic(self) -> ChipTraffic:
+        """Sum of all SPEs' MFC statistics."""
+        return ChipTraffic(
+            bytes_get=sum(s.mfc.stats.bytes_get for s in self.spes),
+            bytes_put=sum(s.mfc.stats.bytes_put for s in self.spes),
+            commands=sum(s.mfc.stats.commands for s in self.spes),
+            list_elements=sum(s.mfc.stats.list_elements for s in self.spes),
+        )
+
+    def total_spu_flops(self) -> int:
+        """Floating-point operations retired across all SPUs."""
+        return sum(s.spu.stats.flops for s in self.spes)
+
+    def reset_counters(self) -> None:
+        """Zero every statistic (between benchmark configurations)."""
+        for spe in self.spes:
+            spe.mfc.stats.__init__()
+            spe.spu.stats.__init__()
+            spe.sync_budget.buckets.clear()
+        self.ppe.sync_budget.buckets.clear()
+        self.atomics.cycles = 0.0
+        self.clock.reset()

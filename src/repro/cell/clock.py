@@ -1,0 +1,83 @@
+"""Cycle accounting shared by the Cell BE timing models.
+
+The simulator keeps all on-chip delays in SPU cycles and converts to
+seconds only at reporting time, so that every model constant can be stated
+the way the Cell documentation states it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import constants
+from ..units import cycles_to_seconds
+
+
+@dataclass
+class CycleClock:
+    """A monotonically advancing cycle counter.
+
+    Components that model time (MFC queues, mailboxes, the pipeline
+    simulator) advance a :class:`CycleClock`; the performance model reads
+    it back in seconds.
+    """
+
+    frequency_hz: float = constants.CLOCK_HZ
+    cycle: int = 0
+
+    def advance(self, cycles: int) -> int:
+        """Advance by ``cycles`` (non-negative) and return the new time."""
+        if cycles < 0:
+            raise ValueError(f"cannot advance clock by negative cycles: {cycles}")
+        self.cycle += int(cycles)
+        return self.cycle
+
+    def advance_to(self, cycle: int) -> int:
+        """Advance to absolute ``cycle`` if it is in the future."""
+        if cycle > self.cycle:
+            self.cycle = int(cycle)
+        return self.cycle
+
+    @property
+    def seconds(self) -> float:
+        """Elapsed wall-clock time represented by this counter."""
+        return cycles_to_seconds(self.cycle, self.frequency_hz)
+
+    def reset(self) -> None:
+        """Reset to cycle zero (used between benchmark configurations)."""
+        self.cycle = 0
+
+
+@dataclass
+class CycleBudget:
+    """Accumulates named cycle costs for a timing breakdown.
+
+    Used by the discrete-event model to attribute time to compute, DMA,
+    synchronization and scheduling, mirroring the decomposition the paper
+    uses in Sec. 6 to explain the gap between the 0.7 s bound and the
+    1.33 s measured run time.
+    """
+
+    buckets: dict[str, float] = field(default_factory=dict)
+
+    def charge(self, bucket: str, cycles: float) -> None:
+        """Add ``cycles`` to ``bucket`` (creating it on first use)."""
+        if cycles < 0:
+            raise ValueError(f"cannot charge negative cycles to {bucket!r}: {cycles}")
+        self.buckets[bucket] = self.buckets.get(bucket, 0.0) + cycles
+
+    def total(self) -> float:
+        """Sum of all buckets, in cycles."""
+        return sum(self.buckets.values())
+
+    def seconds(self, frequency_hz: float = constants.CLOCK_HZ) -> dict[str, float]:
+        """The breakdown converted to seconds."""
+        return {
+            name: cycles_to_seconds(cyc, frequency_hz)
+            for name, cyc in self.buckets.items()
+        }
+
+    def merge(self, other: "CycleBudget") -> None:
+        """Accumulate another budget into this one, bucket by bucket."""
+        for name, cyc in other.buckets.items():
+            self.charge(name, cyc)

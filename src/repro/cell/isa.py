@@ -1,0 +1,416 @@
+"""Functional SPU SIMD instruction set over NumPy, with recording.
+
+The paper's kernel (Figures 6-8) is written with SPU intrinsics:
+``spu_splats`` replicates a scalar across a vector, ``spu_madd`` performs a
+2-way double-precision fused multiply-add, and so on.  This module provides
+those intrinsics as *functional* operations on 128-bit vector values backed
+by NumPy, and simultaneously records every executed instruction into an
+:class:`InstructionStream`.
+
+The recorded stream is what :mod:`repro.cell.pipeline` replays through the
+dual-issue in-order SPU pipeline model to obtain the cycle counts of
+Sec. 5.1 (590 cycles / 216 flops with fixups off, 1690 with fixups on, the
+~5 % dual-issue rate, and the 64 % / 25 % of peak efficiencies).
+
+Two dtypes are supported, matching the SPU's floating-point granularities:
+
+* ``float64`` -- 2 lanes per vector ("2 64-bit double-precision numbers"),
+* ``float32`` -- 4 lanes per vector.
+
+A deliberate modelling choice: the SPU has no hardware double-precision
+divide; real Cell code computes reciprocals with a single-precision
+estimate (``frest``/``fi``) refined by Newton-Raphson ``fnms``/``fma``
+steps.  :func:`spu_div` *records* that instruction sequence (so timing is
+faithful) but *computes* the exact IEEE quotient (so the simulated solver
+matches the NumPy reference bit-for-bit).  This substitution is documented
+in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import PipelineError
+from . import constants
+
+
+class Pipe(Enum):
+    """The two SPU issue pipes (Sec. 2: "2 instruction pipelines")."""
+
+    #: Floating point and fixed point units.
+    EVEN = "even"
+    #: Loads/stores, shuffles, branches, channel instructions.
+    ODD = "odd"
+
+
+class OpClass(Enum):
+    """Latency classes of SPU instructions.
+
+    Latencies follow the public Cell BE Handbook instruction tables; the
+    double-precision class additionally blocks issue for
+    ``DP_ISSUE_INTERVAL_CYCLES - 1`` cycles ("two double-precision flops
+    every seven SPU clocks").
+    """
+
+    SP_FLOAT = "sp_float"     # single-precision FP arithmetic (even, 6)
+    DP_FLOAT = "dp_float"     # double-precision FP arithmetic (even, 13, blocking)
+    FIXED = "fixed"           # word fixed-point arithmetic (even, 2)
+    BYTE = "byte"             # select / logical ops (even, 2)
+    LOAD = "load"             # quadword load (odd, 6)
+    STORE = "store"           # quadword store (odd, 6)
+    SHUFFLE = "shuffle"       # shufb & friends, incl. splats (odd, 4)
+    BRANCH = "branch"         # branches and hints (odd, 4)
+    CHANNEL = "channel"       # channel reads/writes, e.g. MFC commands (odd, 6)
+    NOP = "nop"               # explicit nops used for alignment (either, 1)
+
+
+#: (pipe, result latency in cycles) for every op class.
+OP_TABLE: dict[OpClass, tuple[Pipe, int]] = {
+    OpClass.SP_FLOAT: (Pipe.EVEN, 6),
+    OpClass.DP_FLOAT: (Pipe.EVEN, 13),
+    OpClass.FIXED: (Pipe.EVEN, 2),
+    OpClass.BYTE: (Pipe.EVEN, 2),
+    OpClass.LOAD: (Pipe.ODD, 6),
+    OpClass.STORE: (Pipe.ODD, 6),
+    OpClass.SHUFFLE: (Pipe.ODD, 4),
+    OpClass.BRANCH: (Pipe.ODD, 4),
+    OpClass.CHANNEL: (Pipe.ODD, 6),
+    OpClass.NOP: (Pipe.EVEN, 1),
+}
+
+#: Extra full-pipeline issue block after a DP instruction: the SPU stalls
+#: all issue for 6 cycles after each double-precision operation.
+DP_ISSUE_BLOCK: int = constants.DP_ISSUE_INTERVAL_CYCLES - 1
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One recorded SPU instruction.
+
+    ``dest`` and ``srcs`` are virtual register names; the pipeline model
+    uses them to track read-after-write dependencies.  ``flops`` is the
+    number of floating-point operations the instruction contributes to the
+    efficiency accounting (a 2-way DP fma counts 4; a 2-way DP mul counts
+    2; loads count 0).
+    """
+
+    opcode: str
+    opclass: OpClass
+    dest: str | None
+    srcs: tuple[str, ...] = ()
+    flops: int = 0
+
+    @property
+    def pipe(self) -> Pipe:
+        return OP_TABLE[self.opclass][0]
+
+    @property
+    def latency(self) -> int:
+        return OP_TABLE[self.opclass][1]
+
+
+class InstructionStream:
+    """An ordered list of recorded instructions with flop accounting."""
+
+    def __init__(self, name: str = "kernel") -> None:
+        self.name = name
+        self.instructions: list[Instruction] = []
+        self._reg_counter = itertools.count()
+
+    def new_reg(self, prefix: str = "v") -> str:
+        """Allocate a fresh virtual register name."""
+        return f"{prefix}{next(self._reg_counter)}"
+
+    def emit(
+        self,
+        opcode: str,
+        opclass: OpClass,
+        dest: str | None,
+        srcs: Sequence[str] = (),
+        flops: int = 0,
+    ) -> Instruction:
+        """Append one instruction and return it."""
+        instr = Instruction(opcode, opclass, dest, tuple(srcs), flops)
+        self.instructions.append(instr)
+        return instr
+
+    def extend(self, other: "InstructionStream") -> None:
+        """Append all instructions from ``other``."""
+        self.instructions.extend(other.instructions)
+
+    @property
+    def flops(self) -> int:
+        """Total floating-point operations in the stream."""
+        return sum(i.flops for i in self.instructions)
+
+    def count(self, opclass: OpClass) -> int:
+        """Number of instructions of a given class."""
+        return sum(1 for i in self.instructions if i.opclass is opclass)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+
+@dataclass
+class Vec:
+    """A 128-bit SPU vector value.
+
+    ``data`` is a NumPy array whose total size is 16 bytes: 2 ``float64``
+    lanes or 4 ``float32`` lanes.  ``reg`` is the virtual register holding
+    the value, used for dependency tracking when the vector participates in
+    further recorded operations.
+    """
+
+    data: np.ndarray
+    reg: str
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data)
+        if self.data.dtype not in (np.float64, np.float32):
+            raise PipelineError(f"unsupported vector dtype {self.data.dtype}")
+        if self.data.nbytes != constants.VECTOR_BYTES:
+            raise PipelineError(
+                f"SPU vectors are {constants.VECTOR_BYTES} bytes; "
+                f"got {self.data.nbytes} bytes"
+            )
+
+    @property
+    def lanes(self) -> int:
+        return self.data.size
+
+    @property
+    def is_double(self) -> bool:
+        return self.data.dtype == np.float64
+
+
+class SPUContext:
+    """Execution context tying functional vectors to a recorded stream.
+
+    One :class:`SPUContext` corresponds to one compiled kernel body: the
+    paper's Figure 7 code becomes a sequence of calls on a context, and the
+    context's :attr:`stream` is then fed to the pipeline simulator.
+    """
+
+    def __init__(self, name: str = "kernel", double: bool = True) -> None:
+        self.stream = InstructionStream(name)
+        self.double = double
+        self._dtype = np.float64 if double else np.float32
+
+    # -- helpers ---------------------------------------------------------
+
+    @property
+    def lanes(self) -> int:
+        """SIMD width for the context's precision."""
+        return constants.DP_LANES if self.double else constants.SP_LANES
+
+    def _float_class(self) -> OpClass:
+        return OpClass.DP_FLOAT if self.double else OpClass.SP_FLOAT
+
+    def _fma_flops(self) -> int:
+        return 2 * self.lanes
+
+    def _vec(self, data: np.ndarray, reg: str) -> Vec:
+        return Vec(np.asarray(data, dtype=self._dtype), reg)
+
+    def _check(self, *vecs: Vec) -> None:
+        for v in vecs:
+            if v.is_double != self.double:
+                raise PipelineError(
+                    f"precision mismatch: context is "
+                    f"{'double' if self.double else 'single'}, vector {v.reg} is not"
+                )
+
+    # -- loads / stores / constants -------------------------------------
+
+    def spu_splats(self, scalar: float) -> Vec:
+        """Replicate ``scalar`` across all lanes (paper Fig. 7, line 4-7).
+
+        ``spu_splats`` assembles to a shuffle on the odd pipe.
+        """
+        reg = self.stream.new_reg()
+        self.stream.emit("splats", OpClass.SHUFFLE, reg)
+        return self._vec(np.full(self.lanes, scalar, dtype=self._dtype), reg)
+
+    def lqd(self, source: np.ndarray, label: str = "mem") -> Vec:
+        """Quadword load from local store.
+
+        ``source`` must hold exactly one vector's worth of lanes.
+        """
+        arr = np.asarray(source, dtype=self._dtype)
+        if arr.size != self.lanes:
+            raise PipelineError(
+                f"lqd expects {self.lanes} lanes, got {arr.size} from {label}"
+            )
+        reg = self.stream.new_reg()
+        self.stream.emit("lqd", OpClass.LOAD, reg, (label,))
+        return self._vec(arr.copy(), reg)
+
+    def stqd(self, value: Vec, target: np.ndarray, label: str = "mem") -> None:
+        """Quadword store to local store (writes through to ``target``)."""
+        self._check(value)
+        target = np.asarray(target)
+        if target.size != self.lanes:
+            raise PipelineError(
+                f"stqd expects {self.lanes} lanes, got {target.size} at {label}"
+            )
+        self.stream.emit("stqd", OpClass.STORE, None, (value.reg,))
+        target[...] = value.data.reshape(target.shape)
+
+    # -- arithmetic ------------------------------------------------------
+
+    def _binary(self, opcode: str, a: Vec, b: Vec, op, flops: int) -> Vec:
+        self._check(a, b)
+        reg = self.stream.new_reg()
+        self.stream.emit(opcode, self._float_class(), reg, (a.reg, b.reg), flops)
+        return self._vec(op(a.data, b.data), reg)
+
+    def spu_add(self, a: Vec, b: Vec) -> Vec:
+        """Lane-wise addition."""
+        return self._binary("fa", a, b, np.add, self.lanes)
+
+    def spu_sub(self, a: Vec, b: Vec) -> Vec:
+        """Lane-wise subtraction."""
+        return self._binary("fs", a, b, np.subtract, self.lanes)
+
+    def spu_mul(self, a: Vec, b: Vec) -> Vec:
+        """Lane-wise multiplication (paper Fig. 7, lines 9-12)."""
+        return self._binary("fm", a, b, np.multiply, self.lanes)
+
+    def spu_madd(self, a: Vec, b: Vec, c: Vec) -> Vec:
+        """Fused multiply-add ``a*b + c`` (paper Fig. 7, lines 21-24)."""
+        self._check(a, b, c)
+        reg = self.stream.new_reg()
+        self.stream.emit(
+            "fma", self._float_class(), reg, (a.reg, b.reg, c.reg), self._fma_flops()
+        )
+        return self._vec(a.data * b.data + c.data, reg)
+
+    def spu_msub(self, a: Vec, b: Vec, c: Vec) -> Vec:
+        """Fused multiply-subtract ``a*b - c``."""
+        self._check(a, b, c)
+        reg = self.stream.new_reg()
+        self.stream.emit(
+            "fms", self._float_class(), reg, (a.reg, b.reg, c.reg), self._fma_flops()
+        )
+        return self._vec(a.data * b.data - c.data, reg)
+
+    def spu_nmsub(self, a: Vec, b: Vec, c: Vec) -> Vec:
+        """Fused negative multiply-subtract ``c - a*b`` (used by Newton-Raphson)."""
+        self._check(a, b, c)
+        reg = self.stream.new_reg()
+        self.stream.emit(
+            "fnms", self._float_class(), reg, (a.reg, b.reg, c.reg), self._fma_flops()
+        )
+        return self._vec(c.data - a.data * b.data, reg)
+
+    # -- comparison / select ---------------------------------------------
+
+    def spu_cmpgt(self, a: Vec, b: Vec) -> Vec:
+        """Lane-wise ``a > b``, producing an all-ones/all-zeros mask.
+
+        The mask is represented functionally as 1.0 / 0.0 lanes so that it
+        can feed :meth:`spu_sel`.
+        """
+        self._check(a, b)
+        reg = self.stream.new_reg()
+        self.stream.emit("fcgt", self._float_class(), reg, (a.reg, b.reg))
+        return self._vec((a.data > b.data).astype(self._dtype), reg)
+
+    def spu_or(self, a: Vec, b: Vec) -> Vec:
+        """Lane-wise logical OR of 0/1 masks (bitwise ``or`` on hardware,
+        a 2-cycle even-pipe byte op; counts no flops)."""
+        self._check(a, b)
+        reg = self.stream.new_reg()
+        self.stream.emit("or", OpClass.BYTE, reg, (a.reg, b.reg))
+        data = ((a.data != 0) | (b.data != 0)).astype(self._dtype)
+        return self._vec(data, reg)
+
+    def spu_and(self, a: Vec, b: Vec) -> Vec:
+        """Lane-wise logical AND of 0/1 masks (bitwise ``and``)."""
+        self._check(a, b)
+        reg = self.stream.new_reg()
+        self.stream.emit("and", OpClass.BYTE, reg, (a.reg, b.reg))
+        data = ((a.data != 0) & (b.data != 0)).astype(self._dtype)
+        return self._vec(data, reg)
+
+    def ai(self, label: str = "ptr") -> None:
+        """Record a fixed-point address increment (pointer bookkeeping).
+
+        Real SPU loops spend even-pipe fixed-point slots on address
+        arithmetic; these are the instructions that dual-issue with odd
+        pipe loads/stores and give the kernel its ~5 % dual-issue rate.
+        """
+        reg = self.stream.new_reg("p")
+        self.stream.emit("ai", OpClass.FIXED, reg, (label,))
+
+    def spu_sel(self, a: Vec, b: Vec, mask: Vec) -> Vec:
+        """Bit select: lane from ``b`` where mask is set, else from ``a``.
+
+        ``selb`` is a byte-class even-pipe instruction with 2-cycle latency;
+        it is how branch-free fixups are written on the SPU.
+        """
+        self._check(a, b, mask)
+        reg = self.stream.new_reg()
+        self.stream.emit("selb", OpClass.BYTE, reg, (a.reg, b.reg, mask.reg))
+        data = np.where(mask.data != 0, b.data, a.data)
+        return self._vec(data, reg)
+
+    # -- division (composite) ---------------------------------------------
+
+    def spu_div(self, num: Vec, den: Vec) -> Vec:
+        """Divide ``num / den``.
+
+        The SPU has no FP divide.  Real Cell kernels compute a reciprocal
+        estimate (``frest`` + ``fi``, single-precision, odd/even pair) and
+        refine it with Newton-Raphson steps; double precision needs two
+        refinements.  We *record* that sequence so the pipeline cost is
+        faithful, but *return* the exact IEEE quotient so the functional
+        result matches the NumPy reference solver exactly.
+        """
+        self._check(num, den)
+        est = self.stream.new_reg()
+        # reciprocal estimate: frest (odd, shuffle-class timing) + fi (even, SP)
+        self.stream.emit("frest", OpClass.SHUFFLE, est, (den.reg,))
+        self.stream.emit("fi", OpClass.SP_FLOAT, est, (den.reg, est), self.lanes)
+        refinements = 2 if self.double else 1
+        cur = est
+        for _ in range(refinements):
+            t = self.stream.new_reg()
+            # t = 1 - den*cur ; cur = cur + cur*t  (fnms + fma)
+            self.stream.emit(
+                "fnms", self._float_class(), t, (den.reg, cur), self._fma_flops()
+            )
+            nxt = self.stream.new_reg()
+            self.stream.emit(
+                "fma", self._float_class(), nxt, (cur, t, cur), self._fma_flops()
+            )
+            cur = nxt
+        out = self.stream.new_reg()
+        self.stream.emit(
+            "fm", self._float_class(), out, (num.reg, cur), self.lanes
+        )
+        return self._vec(num.data / den.data, out)
+
+    # -- control ----------------------------------------------------------
+
+    def branch(self, label: str = "loop") -> None:
+        """Record a (correctly hinted) loop branch."""
+        self.stream.emit(f"br:{label}", OpClass.BRANCH, None)
+
+    def nop(self) -> None:
+        """Record an explicit scheduling nop."""
+        self.stream.emit("nop", OpClass.NOP, None)
+
+
+def gather_lanes(ctx: SPUContext, values: Iterable[float]) -> Vec:
+    """Pack scalars into one vector via a load (test/example helper)."""
+    arr = np.asarray(list(values), dtype=np.float64 if ctx.double else np.float32)
+    return ctx.lqd(arr, label="packed")

@@ -1,0 +1,136 @@
+"""Memory Flow Controller: per-SPE DMA command queue with tag groups.
+
+Each SPE owns an MFC that queues DMA commands and executes them
+asynchronously while the SPU keeps computing (Sec. 2: "DMA commands are
+queued in the MFC, and the SPU or PPE ... can continue execution in
+parallel with the data transfer").  Completion is tracked per *tag group*
+(tags 0-31): the SPU waits on a tag mask to know a group of transfers has
+finished.  Double buffering in :mod:`repro.core.streaming` is exactly the
+discipline of keeping two tag groups in flight.
+
+Functionally, commands copy bytes when :meth:`MFC.drain_tag` (or
+``drain_all``) runs, so a kernel that forgets to wait reads stale local
+store -- the same bug it would have on hardware.  The timing side charges
+each command batch through the shared :class:`~repro.cell.mic.MemoryTimingModel`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..errors import MFCError
+from .dma import AnyDMACommand
+from .mic import MemoryTimingModel, TransferCost
+from . import constants
+
+
+@dataclass
+class TagStats:
+    """Accumulated traffic statistics for one MFC (all tags)."""
+
+    commands: int = 0
+    list_elements: int = 0
+    bytes_get: int = 0
+    bytes_put: int = 0
+    cycles: float = 0.0
+    #: histogram of transfer-element sizes -- Sec. 6 characterizes the
+    #: measured implementation as "lists of 512-byte DMAs (both for
+    #: puts and gets)", and this is where that distribution shows up.
+    element_sizes: Counter = field(default_factory=Counter)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_get + self.bytes_put
+
+    def dominant_element_size(self) -> int | None:
+        """Most common transfer-element size (by byte volume)."""
+        if not self.element_sizes:
+            return None
+        return max(
+            self.element_sizes, key=lambda s: s * self.element_sizes[s]
+        )
+
+
+class MFC:
+    """One SPE's memory flow controller.
+
+    The queue depth is finite (16 commands on real hardware); enqueueing
+    into a full queue raises :class:`MFCError`, forcing callers to model
+    the back-pressure a real SPU program experiences.
+    """
+
+    def __init__(
+        self,
+        spe_id: int,
+        timing: MemoryTimingModel | None = None,
+        queue_depth: int = constants.MFC_QUEUE_DEPTH,
+    ) -> None:
+        self.spe_id = spe_id
+        self.timing = timing or MemoryTimingModel()
+        self.queue_depth = queue_depth
+        self._queue: dict[int, list[AnyDMACommand]] = {}
+        self.stats = TagStats()
+
+    # -- queue management --------------------------------------------------
+
+    def _pending_count(self) -> int:
+        return sum(len(v) for v in self._queue.values())
+
+    def enqueue(self, command: AnyDMACommand) -> None:
+        """Queue one validated DMA command under its tag."""
+        if self._pending_count() >= self.queue_depth:
+            raise MFCError(
+                f"SPE {self.spe_id}: MFC queue full "
+                f"({self.queue_depth} commands pending); wait on a tag first"
+            )
+        self._queue.setdefault(command.tag, []).append(command)
+
+    def pending_tags(self) -> set[int]:
+        """Tags with at least one command still in flight."""
+        return {t for t, cmds in self._queue.items() if cmds}
+
+    # -- completion ---------------------------------------------------------
+
+    def _drain(self, commands: list[AnyDMACommand]) -> TransferCost:
+        from .dma import DMAKind, DMAListCommand
+
+        cost = self.timing.cost(commands)
+        for cmd in commands:
+            cmd.execute()
+            self.stats.commands += 1
+            if isinstance(cmd, DMAListCommand):
+                self.stats.list_elements += len(cmd.elements_spec)
+                for _, size in cmd.elements_spec:
+                    self.stats.element_sizes[size] += 1
+            else:
+                self.stats.element_sizes[cmd.total_bytes] += 1
+            if cmd.kind is DMAKind.GET:
+                self.stats.bytes_get += cmd.total_bytes
+            else:
+                self.stats.bytes_put += cmd.total_bytes
+        self.stats.cycles += cost.total_cycles
+        return cost
+
+    def drain_tag(self, tag: int) -> TransferCost:
+        """Complete every command in one tag group (``mfc_write_tag_mask``
+        + ``mfc_read_tag_status_all`` on hardware).
+
+        Returns the modelled :class:`TransferCost` of the batch.  Waiting
+        on a tag with nothing in flight is a protocol error: on hardware
+        it returns instantly, but in every Sweep3D use it indicates a
+        double-wait bug, so the model rejects it.
+        """
+        cmds = self._queue.pop(tag, [])
+        if not cmds:
+            raise MFCError(f"SPE {self.spe_id}: wait on empty tag group {tag}")
+        return self._drain(cmds)
+
+    def drain_all(self) -> TransferCost | None:
+        """Complete every pending command across all tags (barrier)."""
+        cmds: list[AnyDMACommand] = []
+        for tag in sorted(self._queue):
+            cmds.extend(self._queue.pop(tag))
+        if not cmds:
+            return None
+        return self._drain(cmds)

@@ -1,0 +1,132 @@
+"""Register-pressure analysis of recorded instruction streams.
+
+Sec. 2: "Each SPU has 128 128-bit SIMD registers.  The large number of
+registers facilitates very efficient instruction scheduling and enables
+important optimization techniques such as loop unrolling."  The four
+logical vectorization threads of the paper's kernel are exactly such an
+unrolling -- and they are only possible because four interleaved copies
+of the kernel's live state still fit the register file.
+
+This module computes live ranges over the virtual registers of an
+:class:`~repro.cell.isa.InstructionStream` and reports the maximum
+simultaneous pressure, letting tests assert that the emitted kernels
+would actually colour onto 128 architectural registers (with room for
+the ABI's reserved ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PipelineError
+from . import constants
+from .isa import InstructionStream
+
+#: registers the SPU ABI reserves (link register, stack pointer,
+#: environment, plus the first argument slots the runtime stub holds).
+ABI_RESERVED_REGISTERS: int = 8
+
+
+@dataclass(frozen=True)
+class PressureReport:
+    """Register-pressure summary of one stream."""
+
+    max_live: int
+    at_instruction: int        # index where the peak occurs
+    total_values: int          # distinct virtual registers defined
+    spills_needed: int         # live values beyond the register file
+
+    @property
+    def fits(self) -> bool:
+        return self.spills_needed == 0
+
+
+def analyze_pressure(
+    stream: InstructionStream,
+    register_file: int = constants.NUM_REGISTERS - ABI_RESERVED_REGISTERS,
+) -> PressureReport:
+    """Live-range analysis over a straight-line stream.
+
+    A virtual register is live from its defining instruction to its last
+    use.  Source names that were never defined in the stream (values
+    hoisted by a prologue outside the analysed window) are treated as
+    live from instruction 0.
+    """
+    if len(stream) == 0:
+        raise PipelineError("cannot analyze an empty stream")
+    first_def: dict[str, int] = {}
+    last_use: dict[str, int] = {}
+    for i, instr in enumerate(stream):
+        if instr.dest is not None and instr.dest not in first_def:
+            first_def[instr.dest] = i
+        for src in instr.srcs:
+            last_use[src] = i
+            if src not in first_def:
+                first_def[src] = 0  # defined before the window
+    # values defined but never used still occupy a register at their
+    # definition point.
+    for reg, d in first_def.items():
+        last_use.setdefault(reg, d)
+
+    events: list[tuple[int, int]] = []  # (position, +1/-1)
+    for reg, start in first_def.items():
+        events.append((start, +1))
+        events.append((last_use[reg] + 1, -1))
+    events.sort()
+    live = 0
+    max_live = 0
+    at = 0
+    for pos, delta in events:
+        live += delta
+        if live > max_live:
+            max_live = live
+            at = pos
+    return PressureReport(
+        max_live=max_live,
+        at_instruction=at,
+        total_values=len(first_def),
+        spills_needed=max(0, max_live - register_file),
+    )
+
+
+def kernel_pressure(nm: int = 4, fixup: bool = False, double: bool = True,
+                    logical_threads: int = 4) -> PressureReport:
+    """Pressure of one steady-state production-kernel iteration."""
+    from ..core.spe_kernel import kernel_cycle_report
+
+    report = kernel_cycle_report(
+        nm=nm, fixup=fixup, double=double, logical_threads=logical_threads
+    )
+    stream = InstructionStream("pressure")
+    stream.instructions = [r.instruction for r in report.records]
+    return analyze_pressure(stream)
+
+
+#: every SPU instruction is 4 bytes.
+INSTRUCTION_BYTES: int = 4
+
+#: runtime stub around the kernel: scheduler loop, DMA sequencing,
+#: sync protocol handlers (representative size for a Sweep3D-class
+#: SPE program).
+RUNTIME_STUB_BYTES: int = 12 * 1024
+
+
+def kernel_code_bytes(nm: int = 4, double: bool = True,
+                      logical_threads: int = 4) -> int:
+    """Estimated SPU program size for the production kernel.
+
+    Both kernel variants (plain and fixup) are resident -- the
+    ``do_fixups`` flag of Figure 2 selects between them at run time --
+    plus the runtime stub.  The result must fit the local-store code
+    reservation of :class:`~repro.cell.spe.SPE` (tested), because code
+    and data share the 256 KB.
+    """
+    from ..core.spe_kernel import kernel_cycle_report
+
+    total = 0
+    for fixup in (False, True):
+        report = kernel_cycle_report(
+            nm=nm, fixup=fixup, double=double, logical_threads=logical_threads
+        )
+        total += report.instructions * INSTRUCTION_BYTES
+    return total + RUNTIME_STUB_BYTES

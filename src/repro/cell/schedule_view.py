@@ -1,0 +1,82 @@
+"""Human-readable rendering of SPU pipeline schedules.
+
+Turns a :class:`~repro.cell.pipeline.PipelineReport` into the kind of
+cycle-by-cycle issue diagram hardware manuals print: one row per cycle,
+even-pipe and odd-pipe columns, DP-blocking shaded, dual issues marked.
+Used by ``examples/kernel_deep_dive.py`` and handy when tuning a kernel
+emission (you can *see* which dependency chain is exposing stalls).
+"""
+
+from __future__ import annotations
+
+from .isa import DP_ISSUE_BLOCK, OpClass, Pipe
+from .pipeline import PipelineReport
+
+
+def format_schedule(
+    report: PipelineReport,
+    first_cycle: int = 0,
+    max_cycles: int = 64,
+) -> str:
+    """Render a window of the schedule as text.
+
+    Columns: cycle number, even-pipe instruction, odd-pipe instruction,
+    markers (``*`` dual issue, ``#`` cycle inside a DP issue block).
+    """
+    by_cycle: dict[int, dict[Pipe, str]] = {}
+    dp_blocks: list[tuple[int, int]] = []
+    for rec in report.records:
+        slot = by_cycle.setdefault(rec.issue_cycle, {})
+        slot[rec.instruction.pipe] = rec.instruction.opcode
+        if rec.instruction.opclass is OpClass.DP_FLOAT:
+            dp_blocks.append(
+                (rec.issue_cycle + 1, rec.issue_cycle + DP_ISSUE_BLOCK)
+            )
+
+    def in_dp_block(cycle: int) -> bool:
+        return any(a <= cycle <= b for a, b in dp_blocks)
+
+    last = min(first_cycle + max_cycles, report.cycles)
+    rows = [f"{'cycle':>6s}  {'even pipe':<14s} {'odd pipe':<14s}"]
+    for cycle in range(first_cycle, last):
+        slot = by_cycle.get(cycle, {})
+        even = slot.get(Pipe.EVEN, "")
+        odd = slot.get(Pipe.ODD, "")
+        marks = ""
+        if even and odd:
+            marks += " *dual"
+        if not slot and in_dp_block(cycle):
+            even = "(dp block)"
+        rows.append(f"{cycle:6d}  {even:<14s} {odd:<14s}{marks}")
+    if last < report.cycles:
+        rows.append(f"  ... {report.cycles - last} more cycles")
+    rows.append(
+        f"total {report.cycles} cycles, {report.instructions} instructions, "
+        f"{report.dual_issues} dual issues, {report.flops} flops"
+    )
+    return "\n".join(rows)
+
+
+def occupancy_histogram(report: PipelineReport) -> dict[str, int]:
+    """Cycle occupancy classes: dual-issue, single-issue, DP-blocked,
+    and other stall cycles.  Sums to ``report.cycles``."""
+    issued: dict[int, int] = {}
+    for rec in report.records:
+        issued[rec.issue_cycle] = issued.get(rec.issue_cycle, 0) + 1
+    dp_blocked = set()
+    for rec in report.records:
+        if rec.instruction.opclass is OpClass.DP_FLOAT:
+            for c in range(rec.issue_cycle + 1, rec.issue_cycle + 1 + DP_ISSUE_BLOCK):
+                dp_blocked.add(c)
+    dual = sum(1 for n in issued.values() if n == 2)
+    single = sum(1 for n in issued.values() if n == 1)
+    blocked = sum(
+        1 for c in range(report.cycles) if c not in issued and c in dp_blocked
+    )
+    stalled = report.cycles - dual - single - blocked
+    return {
+        "dual_issue": dual,
+        "single_issue": single,
+        "dp_blocked": blocked,
+        "dependency_stall": max(stalled, 0),
+    }

@@ -1,0 +1,76 @@
+"""SPE signal-notification registers.
+
+Each SPE has two 32-bit signal-notification registers that other units can
+write.  In *OR mode* concurrent writers accumulate bits (the useful mode
+for "many producers, one waiter" synchronization); in *overwrite mode* the
+last write wins.  Reading a signal register returns and clears it.
+
+Signals complement mailboxes: a mailbox is a FIFO of values, a signal is a
+bitmask rendezvous.  The distributed scheduler experiment
+(:mod:`repro.core.scheduler`) uses OR-mode signals so eight SPEs can flag
+completion without serialising through the PPE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SignalError
+
+#: SPU channel read of its own signal register, cycles.
+SPU_SIGNAL_READ_CYCLES: int = 12
+
+#: Remote (SPE or PPE) write of another SPE's signal register: travels the
+#: EIB like a small DMA.
+REMOTE_SIGNAL_WRITE_CYCLES: int = 140
+
+
+@dataclass
+class SignalRegister:
+    """One 32-bit signal-notification register."""
+
+    name: str
+    or_mode: bool = True
+    value: int = 0
+    pending: bool = False
+
+    def write(self, bits: int) -> int:
+        """Deposit ``bits``; returns the modelled remote-write cycles."""
+        if not 0 <= bits < 2**32:
+            raise SignalError(f"{self.name}: signal values are 32-bit, got {bits}")
+        if self.or_mode:
+            self.value |= bits
+        else:
+            self.value = bits
+        self.pending = True
+        return REMOTE_SIGNAL_WRITE_CYCLES
+
+    def read(self) -> tuple[int, int]:
+        """Read-and-clear; returns (value, cycles).
+
+        Reading with nothing pending is a stall on hardware; the model
+        raises so tests catch missed-signal protocol bugs.
+        """
+        if not self.pending:
+            raise SignalError(
+                f"{self.name}: read with no signal pending; "
+                f"a hardware reader would stall"
+            )
+        value, self.value, self.pending = self.value, 0, False
+        return value, SPU_SIGNAL_READ_CYCLES
+
+    def try_read(self) -> tuple[int | None, int]:
+        """Non-blocking poll; returns (value or None, cycles)."""
+        if not self.pending:
+            return None, SPU_SIGNAL_READ_CYCLES
+        value, self.value, self.pending = self.value, 0, False
+        return value, SPU_SIGNAL_READ_CYCLES
+
+
+class SignalUnit:
+    """The two signal registers of one SPE (Sig_Notify_1 / Sig_Notify_2)."""
+
+    def __init__(self, spe_id: int, or_mode: bool = True) -> None:
+        self.spe_id = spe_id
+        self.sig1 = SignalRegister(f"SPE{spe_id}.Sig_Notify_1", or_mode)
+        self.sig2 = SignalRegister(f"SPE{spe_id}.Sig_Notify_2", or_mode)

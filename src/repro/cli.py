@@ -1,0 +1,282 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one to the paper's experiments plus the functional
+solvers, so a user can reproduce any number in EXPERIMENTS.md without
+writing code:
+
+=============  ===========================================================
+``solve``      run a cubic problem through a chosen engine
+``ladder``     Figure 5: the optimization ladder
+``kernel``     Sec. 5.1: SPE kernel pipeline statistics
+``grind``      Figure 9: grind time vs cube size
+``projections``Figure 10: planned optimizations / what-ifs
+``processors`` Figure 11: cross-processor comparison
+``bounds``     Sec. 6: traffic and lower bounds
+``cluster``    multi-chip Cell cluster scaling (extension)
+=============  ===========================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _deck_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--deck", type=str, default=None,
+                        help="deck file (overrides the other deck options)")
+    parser.add_argument("--cube", type=int, default=50,
+                        help="cube edge in cells (default 50)")
+    parser.add_argument("--sn", type=int, default=6, choices=(2, 4, 6, 8),
+                        help="Sn quadrature order (default 6)")
+    parser.add_argument("--nm", type=int, default=4,
+                        help="scattering/flux moments (default 4)")
+    parser.add_argument("--iterations", type=int, default=12,
+                        help="sweep iterations (default 12)")
+    parser.add_argument("--fixup", action="store_true",
+                        help="enable negative-flux fixups")
+
+
+def _build_deck(args):
+    from .sweep.geometry import Grid
+    from .sweep.input import InputDeck
+
+    if getattr(args, "deck", None):
+        from .sweep.deckfile import load_deck
+
+        return load_deck(args.deck)
+    n = args.cube
+    divisors = [m for m in range(1, n + 1) if n % m == 0]
+    mk = max(divisors, key=lambda m: (min(m, 10), -abs(m - 10)))
+    per_octant = args.sn * (args.sn + 2) // 8
+    mmi = 3 if per_octant % 3 == 0 else 1
+    return InputDeck(
+        grid=Grid.cube(n), sn=args.sn, nm=args.nm,
+        iterations=args.iterations, fixup=args.fixup, mk=mk, mmi=mmi,
+    )
+
+
+def cmd_solve(args) -> int:
+    from .core.solver import CellSweep3D
+    from .mpi.wavefront import KBASweep3D
+    from .perf.processors import measured_cell_config
+    from .sweep.serial import SerialSweep3D
+
+    deck = _build_deck(args)
+    if deck.grid.num_cells > 30**3 and args.engine != "serial":
+        print("note: functional engines other than 'serial' are slow above "
+              "~30^3; consider --cube 16", file=sys.stderr)
+    if args.engine == "serial":
+        result = SerialSweep3D(deck).solve()
+    elif args.engine == "tile":
+        result = SerialSweep3D(deck, method="tile").solve()
+    elif args.engine == "kba":
+        result = KBASweep3D(deck, P=args.p, Q=args.q).solve()
+    elif args.engine == "cell":
+        result = CellSweep3D(deck, measured_cell_config()).solve()
+    else:  # pragma: no cover - argparse enforces choices
+        raise ValueError(args.engine)
+    phi = result.scalar_flux
+    print(f"engine={args.engine} deck={deck.grid.shape} S{deck.sn} "
+          f"nm={deck.nm} iters={result.iterations}")
+    print(f"scalar flux: total={phi.sum():.6f} max={phi.max():.6f} "
+          f"min={phi.min():.6f}")
+    print(f"leakage={result.tally.leakage:.6f} fixups={result.tally.fixups}")
+    if result.history:
+        print(f"last flux change: {result.history[-1]:.3e}")
+    return 0
+
+
+def cmd_ladder(args) -> int:
+    from .core.optimizations import ladder_times
+    from .perf.report import Row, format_table
+
+    deck = _build_deck(args)
+    rows = [
+        Row(s.key, t, s.paper_seconds if args.cube == 50 else None)
+        for s, t in ladder_times(deck)
+    ]
+    print(format_table(f"Figure 5 - optimization ladder ({args.cube}^3)", rows))
+    return 0
+
+
+def cmd_kernel(args) -> int:
+    from .core.spe_kernel import cells_per_invocation, kernel_cycle_report
+
+    print(f"{'kernel':14s} {'cells':>5s} {'cycles':>7s} {'flops':>6s} "
+          f"{'dual':>5s} {'eff':>7s}")
+    for name, fixup, double in (
+        ("DP", False, True), ("DP+fixup", True, True), ("SP", False, False),
+    ):
+        r = kernel_cycle_report(nm=args.nm, fixup=fixup, double=double)
+        eff = r.efficiency(double)
+        print(f"{name:14s} {cells_per_invocation(double):5d} {r.cycles:7d} "
+              f"{r.flops:6d} {r.dual_issues:5d} {eff:7.1%}")
+    return 0
+
+
+def cmd_grind(args) -> int:
+    from .perf.grind import grind_curve, plateau
+
+    cubes = list(range(args.min_cube, args.max_cube + 1))
+    curve = grind_curve(cubes=cubes)
+    level = plateau(curve) if any(p.cube > 25 for p in curve) else None
+    peak = max(p.grind_ns for p in curve)
+    for p in curve:
+        bar = "#" * int(round(40 * p.grind_ns / peak))
+        print(f"{p.cube:4d} {p.grind_ns:8.1f} ns |{bar}")
+    if level is not None:
+        print(f"plateau (>25): {level:.1f} ns/visit")
+    return 0
+
+
+def cmd_projections(args) -> int:
+    from .core.projections import project
+    from .perf.processors import measured_cell_config
+    from .perf.report import Row, format_table
+
+    deck = _build_deck(args)
+    rows = [
+        Row(p.key, t, p.paper_seconds if args.cube == 50 else None)
+        for p, t in project(deck, measured_cell_config())
+    ]
+    print(format_table(f"Figure 10 - projections ({args.cube}^3)", rows))
+    return 0
+
+
+def cmd_processors(args) -> int:
+    from .perf.processors import comparison_table
+    from .perf.report import ascii_bars
+
+    deck = _build_deck(args)
+    rows = comparison_table(deck)
+    print(ascii_bars([n for n, _, _ in rows], [t for _, t, _ in rows]))
+    for name, _, speedup in rows[1:]:
+        print(f"Cell is {speedup:5.1f}x faster than {name}")
+    return 0
+
+
+def cmd_bounds(args) -> int:
+    from .perf.model import bandwidth_bound, compute_bound, predict
+    from .perf.processors import measured_cell_config
+
+    deck = _build_deck(args)
+    cfg = measured_cell_config()
+    r = predict(deck, cfg)
+    print(f"DMA traffic      {r.dma_bytes / 1e9:8.2f} GB")
+    print(f"bandwidth bound  {bandwidth_bound(deck, cfg):8.3f} s")
+    print(f"compute bound    {compute_bound(deck, cfg):8.3f} s")
+    print(f"predicted time   {r.seconds:8.3f} s")
+    print(f"  compute {r.compute_seconds:.3f}  dma {r.dma_seconds:.3f}  "
+          f"scheduling {r.scheduling_seconds:.3f}  barriers {r.barrier_seconds:.3f}")
+    return 0
+
+
+def cmd_roofline(args) -> int:
+    from .core.levels import Precision
+    from .perf.processors import measured_cell_config
+    from .perf.roofline import analyze
+
+    deck = _build_deck(args)
+    cfg = measured_cell_config()
+    for label, config in (
+        ("DP", cfg),
+        ("SP", cfg.with_(precision=Precision.SINGLE)),
+    ):
+        p = analyze(deck, config, label=label)
+        regime = "memory-bound" if p.memory_bound else "compute-bound"
+        print(f"{p.label}: intensity {p.intensity:.3f} flop/B "
+              f"(ridge {p.ridge_intensity:.3f}) -> {regime}; "
+              f"{p.achieved_flops / 1e9:.2f} Gflop/s = "
+              f"{p.roof_fraction:.0%} of the roof")
+    return 0
+
+
+def cmd_transient(args) -> int:
+    from .sweep.timestep import TimeDependentSweep3D
+
+    deck = _build_deck(args)
+    if deck.grid.num_cells > 12**3:
+        print("note: the transient driver is functional; use a small cube",
+              file=sys.stderr)
+    td = TimeDependentSweep3D(deck, velocity=args.velocity, dt=args.dt)
+    steady = td.steady_state().total_scalar_flux()
+    result = td.run(args.steps)
+    print(f"steady-state total flux: {steady:.4f}")
+    for step, total in zip(result.steps, result.total_flux_history):
+        print(f"t={step.time:8.3f}  total={total:12.4f}  "
+              f"({total / steady:6.1%} of steady)")
+    return 0
+
+
+def cmd_cluster(args) -> int:
+    from .core.cluster import cluster_speedup, cluster_time
+    from .perf.processors import measured_cell_config
+
+    deck = _build_deck(args)
+    cfg = measured_cell_config()
+    print(f"{'chips':>7s} {'time':>9s} {'speedup':>8s}")
+    for p, q in ((1, 1), (2, 1), (2, 2), (4, 2), (4, 4), (8, 4)):
+        if p > deck.grid.nx or q > deck.grid.ny:
+            continue
+        t = cluster_time(deck, cfg, p, q)
+        s = cluster_speedup(deck, cfg, p, q)
+        print(f"{p:3d}x{q:<3d} {t:8.3f}s {s:8.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sweep3D-on-Cell-BE reproduction (IPDPS 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="run a problem through a solver engine")
+    _deck_args(p)
+    p.add_argument("--engine", choices=("serial", "tile", "kba", "cell"),
+                   default="serial")
+    p.add_argument("-p", type=int, default=2, help="KBA process columns")
+    p.add_argument("-q", type=int, default=2, help="KBA process rows")
+    p.set_defaults(fn=cmd_solve)
+
+    for name, fn, help_ in (
+        ("ladder", cmd_ladder, "Figure 5"),
+        ("projections", cmd_projections, "Figure 10"),
+        ("processors", cmd_processors, "Figure 11"),
+        ("bounds", cmd_bounds, "Sec. 6 bounds"),
+        ("cluster", cmd_cluster, "multi-chip scaling (extension)"),
+        ("roofline", cmd_roofline, "roofline position (extension)"),
+    ):
+        p = sub.add_parser(name, help=help_)
+        _deck_args(p)
+        p.set_defaults(fn=fn)
+
+    p = sub.add_parser("transient", help="time-dependent solve (extension)")
+    _deck_args(p)
+    p.add_argument("--dt", type=float, default=0.5)
+    p.add_argument("--velocity", type=float, default=1.0)
+    p.add_argument("--steps", type=int, default=10)
+    p.set_defaults(fn=cmd_transient)
+
+    p = sub.add_parser("kernel", help="Sec. 5.1 kernel statistics")
+    p.add_argument("--nm", type=int, default=4)
+    p.set_defaults(fn=cmd_kernel)
+
+    p = sub.add_parser("grind", help="Figure 9 grind-time curve")
+    p.add_argument("--min-cube", type=int, default=5)
+    p.add_argument("--max-cube", type=int, default=60)
+    p.set_defaults(fn=cmd_grind)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""The Figure-5 optimization ladder as an ordered pass registry.
+
+Sec. 5 walks through the measured optimization sequence on the 50-cubed
+input; each entry below is one rung with the machine configuration it
+corresponds to and the paper's measured time.  The first two rungs run
+on the PPE alone (modelled by :mod:`repro.perf.processors`); the rest
+are SPE configurations fed to :func:`repro.perf.model.predict`.
+
+The registry is what the Figure-5 bench iterates; it is also usable as
+documentation of *what each step changed*, which the paper presents as
+its main contribution ("the exposure of this unavoidable multi-core
+complexity in a clear, unified manner").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..sweep.input import InputDeck
+from .levels import MachineConfig, SyncProtocol
+
+
+@dataclass(frozen=True)
+class OptimizationStage:
+    """One rung of the Figure-5 ladder."""
+
+    key: str
+    description: str
+    paper_seconds: float
+    #: None for the PPE-only rungs
+    config: MachineConfig | None
+    #: compiler for PPE-only rungs ("gcc" / "xlc")
+    ppe_compiler: str | None = None
+
+    @property
+    def on_spes(self) -> bool:
+        return self.config is not None
+
+
+LADDER: tuple[OptimizationStage, ...] = (
+    OptimizationStage(
+        "ppe-gcc",
+        "unmodified Sweep3D on the PPE alone, GCC",
+        22.3,
+        None,
+        ppe_compiler="gcc",
+    ),
+    OptimizationStage(
+        "ppe-xlc",
+        "porting steps 1-5, PPE alone, IBM XLC",
+        19.9,
+        None,
+        ppe_compiler="xlc",
+    ),
+    OptimizationStage(
+        "spe-offload",
+        "loop restructured across eight SPEs (thread level), scalar "
+        "kernel, mailbox sync, individual unaligned DMAs",
+        3.55,
+        MachineConfig(),
+    ),
+    OptimizationStage(
+        "aligned",
+        "gotos eliminated; array rows 128-byte aligned",
+        3.03,
+        MachineConfig(aligned_rows=True, structured_loops=True),
+    ),
+    OptimizationStage(
+        "double-buffer",
+        "double-buffered DMA streaming (data-streaming level)",
+        2.88,
+        MachineConfig(
+            aligned_rows=True, structured_loops=True, double_buffer=True
+        ),
+    ),
+    OptimizationStage(
+        "simd",
+        "manual SIMDization with four logical vectorization threads "
+        "(vector + pipeline levels)",
+        1.68,
+        MachineConfig(
+            aligned_rows=True, structured_loops=True, double_buffer=True,
+            simd=True,
+        ),
+    ),
+    OptimizationStage(
+        "dma-lists",
+        "individual DMAs converted to DMA lists; allocation offsets "
+        "spread accesses across the 16 memory banks",
+        1.48,
+        MachineConfig(
+            aligned_rows=True, structured_loops=True, double_buffer=True,
+            simd=True, dma_lists=True, bank_offsets=True,
+        ),
+    ),
+    OptimizationStage(
+        "ls-poke-sync",
+        "mailboxes replaced by DMA + direct local-store poking",
+        1.33,
+        MachineConfig(
+            aligned_rows=True, structured_loops=True, double_buffer=True,
+            simd=True, dma_lists=True, bank_offsets=True,
+            sync=SyncProtocol.LS_POKE,
+        ),
+    ),
+)
+
+
+def stage(key: str) -> OptimizationStage:
+    """Look a rung up by key."""
+    for s in LADDER:
+        if s.key == key:
+            return s
+    raise ConfigurationError(
+        f"unknown optimization stage {key!r}; "
+        f"known: {[s.key for s in LADDER]}"
+    )
+
+
+def predicted_seconds(stage_: OptimizationStage, deck: InputDeck) -> float:
+    """Model prediction for one rung on a deck."""
+    if stage_.on_spes:
+        from ..perf.model import predict
+
+        return predict(deck, stage_.config).seconds
+    from ..perf.processors import PPE_GCC, PPE_XLC
+
+    proc = PPE_GCC if stage_.ppe_compiler == "gcc" else PPE_XLC
+    return proc.solve_seconds(deck)
+
+
+def ladder_times(deck: InputDeck) -> list[tuple[OptimizationStage, float]]:
+    """The whole Figure-5 series for a deck."""
+    return [(s, predicted_seconds(s, deck)) for s in LADDER]

@@ -1,0 +1,278 @@
+"""CellSweep3D: the full Sweep3D solve on the simulated Cell BE.
+
+The functional half of the paper's implementation: the Figure-2 loop
+structure runs on the PPE; every jkm diagonal's I-lines are chunked and
+farmed to the SPEs (thread level); each chunk's working set is staged
+through the owning SPE's 256 KB local store by validated DMA commands or
+DMA lists (data-streaming level); the line kernel computes on the local
+store's actual bytes; results stream back before the diagonal barrier.
+
+The flux produced must be -- and is, see
+``tests/core/test_solver_equivalence.py`` -- *bit-identical* to the
+serial reference solver: the substitution argument of this reproduction
+rests on that equivalence.
+
+Timing is not measured from this functional execution (Python wall time
+is meaningless for 2006 hardware); it comes from the calibrated
+discrete-event model in :mod:`repro.perf.model`, driven by the same
+configuration.  :meth:`CellSweep3D.timing` is the bridge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cell.chip import CellBE
+from ..errors import ConfigurationError
+from ..sweep.flux import SolveResult, SweepTally, relative_change
+from ..sweep.input import InputDeck
+from ..sweep.kernel import dd_line_block_solve
+from ..sweep.moments import MomentBasis
+from ..sweep.pipelining import angle_blocks, diagonal_lines, k_blocks, num_diagonals
+from ..sweep.quadrature import OCTANT_SIGNS
+from .levels import MachineConfig, SchedulerKind, SyncProtocol
+from .porting import HostState
+from .scheduler import CentralizedScheduler, DistributedScheduler
+from .streaming import ChunkBuffers, StagedLine
+from .sync import LSPokeSync, MailboxSync
+from .worklist import Chunk
+
+
+class CellSweep3D:
+    """Sweep3D on one simulated Cell Broadband Engine."""
+
+    def __init__(
+        self,
+        deck: InputDeck,
+        config: MachineConfig | None = None,
+        chip: CellBE | None = None,
+    ) -> None:
+        self.deck = deck
+        self.config = config or MachineConfig(
+            aligned_rows=True, double_buffer=True, simd=True,
+            dma_lists=True, bank_offsets=True, sync=SyncProtocol.LS_POKE,
+        )
+        if not self.config.uses_spes:
+            raise ConfigurationError(
+                "CellSweep3D needs at least one SPE; PPE-only timing is "
+                "handled by repro.perf.processors"
+            )
+        if deck.has_reflection:
+            raise ConfigurationError(
+                "reflective boundaries are supported by the hyperplane "
+                "reference solver only (the paper's benchmark is vacuum)"
+            )
+        self.chip = chip or CellBE(num_spes=self.config.num_spes)
+        self.host = HostState(deck, self.config, self.chip)
+        self.quad = deck.quadrature()
+        self.basis = MomentBasis(self.quad, deck.nm)
+        self.buffers = [
+            ChunkBuffers(spe, deck, self.config, self.host.row_len)
+            for spe in self.chip.spes
+        ]
+        sync = (
+            LSPokeSync(self.chip)
+            if self.config.sync is SyncProtocol.LS_POKE
+            else MailboxSync(self.chip)
+        )
+        self.scheduler = (
+            DistributedScheduler(self.chip)
+            if self.config.scheduler is SchedulerKind.DISTRIBUTED
+            else CentralizedScheduler(self.chip, sync)
+        )
+        self._buffer_set = 0
+
+    # -- one octant ------------------------------------------------------------
+
+    def _sweep_octant(self, octant: int, tally: SweepTally, boundary) -> None:
+        """Figure 2's loops for one octant, RECV/SEND through ``boundary``
+        (a :class:`~repro.sweep.pipelining.BoundaryIO`: vacuum+leakage for
+        a single chip, MPI messages for a multi-chip cluster)."""
+        deck = self.deck
+        g = deck.grid
+        it, jt, kt = g.nx, g.ny, g.nz
+        sx, sy, sz = OCTANT_SIGNS[octant]
+        base = octant * self.quad.per_octant
+
+        for angles in angle_blocks(self.quad.per_octant, deck.mmi):
+            globals_ = [base + a for a in angles]
+            na = len(angles)
+            cxs = np.abs(self.quad.mu[globals_]) / g.dx
+            cys = np.abs(self.quad.eta[globals_]) / g.dy
+            czs = np.abs(self.quad.xi[globals_]) / g.dz
+            self.host.phik[...] = 0.0  # vacuum at the oriented K entry
+            for k0 in k_blocks(kt, deck.mk):
+                # RECV W/E and N/S into the host face arrays
+                self.host.phii[...] = 0.0
+                self.host.phii[:na, :, :jt] = boundary.recv_i(
+                    octant, angles, k0, jt, it
+                )
+                self.host.phij[...] = 0.0
+                self.host.phij[:na, :, :it] = boundary.recv_j(
+                    octant, angles, k0, jt, it
+                )
+                self.host.phii_out[...] = 0.0
+                for d in range(num_diagonals(jt, deck.mk, deck.mmi)):
+                    raw = diagonal_lines(jt, deck.mk, deck.mmi, d)
+                    lines = [
+                        StagedLine(
+                            mm=mm,
+                            kk=kk,
+                            j_o=j,
+                            j_g=j if sy > 0 else jt - 1 - j,
+                            k_g=(k0 + kk) if sz > 0 else kt - 1 - (k0 + kk),
+                            angle=globals_[mm],
+                            reverse_i=sx < 0,
+                        )
+                        for (j, kk, mm) in raw
+                    ]
+                    fixups = [0]
+
+                    def execute(chunk: Chunk) -> None:
+                        fixups[0] += self._execute_chunk(
+                            chunk, cxs, cys, czs
+                        )
+
+                    self.scheduler.run_diagonal(
+                        lines, self.config.chunk_lines, execute
+                    )
+                    tally.fixups += fixups[0]
+                # SEND W/E and N/S
+                boundary.send_i(
+                    octant, angles, k0,
+                    self.host.phii_out[:na, :, :jt].copy(),
+                )
+                boundary.send_j(
+                    octant, angles, k0,
+                    self.host.phij[:na, :, :it].copy(),
+                )
+            boundary.finish_octant(
+                octant, angles, self.host.phik[:na, :, :it].copy()
+            )
+
+    # -- one chunk on one SPE -----------------------------------------------------
+
+    def _execute_chunk(
+        self, chunk: Chunk, cxs: np.ndarray, cys: np.ndarray, czs: np.ndarray
+    ) -> int:
+        deck = self.deck
+        it = deck.grid.nx
+        lines: list[StagedLine] = list(chunk.lines)
+        L = len(lines)
+        bufs = self.buffers[chunk.spe]
+        s = self._buffer_set if self.config.double_buffer else 0
+        self._buffer_set ^= 1
+
+        bufs.stage_in(self.host, lines, s)
+        views = bufs.views(s)
+
+        def oriented_rows(arr: np.ndarray) -> np.ndarray:
+            """Logical (L, it) view in sweep order of a row buffer."""
+            rows = arr[:L, :it]
+            if lines[0].reverse_i:
+                rows = rows[:, ::-1]
+            return rows
+
+        # combine the angular source from the streamed moment rows, with
+        # the reference's exact accumulation order (MomentBasis.combine).
+        msrc = views["msrc"][:, :L, :it]
+        if lines[0].reverse_i:
+            msrc = msrc[:, :, ::-1]
+        coeffs = np.stack(
+            [self.basis.src_pn[:, ln.angle] for ln in lines], axis=1
+        )  # (nm, L)
+        src = self.basis.combine(coeffs[..., None], msrc)
+
+        phij = views["phij"][:L, :it]   # oriented scratch: no flip
+        phik = views["phik"][:L, :it]
+        phii = views["phii"][:L]
+        sigt = oriented_rows(views["sigt"])
+        cx = np.array([cxs[ln.mm] for ln in lines])
+        cy = np.array([cys[ln.mm] for ln in lines])
+        cz = np.array([czs[ln.mm] for ln in lines])
+
+        # pass the scalar when the material is uniform so the arithmetic
+        # matches the reference executor's scalar path bit for bit.
+        sigma = sigt if deck.material_box is not None else deck.sigma_t
+        psi_c, phi_i_out, fixups = dd_line_block_solve(
+            src, sigma, phii.copy(), phij, phik, cx, cy, cz,
+            fixup=deck.fixup,
+        )
+
+        # flux accumulation on the SPE: Flux[n] += w*Pn * Phi (Figure 6)
+        flux = oriented_rows_view = views["flux"][:, :L, :it]
+        if lines[0].reverse_i:
+            flux = flux[:, :, ::-1]
+        for n in range(deck.nm):
+            for l, ln in enumerate(lines):
+                flux[n, l] = self.basis.wpn[n, ln.angle] * psi_c[l] + flux[n, l]
+        # I-outflows take the inflow slots for the PUT program
+        phii[:] = phi_i_out
+
+        bufs.stage_out(self.host, lines, s)
+        return fixups
+
+    # -- sweeps and source iteration -------------------------------------------------
+
+    def sweep(
+        self, moment_source: np.ndarray, boundary=None
+    ) -> tuple[np.ndarray, SweepTally, object]:
+        """One full transport sweep through the simulated machine.
+
+        Same contract as :meth:`repro.sweep.pipelining.TileSweeper.sweep`,
+        so a :class:`CellSweep3D` can serve as the per-rank tile solver of
+        the KBA wavefront (a cluster of simulated Cell chips).
+        """
+        if moment_source.shape != (self.deck.nm, *self.deck.grid.shape):
+            raise ConfigurationError(
+                f"moment_source must be {(self.deck.nm, *self.deck.grid.shape)}, "
+                f"got {moment_source.shape}"
+            )
+        if boundary is None:
+            from ..sweep.pipelining import VacuumBoundary
+
+            boundary = VacuumBoundary(self.deck, self.quad)
+        self.host.zero_flux()
+        self.host.load_moment_source(moment_source)
+        tally = SweepTally()
+        for octant in range(8):
+            self._sweep_octant(octant, tally, boundary)
+        tally.leakage = getattr(boundary, "leakage", 0.0)
+        return self.host.flux_logical(), tally, boundary
+
+    def sweep_once(self, moment_source: np.ndarray) -> tuple[np.ndarray, SweepTally]:
+        """One sweep with vacuum boundaries (single-chip convenience)."""
+        flux, tally, _ = self.sweep(moment_source)
+        return flux, tally
+
+    def solve(self) -> SolveResult:
+        """Source iteration, mirroring the reference driver exactly."""
+        deck = self.deck
+        from ..sweep.moments import build_moment_source
+
+        flux = np.zeros((deck.nm, *deck.grid.shape))
+        history: list[float] = []
+        total = SweepTally()
+        for _ in range(deck.iterations):
+            msrc = build_moment_source(deck, flux)
+            new_flux, tally = self.sweep_once(msrc)
+            total.fixups += tally.fixups
+            total.leakage = tally.leakage
+            history.append(relative_change(new_flux[0], flux[0]))
+            flux = new_flux
+        return SolveResult(
+            flux=flux,
+            iterations=deck.iterations,
+            history=history,
+            tally=total,
+            converged=True,
+        )
+
+    # -- timing bridge -----------------------------------------------------------------
+
+    def timing(self):
+        """The calibrated execution-time prediction for this deck and
+        configuration (see :mod:`repro.perf.model`)."""
+        from ..perf.model import predict
+
+        return predict(self.deck, self.config)

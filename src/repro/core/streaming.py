@@ -1,0 +1,223 @@
+"""Data-streaming level: staging chunk working sets through local stores.
+
+Each scheduled chunk (up to four I-lines) owns a *working set*: per line,
+the ``nm`` moment-source rows, the ``nm`` flux rows (read-modify-write),
+the J- and K-inflow face rows (read-modify-write), and the I-inflow
+scalar.  This module allocates the local-store buffers for that working
+set -- doubled when double buffering is on, so the capacity claim of the
+paper's streaming design is *proved* against the 256 KB allocator -- and
+assembles the DMA command programs in the two styles the paper compares:
+
+* **individual commands** -- one MFC command per row (the pre-DMA-list
+  implementation).  A chunk needs more commands than the 16-entry MFC
+  queue holds, so the stager drains mid-build exactly like real code
+  had to;
+* **DMA lists** -- one list command per host array, whose elements are
+  the (up to four) 512-byte rows ("lists of 512-byte DMAs (both for
+  puts and gets)", Sec. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cell.dma import DMACommand, DMAKind, DMAListCommand
+from ..cell.local_store import LSBuffer
+from ..cell.spe import SPE
+from ..errors import ConfigurationError
+from ..sweep.input import InputDeck
+from .levels import MachineConfig
+from .porting import HostState, RowSpec
+
+#: MFC tag groups used by the stager: gets of buffer set 0/1, puts.
+GET_TAGS = (2, 3)
+PUT_TAG = 5
+
+
+@dataclass(frozen=True)
+class StagedLine:
+    """One I-line's identity in both oriented and global coordinates."""
+
+    mm: int        # angle index within the block
+    kk: int        # K-plane within the block (oriented)
+    j_o: int       # J row (oriented)
+    j_g: int       # J row (global storage)
+    k_g: int       # K plane (global storage)
+    angle: int     # global ordinate index
+    reverse_i: bool  # sweep direction along the row
+
+
+class ChunkBuffers:
+    """Local-store working-set buffers for one SPE.
+
+    ``views(s)`` exposes buffer set ``s`` as NumPy arrays backed by the
+    actual local-store bytes, so the kernel computes on what the DMA
+    engine delivered -- a missing wait shows up as zeros, like hardware.
+    """
+
+    def __init__(self, spe: SPE, deck: InputDeck, config: MachineConfig,
+                 row_len: int) -> None:
+        self.spe = spe
+        self.deck = deck
+        self.config = config
+        self.row_len = row_len
+        self.L = config.chunk_lines
+        self.sets = 2 if config.double_buffer else 1
+        ls = spe.local_store
+        nm = deck.nm
+        row_bytes = row_len * 8
+        self._bufs: list[dict[str, LSBuffer]] = []
+        alloc = (
+            ls.alloc_aligned_line
+            if config.aligned_rows
+            else lambda n, label: ls.alloc(n, alignment=16, label=label)
+        )
+        for s in range(self.sets):
+            self._bufs.append(
+                {
+                    "msrc": alloc(nm * self.L * row_bytes, label=f"msrc[{s}]"),
+                    "flux": alloc(nm * self.L * row_bytes, label=f"flux[{s}]"),
+                    "sigt": alloc(self.L * row_bytes, label=f"sigt[{s}]"),
+                    "phij": alloc(self.L * row_bytes, label=f"phij[{s}]"),
+                    "phik": alloc(self.L * row_bytes, label=f"phik[{s}]"),
+                    "phii": alloc(max(self.L, 2) * 8, label=f"phii[{s}]"),
+                }
+            )
+
+    @property
+    def ls_bytes(self) -> int:
+        """Total local-store bytes held by the working-set buffers."""
+        return sum(b.nbytes for s in self._bufs for b in s.values())
+
+    def views(self, s: int = 0) -> dict[str, np.ndarray]:
+        nm, L, R = self.deck.nm, self.L, self.row_len
+        bufs = self._bufs[s]
+        return {
+            "msrc": bufs["msrc"].as_array(np.float64, (nm, L, R)),
+            "flux": bufs["flux"].as_array(np.float64, (nm, L, R)),
+            "sigt": bufs["sigt"].as_array(np.float64, (L, R)),
+            "phij": bufs["phij"].as_array(np.float64, (L, R)),
+            "phik": bufs["phik"].as_array(np.float64, (L, R)),
+            "phii": bufs["phii"].as_array(np.float64)[:L],
+        }
+
+    # -- command assembly ----------------------------------------------------------
+
+    def _row_offset(self, kind: str, n: int, line: int) -> int:
+        """Byte offset of (moment n, line) inside an LS buffer."""
+        if kind in ("msrc", "flux"):
+            return (n * self.L + line) * self.row_len * 8
+        if kind == "phii":
+            return line * 8
+        return line * self.row_len * 8
+
+    def _commands(
+        self,
+        kind: DMAKind,
+        rows: list[tuple[str, int, int, RowSpec]],  # (buffer, moment, line, host row)
+        s: int,
+        tag: int,
+    ) -> list:
+        """Build the transfer program for a set of rows.
+
+        With ``dma_lists`` enabled, rows of the same host array merge
+        into one DMA-list command; otherwise each row is an individual
+        command.
+        """
+        bufs = self._bufs[s]
+        if not self.config.dma_lists:
+            return [
+                DMACommand(
+                    kind,
+                    spec.host,
+                    spec.byte_offset,
+                    bufs[buffer],
+                    self._row_offset(buffer, n, line),
+                    spec.nbytes,
+                    tag=tag,
+                )
+                for buffer, n, line, spec in rows
+            ]
+        grouped: dict[tuple[str, int, str], list[tuple[int, RowSpec]]] = {}
+        order: list[tuple[str, int, str]] = []
+        for buffer, n, line, spec in rows:
+            key = (buffer, n, spec.host.name)
+            if key not in grouped:
+                grouped[key] = []
+                order.append(key)
+            grouped[key].append((line, spec))
+        commands = []
+        for key in order:
+            buffer, n, _ = key
+            entries = grouped[key]
+            lines = [line for line, _ in entries]
+            # list elements fill LS contiguously from the first row's slot
+            base_line = min(lines)
+            specs = sorted(entries, key=lambda e: e[0])
+            commands.append(
+                DMAListCommand(
+                    kind,
+                    specs[0][1].host,
+                    [(spec.byte_offset, spec.nbytes) for _, spec in specs],
+                    bufs[buffer],
+                    ls_offset=self._row_offset(buffer, n, base_line),
+                    tag=tag,
+                )
+            )
+        return commands
+
+    def rows_for_chunk(
+        self, host: HostState, lines: list[StagedLine], direction: DMAKind
+    ) -> list[tuple[str, int, int, RowSpec]]:
+        """The (buffer, moment, line, host-row) tuples of a chunk's
+        working set.  GET fetches everything; PUT writes back the
+        read-modify-write subset (flux, faces, I-outflow)."""
+        nm = self.deck.nm
+        rows: list[tuple[str, int, int, RowSpec]] = []
+        for l, ln in enumerate(lines):
+            if direction is DMAKind.GET:
+                for n in range(nm):
+                    rows.append(("msrc", n, l, host.msrc_row(n, ln.j_g, ln.k_g)))
+                rows.append(("sigt", 0, l, host.sigt_row(ln.j_g, ln.k_g)))
+            for n in range(nm):
+                rows.append(("flux", n, l, host.flux_row(n, ln.j_g, ln.k_g)))
+            rows.append(("phij", 0, l, host.phij_row(ln.mm, ln.kk)))
+            rows.append(("phik", 0, l, host.phik_row(ln.mm, ln.j_o)))
+            if direction is DMAKind.GET:
+                rows.append(("phii", 0, l, host.phii_cell(ln.mm, ln.kk, ln.j_o)))
+            else:
+                rows.append(("phii", 0, l, host.phii_out_cell(ln.mm, ln.kk, ln.j_o)))
+        return rows
+
+    def issue(self, commands: list, tag: int) -> None:
+        """Enqueue a command program, draining when the MFC queue fills
+        (the back-pressure real SPU code experiences with individual
+        commands)."""
+        from ..errors import MFCError
+
+        mfc = self.spe.mfc
+        for cmd in commands:
+            try:
+                mfc.enqueue(cmd)
+            except MFCError:
+                mfc.drain_tag(tag)
+                mfc.enqueue(cmd)
+
+    def stage_in(self, host: HostState, lines: list[StagedLine], s: int = 0) -> None:
+        """Issue and complete the GET program for a chunk."""
+        if len(lines) > self.L:
+            raise ConfigurationError(
+                f"chunk of {len(lines)} lines exceeds buffer capacity {self.L}"
+            )
+        tag = GET_TAGS[s]
+        rows = self.rows_for_chunk(host, lines, DMAKind.GET)
+        self.issue(self._commands(DMAKind.GET, rows, s, tag), tag)
+        self.spe.mfc.drain_tag(tag)
+
+    def stage_out(self, host: HostState, lines: list[StagedLine], s: int = 0) -> None:
+        """Issue and complete the PUT program for a chunk."""
+        rows = self.rows_for_chunk(host, lines, DMAKind.PUT)
+        self.issue(self._commands(DMAKind.PUT, rows, s, PUT_TAG), PUT_TAG)
+        self.spe.mfc.drain_tag(PUT_TAG)

@@ -1,0 +1,30 @@
+"""Simulated message-passing substrate and the KBA wavefront solver.
+
+Reproduces the process-level parallelism layer of the paper (Sec. 4,
+level 1): an in-process MPI-like runtime (point-to-point with matching
+and exact deadlock detection, barrier, broadcast, reduce, gather) and
+Figure 1's two-dimensional wavefront decomposition of Sweep3D.
+"""
+
+from .comm import Fabric, Request, SimComm
+from .datatypes import ANY_SOURCE, ANY_TAG, Envelope, Status
+from .runtime import run_ranks
+from .topology import Cart2D, dims_create, split_extent
+from .wavefront import KBASweep3D, RankBoundary, TilePlan
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Cart2D",
+    "Envelope",
+    "Fabric",
+    "KBASweep3D",
+    "RankBoundary",
+    "Request",
+    "SimComm",
+    "Status",
+    "TilePlan",
+    "dims_create",
+    "run_ranks",
+    "split_extent",
+]

@@ -1,0 +1,85 @@
+"""Message envelopes and matching rules for the simulated MPI runtime.
+
+The paper's process-level parallelism "maintains the wavefront parallelism
+already implemented in MPI" (Sec. 4, level 1).  We reproduce the MPI
+point-to-point semantics Sweep3D actually uses: typed array payloads,
+(source, tag) matching with wildcards, and non-overtaking order between a
+given (source, destination) pair.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..errors import CommunicatorError
+
+#: Wildcard source: match a message from any rank.
+ANY_SOURCE: int = -1
+
+#: Wildcard tag: match a message with any tag.
+ANY_TAG: int = -1
+
+_seq = itertools.count()
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One in-flight message."""
+
+    source: int
+    dest: int
+    tag: int
+    payload: Any = field(repr=False)
+    #: global arrival sequence number; preserves non-overtaking order.
+    seq: int = field(default_factory=lambda: next(_seq))
+
+    def matches(self, source: int, tag: int) -> bool:
+        """True if this envelope satisfies a receive for (source, tag)."""
+        src_ok = source == ANY_SOURCE or source == self.source
+        tag_ok = tag == ANY_TAG or tag == self.tag
+        return src_ok and tag_ok
+
+
+@dataclass(frozen=True)
+class Status:
+    """Receive status: who actually sent, with which tag."""
+
+    source: int
+    tag: int
+    count: int
+
+
+def freeze_payload(data: Any) -> Any:
+    """Snapshot a payload at send time (MPI send-buffer semantics).
+
+    NumPy arrays are copied so later mutation by the sender cannot change
+    the message; scalars and immutable objects pass through.
+    """
+    if isinstance(data, np.ndarray):
+        return data.copy()
+    if isinstance(data, (bool, int, float, complex, str, bytes, type(None), np.generic)):
+        return data
+    # containers of arrays used by collectives
+    if isinstance(data, tuple):
+        return tuple(freeze_payload(x) for x in data)
+    if isinstance(data, list):
+        return [freeze_payload(x) for x in data]
+    if isinstance(data, dict):
+        return {k: freeze_payload(v) for k, v in data.items()}
+    raise CommunicatorError(
+        f"unsupported payload type {type(data).__name__}; "
+        f"send NumPy arrays or plain scalars/containers"
+    )
+
+
+def payload_count(data: Any) -> int:
+    """Element count reported in :class:`Status`."""
+    if isinstance(data, np.ndarray):
+        return int(data.size)
+    if isinstance(data, (list, tuple)):
+        return len(data)
+    return 1

@@ -1,0 +1,61 @@
+"""Thread-backed rank runtime for the simulated MPI job.
+
+Each rank's program runs in a real thread against the shared
+:class:`~repro.mpi.comm.Fabric`.  The runner propagates the first rank
+exception to the caller (after tearing the fabric down so no rank hangs)
+and returns every rank's return value -- the ergonomics of
+``mpiexec -n SIZE`` collapsed into a function call, which is what makes
+the KBA wavefront testable in-process.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from ..errors import DeadlockError, MPIError
+from .comm import Fabric, SimComm
+
+
+def run_ranks(
+    size: int,
+    program: Callable[[SimComm], Any],
+    timeout: float | None = 120.0,
+) -> list[Any]:
+    """Run ``program(comm)`` on ``size`` ranks; return their results.
+
+    Raises the first rank failure.  ``DeadlockError`` raised inside ranks
+    (by exact detection in the fabric) surfaces here as a single error.
+    """
+    fabric = Fabric(size)
+    results: list[Any] = [None] * size
+    errors: list[tuple[int, BaseException]] = []
+    lock = threading.Lock()
+
+    def body(rank: int) -> None:
+        comm = SimComm(rank, fabric)
+        try:
+            results[rank] = program(comm)
+        except BaseException as exc:  # noqa: BLE001 - reraised below
+            with lock:
+                errors.append((rank, exc))
+        finally:
+            fabric.mark_done(rank)
+
+    threads = [
+        threading.Thread(target=body, args=(r,), name=f"rank-{r}", daemon=True)
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+        if t.is_alive():  # pragma: no cover - hard safety net
+            raise MPIError(f"rank thread {t.name} did not finish within {timeout}s")
+    if errors:
+        errors.sort(key=lambda e: e[0])
+        rank, exc = errors[0]
+        if isinstance(exc, DeadlockError):
+            raise exc
+        raise MPIError(f"rank {rank} failed: {exc!r}") from exc
+    return results

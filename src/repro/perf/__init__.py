@@ -1,0 +1,63 @@
+"""Performance models: work counting, the per-diagonal execution-time
+model, Sec. 6 bounds, processor comparisons and grind-time analysis."""
+
+from . import calibration
+from .counters import ChunkCosts, WorkCounts, chunk_costs, count_work, solve_dma_bytes, solve_flops
+from .eventsim import BlockSchedule, block_seconds, closed_form_block_seconds, simulate_block
+from .grind import GrindPoint, grind_curve, grind_time_ns, plateau
+from .model import TimingReport, bandwidth_bound, compute_bound, predict
+from .processors import (
+    ALL_PROCESSORS,
+    CONVENTIONAL,
+    OPTERON,
+    POWER5,
+    PPE_GCC,
+    PPE_XLC,
+    ProcessorModel,
+    cell_solve_seconds,
+    comparison_table,
+    measured_cell_config,
+    speedup_over,
+)
+from .report import Row, ascii_bars, format_series, format_table
+from .roofline import RooflinePoint, analyze as roofline_analyze, ascii_roofline
+
+__all__ = [
+    "ALL_PROCESSORS",
+    "BlockSchedule",
+    "CONVENTIONAL",
+    "ChunkCosts",
+    "block_seconds",
+    "closed_form_block_seconds",
+    "simulate_block",
+    "GrindPoint",
+    "OPTERON",
+    "POWER5",
+    "PPE_GCC",
+    "PPE_XLC",
+    "ProcessorModel",
+    "RooflinePoint",
+    "Row",
+    "TimingReport",
+    "ascii_roofline",
+    "roofline_analyze",
+    "WorkCounts",
+    "ascii_bars",
+    "bandwidth_bound",
+    "calibration",
+    "cell_solve_seconds",
+    "chunk_costs",
+    "comparison_table",
+    "compute_bound",
+    "count_work",
+    "format_series",
+    "format_table",
+    "grind_curve",
+    "grind_time_ns",
+    "measured_cell_config",
+    "plateau",
+    "predict",
+    "solve_dma_bytes",
+    "solve_flops",
+    "speedup_over",
+]

@@ -1,0 +1,66 @@
+"""Calibrated performance-model constants, each with provenance.
+
+The hard architectural parameters live in :mod:`repro.cell.constants`
+(clock, peaks, bandwidths, DMA rules -- all quoted in the paper).  This
+module holds the small set of *soft* constants the discrete-event model
+needs: values the paper implies but does not state, anchored to the
+measurements it does report.  Nothing else in the model is tunable.
+"""
+
+from __future__ import annotations
+
+from ..sweep.input import benchmark_deck
+
+#: PPE-only grind time (ns per cell visit) under GCC.  Provenance:
+#: "Sweep3D ran on the PPU alone with a 50x50x50 input set ... in 22.3
+#: seconds" (Sec. 5) over the benchmark deck's 72e6 cell visits.
+PPE_GCC_GRIND_NS: float = 22.3e9 / benchmark_deck().cell_visits
+
+#: Same, under IBM XLC: "the execution time of the code (still running
+#: only on the PPE) was 19.9 seconds" (Sec. 5).
+PPE_XLC_GRIND_NS: float = 19.9e9 / benchmark_deck().cell_visits
+
+#: PPE bookkeeping cycles per dispatched chunk, on top of the sync
+#: protocol's MMIO/poke cost: loop control, work-descriptor assembly,
+#: completion scanning.  Provenance: Sec. 6 identifies the centralized
+#: distribution as a bottleneck worth ~0.3 s at ~0.4 M chunks, i.e.
+#: a few thousand PPE cycles per chunk.
+PPE_DISPATCH_OVERHEAD_CYCLES: float = 1500.0
+
+#: Exposed fraction of min(compute, DMA) under double buffering.  The
+#: per-diagonal barrier flushes the pipeline and most SPEs hold a single
+#: chunk per diagonal at 50^3 (mean ~25 lines over 32 slots), so
+#: overlap is far from perfect: the paper's double-buffering rung gained
+#: only 3.03 -> 2.88 s.  0 would be perfect overlap, 1 none.
+DOUBLE_BUFFER_EXPOSED_FRACTION: float = 0.6
+
+#: Fraction of the raw memory-bank imbalance ratio exposed as slowdown
+#: (the controller reorders across open banks).  Anchored to the size of
+#: the combined DMA-list + bank-offset rung (1.68 -> 1.48 s).
+BANK_CONFLICT_WEIGHT: float = 0.12
+
+#: Per-diagonal barrier/collect cost on the critical path, cycles.
+DIAGONAL_BARRIER_CYCLES: float = 800.0
+
+#: Extra cycles per cell visit while the inner loop still contains goto
+#: statements (pre-"eliminate goto" stages): a couple of data-dependent
+#: branches per cell at the SPU's ~18-cycle mispredict/hint-miss cost.
+GOTO_BRANCH_PENALTY_CYCLES: float = 45.0
+
+#: Command-overhead scale factor for the Figure-10 "larger DMA
+#: granularity" projection (512-byte list elements coalesced ~4x).
+LARGE_GRANULARITY_OVERHEAD_SCALE: float = 0.25
+
+#: Residual per-diagonal cost of the distributed scheduler: one atomic
+#: fetch-and-add round per claimed chunk, mostly off the critical path.
+DISTRIBUTED_CLAIM_CYCLES: float = 100.0
+
+#: Power5 and Opteron grind times (ns per cell visit), from Figure 11's
+#: ratios against the paper's 1.33 s Cell time: "approximately 4.5 and
+#: 5.5 times faster than the Power5 and AMD Opteron".
+POWER5_GRIND_NS: float = 4.5 * 1.33e9 / benchmark_deck().cell_visits
+OPTERON_GRIND_NS: float = 5.5 * 1.33e9 / benchmark_deck().cell_visits
+
+#: "Cell BE is about 20 times faster" than the remaining conventional
+#: processors of Figure 11.
+CONVENTIONAL_GRIND_NS: float = 20.0 * 1.33e9 / benchmark_deck().cell_visits

@@ -1,0 +1,167 @@
+"""Event-driven cross-check of the closed-form timing model.
+
+:mod:`repro.perf.model` prices a block with per-diagonal closed forms
+(makespans, aggregate DMA, serialized PPE cost).  This module simulates
+the *same* block at chunk granularity with explicit events:
+
+* the PPE dispatch loop is a serial server (per-chunk protocol +
+  bookkeeping cost);
+* the memory interface is a shared FIFO server processing each chunk's
+  GET and PUT transfers at chip bandwidth -- concurrent SPE transfers
+  queue, which is how aggregate-bandwidth limiting really happens;
+* each SPE is a serial server running its chunks' compute phases;
+  double buffering lets an SPE's next GET queue while it computes;
+* a diagonal closes when every chunk's PUT has drained and (for the
+  centralized scheduler) the PPE has collected every completion.
+
+The tests in ``tests/perf/test_eventsim.py`` require the closed-form
+block times to track this finer model across configurations -- the
+standard way to keep a fast analytic model honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cell import constants
+from ..core.levels import MachineConfig, Precision, SchedulerKind, SyncProtocol
+from ..core.worklist import per_spe_line_counts
+from ..errors import ConfigurationError
+from ..sweep.input import InputDeck
+from ..sweep.pipelining import diagonal_sizes
+from . import calibration
+from .counters import chunk_costs
+from .model import _kernel_cycles_per_visit
+
+
+@dataclass(frozen=True)
+class BlockSchedule:
+    """Outcome of simulating one (octant, angle-block, K-block) block."""
+
+    makespan_cycles: float
+    dma_busy_cycles: float
+    ppe_busy_cycles: float
+    chunks: int
+
+
+def simulate_block(deck: InputDeck, config: MachineConfig) -> BlockSchedule:
+    """Chunk-granularity event simulation of one pipeline block."""
+    if not config.uses_spes:
+        raise ConfigurationError("event simulation needs SPEs")
+    g = deck.grid
+    S = config.num_spes
+    costs = chunk_costs(deck, config)
+    cyc_visit = _kernel_cycles_per_visit(deck, config)
+    overhead_scale = (
+        calibration.LARGE_GRANULARITY_OVERHEAD_SCALE
+        if config.large_dma_granularity
+        else 1.0
+    )
+    byte_scale = 0.5 if config.precision is Precision.SINGLE else 1.0
+    if config.sync is SyncProtocol.LS_POKE:
+        dispatch_cost, collect_cost = 120.0, 40.0
+    else:
+        dispatch_cost, collect_cost = 1000.0, 1000.0
+    dispatch_cost += calibration.PPE_DISPATCH_OVERHEAD_CYCLES
+    distributed = config.scheduler is SchedulerKind.DISTRIBUTED
+
+    def get_cycles(lines: int) -> float:
+        return costs.get[lines].total_cycles_scaled(overhead_scale) * byte_scale
+
+    def put_cycles(lines: int) -> float:
+        return costs.put[lines].total_cycles_scaled(overhead_scale) * byte_scale
+
+    ppe_free = 0.0
+    channel_free = 0.0       # the shared memory interface
+    spe_put_done = [0.0] * S   # per-SPE last put completion (buffer reuse)
+    spe_comp_done = [0.0] * S
+    dma_busy = 0.0
+    ppe_busy = 0.0
+    diagonal_open = 0.0      # when this diagonal's inputs are available
+    total_chunks = 0
+
+    for L in diagonal_sizes(g.ny, deck.mk, deck.mmi):
+        chunk_list: list[tuple[int, int]] = []  # (spe, lines)
+        full, tail = divmod(L, config.chunk_lines)
+        for c in range(full):
+            chunk_list.append((c % S, config.chunk_lines))
+        if tail:
+            chunk_list.append((full % S, tail))
+        total_chunks += len(chunk_list)
+
+        # -- phase A: authorization (dispatch) and GETs -------------------
+        # The MFC channel serves whichever transfer is ready next (it is
+        # not a global program-order FIFO), so gets are scheduled greedily
+        # in readiness order.
+        jobs = []  # (ready, duration, chunk index)
+        wave_of = {}
+        for idx, (spe, lines) in enumerate(chunk_list):
+            wave = idx // S
+            wave_of[idx] = wave
+            if distributed:
+                auth = diagonal_open + calibration.DISTRIBUTED_CLAIM_CYCLES
+            else:
+                ppe_start = max(ppe_free, diagonal_open)
+                ppe_free = ppe_start + dispatch_cost
+                ppe_busy += dispatch_cost
+                auth = ppe_free
+            # buffer gating: with double buffering an SPE may prefetch
+            # one chunk ahead (its previous put may still be draining);
+            # without, its buffers are busy until the previous put drains.
+            gate = 0.0 if config.double_buffer else spe_put_done[spe]
+            jobs.append((max(auth, gate), get_cycles(lines), idx))
+        get_done = {}
+        for ready, dur, idx in sorted(jobs):
+            start = max(ready, channel_free)
+            channel_free = start + dur
+            dma_busy += dur
+            get_done[idx] = channel_free
+
+        # -- phase B: compute, serial per SPE ------------------------------
+        comp_done = {}
+        for idx, (spe, lines) in enumerate(chunk_list):
+            start = max(get_done[idx], spe_comp_done[spe])
+            spe_comp_done[spe] = start + lines * g.nx * cyc_visit
+            comp_done[idx] = spe_comp_done[spe]
+
+        # -- phase C: PUTs, greedy by readiness -----------------------------
+        put_done_times = []
+        for idx in sorted(comp_done, key=comp_done.get):
+            spe, lines = chunk_list[idx]
+            dur = put_cycles(lines)
+            start = max(comp_done[idx], channel_free)
+            channel_free = start + dur
+            dma_busy += dur
+            spe_put_done[spe] = channel_free
+            put_done_times.append(channel_free)
+
+        barrier = max(put_done_times, default=diagonal_open)
+        if not distributed:
+            # completion collection, serialized on the PPE
+            collect_free = diagonal_open
+            for put_done in sorted(put_done_times):
+                collect_free = max(collect_free, put_done) + collect_cost
+                ppe_busy += collect_cost
+            barrier = max(barrier, collect_free)
+            barrier += calibration.DIAGONAL_BARRIER_CYCLES
+        diagonal_open = barrier
+    return BlockSchedule(
+        makespan_cycles=diagonal_open,
+        dma_busy_cycles=dma_busy,
+        ppe_busy_cycles=ppe_busy,
+        chunks=total_chunks,
+    )
+
+
+def block_seconds(deck: InputDeck, config: MachineConfig) -> float:
+    """Event-simulated seconds for one block."""
+    return simulate_block(deck, config).makespan_cycles / constants.CLOCK_HZ
+
+
+def closed_form_block_seconds(deck: InputDeck, config: MachineConfig) -> float:
+    """The closed-form model's per-block time, for comparison."""
+    from .counters import count_work
+    from .model import predict
+
+    report = predict(deck, config)
+    return report.seconds / count_work(deck, config.chunk_lines).blocks

@@ -1,0 +1,78 @@
+"""Grind time versus problem size (Figure 9).
+
+"Figure 9 shows the grind time, the normalized processing time per
+cell, as a function of the input size...  For a cube size larger than
+25 cells, the grind time is almost constant...  Our load balancing
+algorithm farms chunks of four iterations to each SPE, so optimal load
+balancing can be achieved when the total number of iterations is an
+integer multiple of 4 x 8, as witnessed by the minor dents in Figure 9."
+
+The grind time here is nanoseconds per cell visit (time divided by
+cells x ordinates x iterations), computed by the same execution-time
+model as Figure 5 across cube edges.  The dents emerge mechanically
+from the cyclic chunk assignment: a jkm diagonal whose line count is a
+multiple of 32 loads all eight SPEs evenly; anything else leaves SPEs
+idle behind the busiest one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.levels import MachineConfig
+from ..core.worklist import imbalance
+from ..sweep.input import cube_deck
+from ..sweep.pipelining import diagonal_sizes
+from .model import predict
+
+
+@dataclass(frozen=True)
+class GrindPoint:
+    """One cube size's grind measurement."""
+
+    cube: int
+    seconds: float
+    grind_ns: float
+    #: average load imbalance of the cube's diagonals (>= 1)
+    mean_imbalance: float
+
+
+def grind_time_ns(cube: int, config: MachineConfig, fixup: bool = False) -> GrindPoint:
+    """Grind time for one cubic problem size."""
+    deck = cube_deck(cube, fixup=fixup)
+    report = predict(deck, config)
+    sizes = diagonal_sizes(deck.grid.ny, deck.mk, deck.mmi)
+    # line-weighted imbalance: big diagonals dominate the runtime.
+    total = sum(sizes)
+    mean_imb = (
+        sum(s * imbalance(s, config.chunk_lines, config.num_spes) for s in sizes)
+        / total
+    )
+    return GrindPoint(
+        cube=cube,
+        seconds=report.seconds,
+        grind_ns=report.seconds / deck.cell_visits * 1e9,
+        mean_imbalance=mean_imb,
+    )
+
+
+def grind_curve(
+    cubes: list[int] | None = None,
+    config: MachineConfig | None = None,
+    fixup: bool = False,
+) -> list[GrindPoint]:
+    """The Figure 9 series over a range of cube sizes."""
+    from .processors import measured_cell_config
+
+    config = config or measured_cell_config()
+    if cubes is None:
+        cubes = list(range(5, 61))
+    return [grind_time_ns(n, config, fixup=fixup) for n in cubes]
+
+
+def plateau(points: list[GrindPoint], threshold_cube: int = 25) -> float:
+    """Mean grind time over the constant region (cube > threshold)."""
+    tail = [p.grind_ns for p in points if p.cube > threshold_cube]
+    if not tail:
+        raise ValueError(f"no points above cube size {threshold_cube}")
+    return sum(tail) / len(tail)

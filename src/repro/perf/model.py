@@ -1,0 +1,223 @@
+"""The calibrated execution-time model (drives Figures 5, 9, 10).
+
+Time is assembled per jkm diagonal -- the granularity at which the
+implementation synchronizes -- and multiplied out over the identical
+(octant, angle-block, K-block) sweeps, so a full 50-cubed prediction
+costs a few milliseconds.  Per diagonal ``d`` with ``L_d`` I-lines:
+
+* ``compute_d``: the busiest SPE's lines (cyclic chunks of four -- the
+  ceil effects here are Figure 9's load-imbalance dents) times the
+  pipeline-simulated kernel cycles per cell visit
+  (:func:`repro.core.spe_kernel.cycles_per_cell`);
+* ``dma_d``: the chunk command programs priced through the memory model
+  (alignment, per-command overheads, DMA-list amortization, bank
+  spread) at the chip's shared 25.6 GB/s;
+* ``ppe_d``: the centralized scheduler's serialized per-chunk dispatch
+  (sync-protocol MMIO/poke plus PPE bookkeeping);
+* double buffering overlaps part of min(compute, DMA); the per-diagonal
+  barrier keeps the overlap imperfect
+  (:data:`~repro.perf.calibration.DOUBLE_BUFFER_EXPOSED_FRACTION`).
+
+The distributed-scheduler variant (Figure 10) removes the PPE serial
+term and the per-diagonal barrier: a whole block pipelines, bounded by
+``max(sum compute, sum DMA)``.
+
+Sec. 6's two lower bounds fall out of the same inputs:
+:func:`bandwidth_bound` (bytes / 25.6 GB/s) and :func:`compute_bound`
+(kernel cycles / 8 SPEs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..cell import constants
+from ..core.levels import MachineConfig, Precision, SchedulerKind, SyncProtocol
+from ..core.spe_kernel import cycles_per_cell
+from ..core.worklist import makespan_lines
+from ..errors import ConfigurationError
+from ..sweep.input import InputDeck
+from ..sweep.pipelining import diagonal_sizes
+from . import calibration
+from .counters import chunk_costs, count_work, solve_dma_bytes, solve_flops
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Predicted execution time with its critical-path breakdown.
+
+    ``seconds`` is the critical-path total; the breakdown buckets are
+    *attributions* (exposed compute, exposed DMA, PPE scheduling, barrier
+    residue) and sum to the total.
+    """
+
+    seconds: float
+    compute_seconds: float
+    dma_seconds: float
+    scheduling_seconds: float
+    barrier_seconds: float
+    #: un-overlapped totals, for bound analysis
+    raw_compute_seconds: float
+    raw_dma_seconds: float
+    dma_bytes: float
+    flops: float
+
+    @property
+    def achieved_gflops(self) -> float:
+        return self.flops / self.seconds / 1e9
+
+    @property
+    def dp_peak_fraction(self) -> float:
+        return self.flops / self.seconds / constants.DP_PEAK_FLOPS
+
+
+def _kernel_cycles_per_visit(deck: InputDeck, config: MachineConfig) -> float:
+    cyc = cycles_per_cell(
+        nm=deck.nm,
+        fixup=deck.fixup,
+        double=config.precision is Precision.DOUBLE,
+        simd=config.simd,
+        pipelined_dp=config.pipelined_dp,
+    )
+    if not config.structured_loops:
+        cyc += calibration.GOTO_BRANCH_PENALTY_CYCLES
+    return cyc
+
+
+@lru_cache(maxsize=256)
+def predict(deck: InputDeck, config: MachineConfig) -> TimingReport:
+    """Predicted wall-clock for one full solve of ``deck`` under
+    ``config`` (SPE configurations; PPE-only baselines live in
+    :mod:`repro.perf.processors`)."""
+    if not config.uses_spes:
+        raise ConfigurationError(
+            "predict() models SPE configurations; use "
+            "repro.perf.processors for PPE-only baselines"
+        )
+    g = deck.grid
+    S = config.num_spes
+    work = count_work(deck, config.chunk_lines)
+    costs = chunk_costs(deck, config)
+    cyc_visit = _kernel_cycles_per_visit(deck, config)
+    sizes = diagonal_sizes(g.ny, deck.mk, deck.mmi)
+
+    if config.sync is SyncProtocol.LS_POKE:
+        proto = 120.0 + 40.0   # poke dispatch + cached completion poll
+    else:
+        proto = 1000.0 + 1000.0  # two MMIO mailbox accesses
+    overhead_scale = (
+        calibration.LARGE_GRANULARITY_OVERHEAD_SCALE
+        if config.large_dma_granularity
+        else 1.0
+    )
+    #: single precision halves every streamed byte (the functional
+    #: simulator stays in double; the paper's Figure 10 SP projection is
+    #: a bandwidth statement: "a factor of 2 improvement ... again
+    #: determined by the main memory bandwidth").
+    byte_scale = 0.5 if config.precision is Precision.SINGLE else 1.0
+
+    compute_exposed = 0.0
+    dma_exposed = 0.0
+    ppe_cycles = 0.0
+    barrier_cycles = 0.0
+    raw_compute = 0.0
+    raw_dma = 0.0
+
+    block_compute = 0.0
+    block_dma = 0.0
+    block_claims = 0.0
+
+    for L in sizes:
+        full, tail = divmod(L, config.chunk_lines)
+        nchunks = full + (1 if tail else 0)
+        # -- DMA: all chunk programs of the diagonal at chip bandwidth
+        dma_d = full * (
+            costs.get[config.chunk_lines].total_cycles_scaled(overhead_scale)
+            + costs.put[config.chunk_lines].total_cycles_scaled(overhead_scale)
+        )
+        if tail:
+            dma_d += costs.get[tail].total_cycles_scaled(overhead_scale)
+            dma_d += costs.put[tail].total_cycles_scaled(overhead_scale)
+        dma_d *= byte_scale
+        # -- compute: the busiest SPE's share
+        comp_d = makespan_lines(L, config.chunk_lines, S) * work.it * cyc_visit
+        raw_compute += comp_d
+        raw_dma += dma_d
+
+        if config.scheduler is SchedulerKind.DISTRIBUTED:
+            block_compute += (L * work.it * cyc_visit) / S
+            block_dma += dma_d
+            block_claims += nchunks * calibration.DISTRIBUTED_CLAIM_CYCLES / S
+            continue
+
+        # The centralized PPE loop dispatches and collects synchronously:
+        # its per-chunk cost is serial with the SPE work.  This is the
+        # bottleneck Sec. 6 calls out and Figure 10's distributed
+        # scheduler removes.
+        ppe_d = nchunks * (proto + calibration.PPE_DISPATCH_OVERHEAD_CYCLES)
+        if config.double_buffer:
+            exposed = min(comp_d, dma_d) * calibration.DOUBLE_BUFFER_EXPOSED_FRACTION
+            if comp_d >= dma_d:
+                compute_exposed += comp_d
+                dma_exposed += exposed
+            else:
+                dma_exposed += dma_d
+                compute_exposed += exposed
+        else:
+            compute_exposed += comp_d
+            dma_exposed += dma_d
+        ppe_cycles += ppe_d
+        barrier_cycles += calibration.DIAGONAL_BARRIER_CYCLES
+
+    if config.scheduler is SchedulerKind.DISTRIBUTED:
+        # the whole block pipelines: compute and DMA fully overlap.
+        work_block = max(block_compute, block_dma) + block_claims
+        compute_exposed = block_compute if block_compute >= block_dma else 0.0
+        dma_exposed = block_dma if block_dma > block_compute else 0.0
+        ppe_cycles = block_claims
+        barrier_cycles = calibration.DIAGONAL_BARRIER_CYCLES  # block entry
+        per_block = work_block + barrier_cycles
+    else:
+        per_block = (
+            compute_exposed + dma_exposed + ppe_cycles + barrier_cycles
+        )
+
+    blocks = work.blocks
+    to_seconds = blocks / constants.CLOCK_HZ
+    total = per_block * to_seconds
+    return TimingReport(
+        seconds=total,
+        compute_seconds=compute_exposed * to_seconds,
+        dma_seconds=dma_exposed * to_seconds,
+        scheduling_seconds=ppe_cycles * to_seconds,
+        barrier_seconds=barrier_cycles * to_seconds,
+        raw_compute_seconds=raw_compute * to_seconds,
+        raw_dma_seconds=raw_dma * to_seconds,
+        dma_bytes=solve_dma_bytes(deck, config) * byte_scale,
+        flops=solve_flops(deck),
+    )
+
+
+# -- Sec. 6 lower bounds ------------------------------------------------------
+
+
+def bandwidth_bound(deck: InputDeck, config: MachineConfig) -> float:
+    """Lower bound from main-memory traffic: bytes / 25.6 GB/s.
+
+    Sec. 6: "the SPEs transfer 17.6 Gbytes of data.  Considering that
+    the peak memory bandwidth is 25.6 Gbytes/second, this sets a lower
+    bound of 0.7 seconds."
+    """
+    scale = 0.5 if config.precision is Precision.SINGLE else 1.0
+    return scale * solve_dma_bytes(deck, config) / constants.MIC_BANDWIDTH
+
+
+def compute_bound(deck: InputDeck, config: MachineConfig) -> float:
+    """Lower bound from SPU computation: kernel cycles across the SPEs.
+
+    Sec. 6: "By profiling the amount of computation performed by the
+    SPUs we obtain a similar lower bound, 0.68 seconds."
+    """
+    cyc = _kernel_cycles_per_visit(deck, config)
+    return deck.cell_visits * cyc / config.num_spes / constants.CLOCK_HZ

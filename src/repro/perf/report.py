@@ -1,0 +1,63 @@
+"""Shared table/series formatting for benches and examples.
+
+Every experiment harness prints through these helpers so the regenerated
+rows carry the paper's reference values next to the model's, making the
+paper-vs-measured comparison of EXPERIMENTS.md reproducible with one
+command per figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Row:
+    """One comparison row: a label, our value, the paper's value."""
+
+    label: str
+    value: float
+    paper: float | None = None
+    unit: str = "s"
+
+    @property
+    def ratio(self) -> float | None:
+        if self.paper in (None, 0):
+            return None
+        return self.value / self.paper
+
+
+def format_table(title: str, rows: list[Row], precision: int = 2) -> str:
+    """Fixed-width comparison table."""
+    width = max((len(r.label) for r in rows), default=10)
+    out = [title, "=" * len(title)]
+    header = f"{'':{width}s}  {'this repro':>12s}  {'paper':>10s}  {'ratio':>7s}"
+    out.append(header)
+    for r in rows:
+        ours = f"{r.value:.{precision}f} {r.unit}"
+        paper = f"{r.paper:.{precision}f} {r.unit}" if r.paper is not None else "-"
+        ratio = f"{r.ratio:.2f}" if r.ratio is not None else "-"
+        out.append(f"{r.label:{width}s}  {ours:>12s}  {paper:>10s}  {ratio:>7s}")
+    return "\n".join(out)
+
+
+def format_series(
+    title: str, xs: list[float], ys: list[float], xlabel: str, ylabel: str,
+    precision: int = 3,
+) -> str:
+    """A two-column series (for figures that are curves, e.g. Figure 9)."""
+    out = [title, "=" * len(title), f"{xlabel:>10s}  {ylabel:>14s}"]
+    for x, y in zip(xs, ys):
+        out.append(f"{x:>10g}  {y:>14.{precision}f}")
+    return "\n".join(out)
+
+
+def ascii_bars(labels: list[str], values: list[float], width: int = 48) -> str:
+    """Quick horizontal bar rendering for terminal output."""
+    peak = max(values) if values else 1.0
+    rows = []
+    label_w = max((len(l) for l in labels), default=4)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / peak)))
+        rows.append(f"{label:{label_w}s} | {bar} {value:.2f}")
+    return "\n".join(rows)

@@ -1,0 +1,110 @@
+"""Roofline analysis of the Sweep3D kernel on the Cell BE.
+
+Sec. 6's twin lower bounds (17.6 GB / 25.6 GB/s vs SPU compute) are the
+two legs of a roofline: performance is capped by
+``min(peak_flops, intensity * bandwidth)``.  This module computes where
+each kernel configuration sits -- its arithmetic intensity, the machine
+ridge point, which roof it hits and the headroom to it -- and quantifies
+the paper's closing observation that "the memory performance and the
+data communication patterns play a central role in Sweep3D, being
+currently the major bottleneck ... Most likely, other scientific
+applications will behave similarly."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cell import constants
+from ..core.levels import MachineConfig, Precision
+from ..sweep.input import InputDeck
+from .counters import solve_dma_bytes, solve_flops
+from .model import predict
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One configuration's position on the machine roofline."""
+
+    label: str
+    intensity: float          # flops per DMA byte
+    achieved_flops: float     # flop/s from the timing model
+    peak_flops: float         # the compute roof for this precision
+    bandwidth: float          # bytes/s
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Intensity where the memory and compute roofs meet."""
+        return self.peak_flops / self.bandwidth
+
+    @property
+    def roof_flops(self) -> float:
+        """The roofline cap at this intensity."""
+        return min(self.peak_flops, self.intensity * self.bandwidth)
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.intensity < self.ridge_intensity
+
+    @property
+    def roof_fraction(self) -> float:
+        """Achieved performance over the roofline cap (< 1: overheads
+        beyond the two bounds -- scheduling, synchronization, imbalance)."""
+        return self.achieved_flops / self.roof_flops
+
+
+def analyze(deck: InputDeck, config: MachineConfig, label: str | None = None) -> RooflinePoint:
+    """Place one (deck, config) on the Cell BE roofline."""
+    flops = solve_flops(deck)
+    byte_scale = 0.5 if config.precision is Precision.SINGLE else 1.0
+    bytes_ = solve_dma_bytes(deck, config) * byte_scale
+    report = predict(deck, config)
+    peak = (
+        constants.DP_PEAK_FLOPS
+        if config.precision is Precision.DOUBLE
+        else constants.SP_PEAK_FLOPS
+    ) * config.num_spes / constants.NUM_SPES
+    return RooflinePoint(
+        label=label or ("DP" if config.precision is Precision.DOUBLE else "SP"),
+        intensity=flops / bytes_,
+        achieved_flops=flops / report.seconds,
+        peak_flops=peak,
+        bandwidth=constants.MIC_BANDWIDTH,
+    )
+
+
+def ascii_roofline(points: list[RooflinePoint], width: int = 60) -> str:
+    """A log-log ASCII roofline with the points marked.
+
+    X axis: arithmetic intensity (flop/byte); Y axis: Gflop/s."""
+    import math
+
+    if not points:
+        return "(no points)"
+    xs = [p.intensity for p in points] + [p.ridge_intensity for p in points]
+    xmin = min(xs) / 4
+    xmax = max(xs) * 4
+    ref = points[0]
+
+    def roof(x: float) -> float:
+        return min(ref.peak_flops, x * ref.bandwidth)
+
+    rows = []
+    for i in range(width):
+        x = math.exp(
+            math.log(xmin) + (math.log(xmax) - math.log(xmin)) * i / (width - 1)
+        )
+        line = f"{x:8.3f} | {'-' * int(30 * roof(x) / ref.peak_flops)}"
+        for p in points:
+            if abs(math.log(x / p.intensity)) < math.log(xmax / xmin) / width:
+                frac = p.achieved_flops / ref.peak_flops
+                line += f"  <{p.label}: {p.achieved_flops / 1e9:.1f} Gf/s"
+                line = line.replace("|", "|" + " " * 0, 1)
+                del frac
+        rows.append(line)
+    rows.append(
+        f"ridge at {ref.ridge_intensity:.2f} flop/byte; "
+        f"peak {ref.peak_flops / 1e9:.1f} Gflop/s; "
+        f"bandwidth {ref.bandwidth / 1e9:.1f} GB/s"
+    )
+    return "\n".join(rows)

@@ -1,0 +1,263 @@
+"""Level-symmetric (LQn) angular quadrature sets for discrete ordinates.
+
+Sweep3D models particle movement "in terms of six angles (three angles in
+the forward direction and three angles in the backward direction) for each
+octant" (Sec. 3) -- that is the S6 level-symmetric set with 6 ordinates
+per octant.  This module implements the standard LQn construction
+(Lewis & Miller, *Computational Methods of Neutron Transport*, Table 4-1):
+
+* choose the first level cosine ``mu_1`` (tabulated per order N);
+* the remaining level cosines follow from the level-symmetry relation
+  ``mu_i^2 = mu_1^2 + (i-1) * 2(1 - 3 mu_1^2) / (N - 2)``;
+* ordinates in one octant are the triplets ``(mu_a, mu_b, mu_c)`` of level
+  values whose indices satisfy ``a + b + c = N/2 + 2``;
+* weights are shared within a symmetry class of the index triplet and
+  tabulated per order.
+
+Weights are normalised so the *full sphere* sums to one: the scalar flux
+is then simply ``phi = sum_m w_m psi_m`` and an infinite-medium balance
+reads ``phi = q / (sigma_t - sigma_s)``, which the tests exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+
+import numpy as np
+
+from ..errors import QuadratureError
+
+#: First level cosine per supported order (Lewis & Miller Table 4-1).
+_MU1: dict[int, float] = {
+    2: 0.5773503,
+    4: 0.3500212,
+    6: 0.2666355,
+    8: 0.2182179,
+    12: 0.1672126,
+    16: 0.1389568,
+}
+
+#: Published point-class weights (Lewis & Miller Table 4-1), keyed by the
+#: sorted index triplet of the class representative; values sum to 1 over
+#: one octant and are divided by 8 at construction.  Orders without a
+#: table entry (S12, S16) get their class weights *derived* by
+#: even-moment matching -- see :func:`derive_class_weights`, which
+#: reproduces these tabulated values to full table precision (tested).
+_CLASS_WEIGHTS: dict[int, dict[tuple[int, int, int], float]] = {
+    2: {(1, 1, 1): 1.0},
+    4: {(1, 1, 2): 1.0 / 3.0},
+    6: {(1, 1, 3): 0.1761263, (1, 2, 2): 0.1572071},
+    8: {(1, 1, 4): 0.1209877, (1, 2, 3): 0.0907407, (2, 2, 2): 0.0925926},
+}
+
+
+def weight_classes(n: int) -> list[tuple[int, int, int]]:
+    """The symmetry classes of level-index triplets for order ``n``:
+    sorted triplets ``(i, j, k)`` with ``i + j + k = n/2 + 2``."""
+    count = n // 2
+    target = count + 2
+    out = []
+    for i in range(1, count + 1):
+        for j in range(i, count + 1):
+            k = target - i - j
+            if j <= k <= count:
+                out.append((i, j, k))
+    return out
+
+
+def derive_class_weights(n: int) -> dict[tuple[int, int, int], float]:
+    """Class weights by even-moment matching.
+
+    A level-symmetric set must integrate the even monomials exactly:
+    ``sum_m w_m mu_m^{2i} = 1/(2i+1)`` (full-sphere weights summing to
+    one) for ``i = 0 .. n/2``.  Per octant and per symmetry class this
+    is a small linear system; the level structure makes the (one more
+    equations than unknowns) system consistent, which is the defining
+    property of the LQn construction.  Raises if the residual or a
+    negative weight betrays an inconsistent order/mu1 pair.
+    """
+    if n not in _MU1:
+        raise QuadratureError(
+            f"S{n} not supported; available LQn orders: {sorted(_MU1)}"
+        )
+    levels = Quadrature._levels(n)
+    classes = weight_classes(n)
+    count = n // 2
+    A = np.zeros((count + 1, len(classes)))
+    b = np.array([1.0 / (2 * i + 1) for i in range(count + 1)])
+    for ci, key in enumerate(classes):
+        for perm in set(permutations(key)):
+            A[:, ci] += levels[perm[0] - 1] ** (
+                2 * np.arange(count + 1)
+            )
+    weights, *_ = np.linalg.lstsq(A, b, rcond=None)
+    residual = float(np.abs(A @ weights - b).max())
+    if residual > 1e-7:
+        raise QuadratureError(
+            f"S{n}: moment matching inconsistent (residual {residual:.2e})"
+        )
+    if (weights < -1e-9).any():
+        raise QuadratureError(f"S{n}: derived weights go negative")
+    return dict(zip(classes, (float(w) for w in weights)))
+
+#: The eight octants as sign triplets, in Sweep3D's sweep order: octants
+#: are visited so that consecutive octants reverse one axis at a time
+#: (the "iq" loop of Figure 2).
+OCTANT_SIGNS: tuple[tuple[int, int, int], ...] = (
+    (+1, +1, +1),
+    (-1, +1, +1),
+    (-1, -1, +1),
+    (+1, -1, +1),
+    (+1, +1, -1),
+    (-1, +1, -1),
+    (-1, -1, -1),
+    (+1, -1, -1),
+)
+
+
+@dataclass(frozen=True)
+class Ordinate:
+    """One discrete direction with its weight (full-sphere normalised)."""
+
+    mu: float   # x-direction cosine (signed)
+    eta: float  # y-direction cosine (signed)
+    xi: float   # z-direction cosine (signed)
+    weight: float
+
+    @property
+    def octant(self) -> int:
+        """Index into :data:`OCTANT_SIGNS` for this ordinate's signs."""
+        signs = (
+            1 if self.mu > 0 else -1,
+            1 if self.eta > 0 else -1,
+            1 if self.xi > 0 else -1,
+        )
+        return OCTANT_SIGNS.index(signs)
+
+
+class Quadrature:
+    """A complete LQn quadrature set over all eight octants.
+
+    Attributes
+    ----------
+    n:
+        The Sn order (2, 4, 6 or 8).
+    per_octant:
+        Ordinates per octant: ``n (n + 2) / 8``.
+    mu, eta, xi, weight:
+        Flat arrays over all ``8 * per_octant`` ordinates, grouped by
+        octant in :data:`OCTANT_SIGNS` order (all of octant 0 first).
+    """
+
+    def __init__(self, n: int) -> None:
+        if n not in _MU1:
+            raise QuadratureError(
+                f"S{n} not supported; available LQn orders: {sorted(_MU1)}"
+            )
+        self.n = n
+        self.per_octant = n * (n + 2) // 8
+        levels = self._levels(n)
+        class_weights = _CLASS_WEIGHTS.get(n) or derive_class_weights(n)
+        octant_pts = self._octant_points(n, levels, class_weights)
+        if len(octant_pts) != self.per_octant:
+            raise QuadratureError(
+                f"S{n}: constructed {len(octant_pts)} points per octant, "
+                f"expected {self.per_octant}"
+            )
+        mus, etas, xis, ws = [], [], [], []
+        for sx, sy, sz in OCTANT_SIGNS:
+            for (m, e, x), w in octant_pts:
+                mus.append(sx * m)
+                etas.append(sy * e)
+                xis.append(sz * x)
+                # tabulated class weights sum to 1 per octant; a full
+                # sphere of 8 octants must sum to 1.
+                ws.append(w / 8.0)
+        self.mu = np.array(mus)
+        self.eta = np.array(etas)
+        self.xi = np.array(xis)
+        self.weight = np.array(ws)
+
+    @staticmethod
+    def _levels(n: int) -> np.ndarray:
+        mu1 = _MU1[n]
+        count = n // 2
+        if count == 1:
+            return np.array([mu1])
+        delta = 2.0 * (1.0 - 3.0 * mu1 * mu1) / (n - 2)
+        sq = mu1 * mu1 + delta * np.arange(count)
+        return np.sqrt(sq)
+
+    @staticmethod
+    def _octant_points(
+        n: int,
+        levels: np.ndarray,
+        classes: dict[tuple[int, int, int], float],
+    ) -> list[tuple[tuple[float, float, float], float]]:
+        """All (direction, weight) pairs for the positive octant."""
+        target = n // 2 + 2
+        points: list[tuple[tuple[float, float, float], float]] = []
+        count = n // 2
+        seen: set[tuple[int, int, int]] = set()
+        for key, weight in classes.items():
+            for perm in set(permutations(key)):
+                a, b, c = perm
+                if a + b + c != target:  # pragma: no cover - table sanity
+                    raise QuadratureError(
+                        f"S{n}: class {key} violates the level-sum rule"
+                    )
+                if max(perm) > count:  # pragma: no cover - table sanity
+                    raise QuadratureError(f"S{n}: class {key} exceeds level count")
+                if perm in seen:
+                    continue
+                seen.add(perm)
+                points.append(
+                    ((levels[a - 1], levels[b - 1], levels[c - 1]), weight)
+                )
+        return points
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def num_ordinates(self) -> int:
+        return self.mu.size
+
+    def octant_slice(self, octant: int) -> slice:
+        """Flat-array slice selecting one octant's ordinates."""
+        if not 0 <= octant < 8:
+            raise QuadratureError(f"octant must be 0..7, got {octant}")
+        return slice(octant * self.per_octant, (octant + 1) * self.per_octant)
+
+    def ordinates(self) -> list[Ordinate]:
+        """All ordinates as objects (convenience for examples/tests)."""
+        return [
+            Ordinate(float(m), float(e), float(x), float(w))
+            for m, e, x, w in zip(self.mu, self.eta, self.xi, self.weight)
+        ]
+
+    # -- invariants ---------------------------------------------------------
+
+    def moment_error(self) -> dict[str, float]:
+        """Deviation of the set's exactly-integrable moments.
+
+        A level-symmetric set integrates, over the unit sphere with
+        weights summing to one: ``<1> = 1``, ``<mu> = 0``, and
+        ``<mu^2> = 1/3`` (likewise for eta, xi).  Returns the absolute
+        errors; tests assert they are at tabulation precision.
+        """
+        return {
+            "zeroth": abs(float(self.weight.sum()) - 1.0),
+            "first_mu": abs(float((self.weight * self.mu).sum())),
+            "second_mu": abs(float((self.weight * self.mu**2).sum()) - 1.0 / 3.0),
+            "second_eta": abs(float((self.weight * self.eta**2).sum()) - 1.0 / 3.0),
+            "second_xi": abs(float((self.weight * self.xi**2).sum()) - 1.0 / 3.0),
+            "unit_norm": float(
+                np.max(np.abs(self.mu**2 + self.eta**2 + self.xi**2 - 1.0))
+            ),
+        }
+
+
+def sweep3d_quadrature() -> Quadrature:
+    """The paper's angular configuration: S6, six angles per octant."""
+    return Quadrature(6)

@@ -1,0 +1,77 @@
+"""Physics-based verification checks for solver results.
+
+These are the invariants the test suite leans on, chosen so that a broken
+sweep cannot pass by accident:
+
+* **positivity** -- with non-negative sources and fixups enabled, the
+  scalar flux is non-negative everywhere;
+* **particle balance** -- in a pure absorber (single sweep captures the
+  full solution), production = absorption + leakage exactly;
+* **symmetry** -- a cubic, uniform problem is invariant under the grid's
+  48 cube symmetries; the scalar flux must be too;
+* **infinite-medium limit** -- with reflective-like thick domains the
+  centre flux approaches ``q / sigma_a``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .flux import SolveResult
+from .input import InputDeck
+
+
+def positivity_violation(result: SolveResult) -> float:
+    """Most negative scalar-flux value (0.0 when none are negative)."""
+    worst = float(result.scalar_flux.min())
+    return min(worst, 0.0)
+
+
+def balance_residual(deck: InputDeck, result: SolveResult) -> float:
+    """Relative particle-balance residual of the final sweep.
+
+    Production = ``q * V_total`` (external source only; at convergence
+    the scattering source is internal and cancels).  For a pure absorber
+    (scattering_ratio == 0) this holds after a single sweep; otherwise it
+    holds to the convergence tolerance.
+
+    Returns ``|production - absorption - leakage| / production``.
+    """
+    g = deck.grid
+    vol = g.dx * g.dy * g.dz
+    production = float(deck.source_field().sum()) * vol
+    sigma_a_field = deck.sigma_t_field() - deck.sigma_s_field()
+    absorption = float((sigma_a_field * result.scalar_flux).sum()) * vol
+    if production == 0:
+        return abs(absorption + result.tally.leakage)
+    return abs(production - absorption - result.tally.leakage) / production
+
+
+def symmetry_error(result: SolveResult, transpose: bool = True) -> float:
+    """Max deviation of the scalar flux under cube symmetries.
+
+    Valid for cubic decks with uniform material and source: the flux
+    must be invariant under reversing any axis.  Axis *transpositions*
+    are additionally checked when ``transpose`` is set -- valid only for
+    isotropic scattering (``nm == 1`` or ``anisotropy == 0``), because
+    the axial Pn expansion of :mod:`repro.sweep.moments` deliberately
+    singles out the x-axis."""
+    phi = result.scalar_flux
+    errs = [
+        float(np.max(np.abs(phi - phi[::-1, :, :]))),
+        float(np.max(np.abs(phi - phi[:, ::-1, :]))),
+        float(np.max(np.abs(phi - phi[:, :, ::-1]))),
+    ]
+    if transpose and phi.shape[0] == phi.shape[1] == phi.shape[2]:
+        errs.append(float(np.max(np.abs(phi - phi.transpose(1, 0, 2)))))
+        errs.append(float(np.max(np.abs(phi - phi.transpose(2, 1, 0)))))
+    scale = float(np.max(np.abs(phi))) or 1.0
+    return max(errs) / scale
+
+
+def infinite_medium_flux(deck: InputDeck) -> float:
+    """The analytic infinite-medium scalar flux ``q / sigma_a``.
+
+    The centre of a thick domain approaches this value; tests use it as
+    an asymptotic sanity bound."""
+    return deck.source / deck.sigma_a

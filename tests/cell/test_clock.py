@@ -1,0 +1,66 @@
+"""Tests for repro.cell.clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cell.clock import CycleBudget, CycleClock
+
+
+class TestCycleClock:
+    def test_advance_accumulates(self):
+        clock = CycleClock()
+        clock.advance(100)
+        clock.advance(50)
+        assert clock.cycle == 150
+
+    def test_advance_rejects_negative(self):
+        clock = CycleClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_advance_to_only_moves_forward(self):
+        clock = CycleClock()
+        clock.advance_to(1000)
+        clock.advance_to(500)
+        assert clock.cycle == 1000
+
+    def test_seconds_at_cell_frequency(self):
+        clock = CycleClock()
+        clock.advance(3_200_000_000)
+        assert clock.seconds == pytest.approx(1.0)
+
+    def test_reset(self):
+        clock = CycleClock()
+        clock.advance(42)
+        clock.reset()
+        assert clock.cycle == 0
+
+
+class TestCycleBudget:
+    def test_charge_and_total(self):
+        budget = CycleBudget()
+        budget.charge("compute", 100.0)
+        budget.charge("dma", 50.0)
+        budget.charge("compute", 25.0)
+        assert budget.buckets["compute"] == 125.0
+        assert budget.total() == 175.0
+
+    def test_charge_rejects_negative(self):
+        budget = CycleBudget()
+        with pytest.raises(ValueError):
+            budget.charge("compute", -1.0)
+
+    def test_seconds_conversion(self):
+        budget = CycleBudget()
+        budget.charge("sync", 3.2e9)
+        assert budget.seconds()["sync"] == pytest.approx(1.0)
+
+    def test_merge(self):
+        a = CycleBudget()
+        b = CycleBudget()
+        a.charge("compute", 10)
+        b.charge("compute", 5)
+        b.charge("dma", 7)
+        a.merge(b)
+        assert a.buckets == {"compute": 15, "dma": 7}

@@ -1,0 +1,196 @@
+"""Tests for DMA commands, lists and the address space (repro.cell.dma)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cell import constants
+from repro.cell.dma import (
+    AddressSpace,
+    DMACommand,
+    DMAKind,
+    DMAListCommand,
+    bank_of,
+    is_peak_rate,
+    validate_transfer_size,
+)
+from repro.cell.local_store import LocalStore
+from repro.errors import DMAError
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+@pytest.fixture
+def host(space):
+    return space.allocate("phi", np.arange(1024, dtype=np.float64))
+
+
+@pytest.fixture
+def ls():
+    return LocalStore()
+
+
+class TestSizeRules:
+    @pytest.mark.parametrize("size", [1, 2, 4, 8, 16, 32, 512, 16384])
+    def test_legal_sizes(self, size):
+        validate_transfer_size(size)
+
+    @pytest.mark.parametrize("size", [0, -16, 3, 5, 6, 7, 9, 12, 17, 100])
+    def test_illegal_sizes(self, size):
+        with pytest.raises(DMAError):
+            validate_transfer_size(size)
+
+    def test_oversize_requires_list(self):
+        with pytest.raises(DMAError, match="DMA list"):
+            validate_transfer_size(16 * 1024 + 16)
+
+    @given(st.integers(min_value=1, max_value=constants.DMA_MAX_BYTES))
+    def test_size_rule_property(self, size):
+        legal = size in constants.DMA_SMALL_SIZES or size % 16 == 0
+        if legal:
+            validate_transfer_size(size)
+        else:
+            with pytest.raises(DMAError):
+                validate_transfer_size(size)
+
+
+class TestAddressSpace:
+    def test_allocation_is_cache_line_aligned(self, space):
+        arr = space.allocate("a", np.zeros(10))
+        assert arr.ea % constants.CACHE_LINE_BYTES == 0
+
+    def test_duplicate_name_rejected(self, space):
+        space.allocate("a", np.zeros(10))
+        with pytest.raises(DMAError):
+            space.allocate("a", np.zeros(10))
+
+    def test_bank_offset_shifts_start_bank(self, space):
+        a = space.allocate("a", np.zeros(1024), bank_offset=0)
+        b = space.allocate("b", np.zeros(1024), bank_offset=5)
+        # b starts 5 bank strides beyond a 128-aligned address
+        assert (b.ea // constants.MEMORY_BANK_STRIDE) % constants.NUM_MEMORY_BANKS != (
+            a.ea // constants.MEMORY_BANK_STRIDE
+        ) % constants.NUM_MEMORY_BANKS
+
+    def test_bank_offset_range_checked(self, space):
+        with pytest.raises(DMAError):
+            space.allocate("a", np.zeros(8), bank_offset=16)
+
+    def test_bank_of_wraps_at_16(self):
+        assert bank_of(0) == 0
+        assert bank_of(128 * 16) == 0
+        assert bank_of(128 * 17) == 1
+
+
+class TestSingleCommands:
+    def test_get_copies_host_to_ls(self, host, ls):
+        buf = ls.alloc_aligned_line(512)
+        cmd = DMACommand(DMAKind.GET, host, 0, buf, 0, 512)
+        cmd.execute()
+        got = buf.as_array(np.float64)[:64]
+        np.testing.assert_array_equal(got, np.arange(64, dtype=np.float64))
+
+    def test_put_copies_ls_to_host(self, host, ls):
+        buf = ls.alloc_aligned_line(512)
+        buf.as_array(np.float64)[:] = 5.0
+        DMACommand(DMAKind.PUT, host, 1024, buf, 0, 512).execute()
+        np.testing.assert_array_equal(host.data[128:192], np.full(64, 5.0))
+
+    def test_overrun_host_rejected(self, host, ls):
+        buf = ls.alloc_aligned_line(512)
+        with pytest.raises(DMAError, match="overruns array"):
+            DMACommand(DMAKind.GET, host, host.nbytes - 256, buf, 0, 512)
+
+    def test_overrun_ls_rejected(self, host, ls):
+        buf = ls.alloc_aligned_line(256)
+        with pytest.raises(DMAError, match="overruns buffer"):
+            DMACommand(DMAKind.GET, host, 0, buf, 0, 512)
+
+    def test_misaligned_ea_rejected(self, host, ls):
+        buf = ls.alloc_aligned_line(512)
+        with pytest.raises(DMAError, match="not 16-byte aligned"):
+            DMACommand(DMAKind.GET, host, 8, buf, 0, 32)
+
+    def test_tag_range_checked(self, host, ls):
+        buf = ls.alloc_aligned_line(512)
+        with pytest.raises(DMAError):
+            DMACommand(DMAKind.GET, host, 0, buf, 0, 512, tag=32)
+
+    def test_peak_rate_detection(self, host, ls):
+        aligned = ls.alloc_aligned_line(512)
+        assert DMACommand(DMAKind.GET, host, 0, aligned, 0, 512).peak_rate
+        # 16-byte aligned but not 128-byte aligned start: not peak.
+        assert not DMACommand(DMAKind.GET, host, 16, aligned, 0, 512).peak_rate
+
+    def test_is_peak_rate_rules(self):
+        assert is_peak_rate(0, 0, 128)
+        assert not is_peak_rate(0, 0, 64)
+        assert not is_peak_rate(64, 0, 128)
+        assert not is_peak_rate(0, 64, 128)
+
+
+class TestListCommands:
+    def test_gather_strided_rows(self, space, ls):
+        # Gather four 128-byte rows out of a 1024-byte-stride matrix, the
+        # Sweep3D working-set pattern.
+        mat = space.allocate("mat", np.arange(4 * 128, dtype=np.float64).reshape(4, 128))
+        buf = ls.alloc_aligned_line(4 * 128)
+        spec = [(r * 128 * 8, 128) for r in range(4)]
+        cmd = DMAListCommand(DMAKind.GET, mat, spec, buf)
+        cmd.execute()
+        got = buf.as_array(np.float64, (4, 16))
+        np.testing.assert_array_equal(got, mat.data[:, :16])
+
+    def test_list_put_scatters(self, space, ls):
+        mat = space.allocate("m2", np.zeros((4, 64)))
+        buf = ls.alloc_aligned_line(4 * 128)
+        buf.as_array(np.float64)[:] = 3.0
+        spec = [(r * 64 * 8, 128) for r in range(4)]
+        DMAListCommand(DMAKind.PUT, mat, spec, buf).execute()
+        np.testing.assert_array_equal(mat.data[:, :16], np.full((4, 16), 3.0))
+
+    def test_element_limit_enforced(self, host, ls):
+        buf = ls.alloc_aligned_line(16 * 2049)
+        spec = [(0, 16)] * (constants.DMA_LIST_MAX_ELEMENTS + 1)
+        with pytest.raises(DMAError, match="2048"):
+            DMAListCommand(DMAKind.GET, host, spec, buf)
+
+    def test_empty_list_rejected(self, host, ls):
+        buf = ls.alloc_aligned_line(128)
+        with pytest.raises(DMAError):
+            DMAListCommand(DMAKind.GET, host, [], buf)
+
+    def test_total_bytes(self, host, ls):
+        buf = ls.alloc_aligned_line(1024)
+        cmd = DMAListCommand(DMAKind.GET, host, [(0, 512), (512, 512)], buf)
+        assert cmd.total_bytes == 1024
+
+    def test_ls_overflow_rejected(self, host, ls):
+        buf = ls.alloc_aligned_line(512)
+        with pytest.raises(DMAError, match="overruns LS buffer"):
+            DMAListCommand(DMAKind.GET, host, [(0, 512), (512, 512)], buf)
+
+
+class TestRoundTrip:
+    @given(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=1, max_value=32),
+    )
+    def test_get_put_round_trip(self, start_qw, n_qw):
+        """Property: GET then PUT of the same region is the identity."""
+        space = AddressSpace()
+        data = np.random.default_rng(start_qw * 64 + n_qw).random(1024)
+        host = space.allocate("h", data.copy())
+        ls = LocalStore()
+        buf = ls.alloc(n_qw * 16, alignment=16)
+        off = start_qw * 16
+        DMACommand(DMAKind.GET, host, off, buf, 0, n_qw * 16).execute()
+        host.bytes_view()[off : off + n_qw * 16] = 0
+        DMACommand(DMAKind.PUT, host, off, buf, 0, n_qw * 16).execute()
+        np.testing.assert_array_equal(host.data, data)

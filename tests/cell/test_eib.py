@@ -1,0 +1,57 @@
+"""Tests for the EIB bus model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cell.eib import (
+    ARBITRATION_CYCLES,
+    EIB_BYTES_PER_CYCLE,
+    PORT_BYTES_PER_CYCLE,
+    EIBModel,
+)
+
+
+def test_aggregate_rate_is_64_bytes_per_cycle():
+    # 204.8 GB/s at 3.2 GHz.
+    assert EIB_BYTES_PER_CYCLE == pytest.approx(64.0)
+
+
+def test_ls_to_ls_is_port_limited():
+    eib = EIBModel()
+    cycles = eib.ls_to_ls_cycles(16 * 1024)
+    assert cycles == pytest.approx(ARBITRATION_CYCLES + 16 * 1024 / PORT_BYTES_PER_CYCLE)
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        EIBModel().ls_to_ls_cycles(-1)
+    with pytest.raises(ValueError):
+        EIBModel().concurrent_flows_cycles([-1])
+
+
+def test_single_flow_never_sees_aggregate_limit():
+    eib = EIBModel()
+    cost = eib.concurrent_flows_cycles([64 * 1024])
+    # port rate (16 B/cyc) binds, not the 64 B/cyc aggregate
+    assert cost.cycles == pytest.approx(ARBITRATION_CYCLES + 64 * 1024 / 16)
+
+
+def test_many_flows_hit_aggregate_limit():
+    eib = EIBModel()
+    flows = [64 * 1024] * 8  # 8 ports x 16 B/cyc = 128 B/cyc demand > 64
+    cost = eib.concurrent_flows_cycles(flows)
+    assert cost.cycles == pytest.approx(ARBITRATION_CYCLES + sum(flows) / 64)
+
+
+def test_zero_flows():
+    assert EIBModel().concurrent_flows_cycles([]).cycles == 0.0
+
+
+def test_mic_bound_check_matches_sec6():
+    # Sec. 6: 17.6 GB through the 25.6 GB/s MIC dominates; the EIB could
+    # carry it 8x faster.
+    eib = EIBModel()
+    nbytes = int(17.6e9)
+    mic_cycles = nbytes / 8.0  # 8 B/cycle MIC rate
+    assert eib.mic_bound_check(nbytes, mic_cycles)

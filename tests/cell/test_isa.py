@@ -1,0 +1,170 @@
+"""Tests for the functional SPU ISA (repro.cell.isa)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cell import constants
+from repro.cell.isa import OpClass, Pipe, SPUContext, Vec
+from repro.errors import PipelineError
+
+lanes_dp = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=2, max_size=2
+)
+
+
+class TestVec:
+    def test_must_be_128_bits(self):
+        with pytest.raises(PipelineError):
+            Vec(np.zeros(3, dtype=np.float64), "v0")
+        with pytest.raises(PipelineError):
+            Vec(np.zeros(2, dtype=np.float32), "v0")
+
+    def test_lane_counts(self):
+        assert Vec(np.zeros(2), "a").lanes == constants.DP_LANES
+        assert Vec(np.zeros(4, dtype=np.float32), "b").lanes == constants.SP_LANES
+
+    def test_rejects_integer_dtype(self):
+        with pytest.raises(PipelineError):
+            Vec(np.zeros(4, dtype=np.int32), "v0")
+
+
+class TestFunctionalSemantics:
+    def test_splats_replicates(self):
+        ctx = SPUContext()
+        v = ctx.spu_splats(3.5)
+        np.testing.assert_array_equal(v.data, [3.5, 3.5])
+
+    def test_splats_single_precision(self):
+        ctx = SPUContext(double=False)
+        v = ctx.spu_splats(1.25)
+        assert v.lanes == 4
+        np.testing.assert_array_equal(v.data, np.full(4, 1.25, dtype=np.float32))
+
+    def test_madd_matches_numpy(self):
+        ctx = SPUContext()
+        a = ctx.lqd(np.array([2.0, 3.0]))
+        b = ctx.lqd(np.array([5.0, 7.0]))
+        c = ctx.lqd(np.array([1.0, 1.0]))
+        r = ctx.spu_madd(a, b, c)
+        np.testing.assert_array_equal(r.data, [11.0, 22.0])
+
+    def test_nmsub_matches_definition(self):
+        ctx = SPUContext()
+        a = ctx.spu_splats(2.0)
+        b = ctx.spu_splats(3.0)
+        c = ctx.spu_splats(10.0)
+        r = ctx.spu_nmsub(a, b, c)  # c - a*b
+        np.testing.assert_array_equal(r.data, [4.0, 4.0])
+
+    def test_div_is_exact(self):
+        # spu_div records a Newton-Raphson sequence but returns the exact
+        # IEEE quotient (documented substitution).
+        ctx = SPUContext()
+        n = ctx.lqd(np.array([1.0, 10.0]))
+        d = ctx.lqd(np.array([3.0, 7.0]))
+        r = ctx.spu_div(n, d)
+        np.testing.assert_array_equal(r.data, np.array([1.0, 10.0]) / np.array([3.0, 7.0]))
+
+    def test_cmpgt_sel_branch_free_fixup(self):
+        ctx = SPUContext()
+        flux = ctx.lqd(np.array([-0.5, 2.0]))
+        zero = ctx.spu_splats(0.0)
+        mask = ctx.spu_cmpgt(zero, flux)  # where 0 > flux
+        fixed = ctx.spu_sel(flux, zero, mask)
+        np.testing.assert_array_equal(fixed.data, [0.0, 2.0])
+
+    def test_stqd_writes_through(self):
+        ctx = SPUContext()
+        target = np.zeros(2)
+        v = ctx.spu_splats(9.0)
+        ctx.stqd(v, target)
+        np.testing.assert_array_equal(target, [9.0, 9.0])
+
+    def test_precision_mismatch_rejected(self):
+        dp = SPUContext(double=True)
+        sp = SPUContext(double=False)
+        v_sp = sp.spu_splats(1.0)
+        v_dp = dp.spu_splats(1.0)
+        with pytest.raises(PipelineError):
+            dp.spu_add(v_dp, v_sp)
+
+    def test_lqd_wrong_width_rejected(self):
+        ctx = SPUContext()
+        with pytest.raises(PipelineError):
+            ctx.lqd(np.zeros(4))  # 4 doubles is 32 bytes
+
+    @given(lanes_dp, lanes_dp, lanes_dp)
+    def test_madd_property(self, xs, ys, zs):
+        ctx = SPUContext()
+        a = ctx.lqd(np.array(xs))
+        b = ctx.lqd(np.array(ys))
+        c = ctx.lqd(np.array(zs))
+        r = ctx.spu_madd(a, b, c)
+        np.testing.assert_allclose(
+            r.data, np.array(xs) * np.array(ys) + np.array(zs), rtol=1e-15
+        )
+
+
+class TestRecording:
+    def test_stream_records_in_order(self):
+        ctx = SPUContext()
+        a = ctx.spu_splats(1.0)
+        b = ctx.spu_splats(2.0)
+        ctx.spu_mul(a, b)
+        opcodes = [i.opcode for i in ctx.stream]
+        assert opcodes == ["splats", "splats", "fm"]
+
+    def test_flop_accounting(self):
+        ctx = SPUContext()
+        a = ctx.spu_splats(1.0)
+        b = ctx.spu_splats(2.0)
+        c = ctx.spu_splats(3.0)
+        ctx.spu_madd(a, b, c)  # 2 lanes x (mul+add) = 4 flops
+        ctx.spu_mul(a, b)      # 2 flops
+        assert ctx.stream.flops == 6
+
+    def test_sp_fma_counts_eight_flops(self):
+        ctx = SPUContext(double=False)
+        a = ctx.spu_splats(1.0)
+        ctx.spu_madd(a, a, a)
+        assert ctx.stream.flops == 8
+
+    def test_pipes_assigned_per_class(self):
+        ctx = SPUContext()
+        a = ctx.spu_splats(1.0)  # shuffle -> odd
+        ctx.spu_add(a, a)        # DP float -> even
+        instrs = ctx.stream.instructions
+        assert instrs[0].pipe is Pipe.ODD
+        assert instrs[1].pipe is Pipe.EVEN
+
+    def test_div_records_newton_raphson(self):
+        ctx = SPUContext()
+        n = ctx.spu_splats(1.0)
+        d = ctx.spu_splats(3.0)
+        before = len(ctx.stream)
+        ctx.spu_div(n, d)
+        emitted = ctx.stream.instructions[before:]
+        opcodes = [i.opcode for i in emitted]
+        # estimate + 2 refinements (fnms/fma pairs) + final multiply
+        assert opcodes == ["frest", "fi", "fnms", "fma", "fnms", "fma", "fm"]
+
+    def test_dependency_registers_chain(self):
+        ctx = SPUContext()
+        a = ctx.spu_splats(1.0)
+        b = ctx.spu_add(a, a)
+        instr = ctx.stream.instructions[-1]
+        assert instr.srcs == (a.reg, a.reg)
+        assert instr.dest == b.reg
+
+    def test_count_by_class(self):
+        ctx = SPUContext()
+        a = ctx.spu_splats(1.0)
+        ctx.spu_add(a, a)
+        ctx.branch()
+        assert ctx.stream.count(OpClass.SHUFFLE) == 1
+        assert ctx.stream.count(OpClass.DP_FLOAT) == 1
+        assert ctx.stream.count(OpClass.BRANCH) == 1

@@ -1,0 +1,153 @@
+"""Tests for the 256 KB local-store allocator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cell import constants
+from repro.cell.local_store import LocalStore
+from repro.errors import LocalStoreError
+
+
+class TestAllocation:
+    def test_default_capacity_is_256k(self):
+        ls = LocalStore()
+        assert ls.capacity == 256 * 1024
+
+    def test_alloc_respects_alignment(self):
+        ls = LocalStore()
+        a = ls.alloc(100, alignment=16)
+        b = ls.alloc(100, alignment=128)
+        assert a.offset % 16 == 0
+        assert b.offset % 128 == 0
+
+    def test_alloc_aligned_line_is_cache_line(self):
+        ls = LocalStore()
+        ls.alloc(1)  # misalign the cursor
+        buf = ls.alloc_aligned_line(400)
+        assert buf.offset % constants.CACHE_LINE_BYTES == 0
+
+    def test_code_reservation_reduces_capacity(self):
+        ls = LocalStore(reserved_code_bytes=24 * 1024)
+        assert ls.free_bytes == 256 * 1024 - 24 * 1024
+        with pytest.raises(LocalStoreError):
+            ls.alloc(256 * 1024 - 24 * 1024 + 16, alignment=1)
+
+    def test_overflow_raises_with_occupancy_message(self):
+        ls = LocalStore()
+        ls.alloc(200 * 1024)
+        with pytest.raises(LocalStoreError, match="local store exhausted"):
+            ls.alloc(100 * 1024)
+
+    def test_zero_and_negative_sizes_rejected(self):
+        ls = LocalStore()
+        with pytest.raises(LocalStoreError):
+            ls.alloc(0)
+        with pytest.raises(LocalStoreError):
+            ls.alloc(-8)
+
+
+class TestFree:
+    def test_free_then_realloc_reuses_space(self):
+        ls = LocalStore()
+        a = ls.alloc(128 * 1024)
+        b = ls.alloc(100 * 1024)
+        ls.free(a)
+        c = ls.alloc(128 * 1024)  # only fits in a's slot
+        assert c.offset == a.offset
+
+    def test_free_coalesces_adjacent_extents(self):
+        ls = LocalStore()
+        bufs = [ls.alloc(64 * 1024, alignment=1) for _ in range(4)]
+        for b in bufs:
+            ls.free(b)
+        assert ls.largest_free_extent == ls.capacity
+
+    def test_double_free_rejected(self):
+        ls = LocalStore()
+        a = ls.alloc(64)
+        ls.free(a)
+        with pytest.raises(LocalStoreError):
+            ls.free(a)
+
+    def test_use_after_free_rejected(self):
+        ls = LocalStore()
+        a = ls.alloc(64)
+        ls.free(a)
+        with pytest.raises(LocalStoreError):
+            a.as_bytes()
+
+
+class TestViews:
+    def test_typed_view_shares_storage(self):
+        ls = LocalStore()
+        buf = ls.alloc(16 * 8)
+        arr = buf.as_array(np.float64)
+        arr[:] = 7.0
+        assert buf.as_bytes()[:8].tobytes() == np.float64(7.0).tobytes()
+
+    def test_shaped_view(self):
+        ls = LocalStore()
+        buf = ls.alloc(4 * 8 * 8)
+        arr = buf.as_array(np.float64, (4, 8))
+        assert arr.shape == (4, 8)
+
+    def test_shape_overflow_rejected(self):
+        ls = LocalStore()
+        buf = ls.alloc(64)
+        with pytest.raises(LocalStoreError):
+            buf.as_array(np.float64, (3, 3))
+
+    def test_non_dividing_dtype_rejected(self):
+        ls = LocalStore()
+        buf = ls.alloc(17, alignment=1)
+        with pytest.raises(LocalStoreError):
+            buf.as_array(np.float64)
+
+    def test_memset_zero(self):
+        ls = LocalStore()
+        buf = ls.alloc(128)
+        buf.as_bytes()[:] = 0xFF
+        ls.memset_zero(buf)
+        assert not buf.as_bytes().any()
+
+
+class TestInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=8192),
+                st.sampled_from([16, 128]),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        st.data(),
+    )
+    def test_alloc_free_never_leaks_or_overlaps(self, requests, data):
+        """Property: live buffers never overlap, and freeing everything
+        restores the full capacity."""
+        ls = LocalStore()
+        live = []
+        for size, align in requests:
+            # Randomly free one live buffer before allocating.
+            if live and data.draw(st.booleans()):
+                victim = live.pop(data.draw(st.integers(0, len(live) - 1)))
+                ls.free(victim)
+            try:
+                live.append(ls.alloc(size, alignment=align))
+            except LocalStoreError:
+                continue
+        spans = sorted((b.offset, b.end) for b in live)
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2, "live buffers overlap"
+        used = sum(b.nbytes for b in live)
+        assert ls.used_bytes == used
+        for b in list(live):
+            ls.free(b)
+        assert ls.free_bytes == ls.capacity
+        assert ls.largest_free_extent == ls.capacity

@@ -1,0 +1,100 @@
+"""Tests for SPE-to-SPE (LS-to-LS) DMA transfers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cell.chip import CellBE
+from repro.cell.dma import DMAKind, LSToLSCommand
+from repro.cell.mic import MemoryTimingModel
+from repro.errors import DMAError
+
+
+@pytest.fixture
+def pair():
+    chip = CellBE(num_spes=2)
+    a = chip.spes[0].local_store.alloc_aligned_line(512, label="a")
+    b = chip.spes[1].local_store.alloc_aligned_line(512, label="b")
+    return chip, a, b
+
+
+class TestFunctional:
+    def test_get_pulls_remote_bytes(self, pair):
+        chip, a, b = pair
+        b.as_array(np.float64)[:] = np.arange(64)
+        cmd = LSToLSCommand(DMAKind.GET, remote=b, remote_offset=0,
+                            ls_buffer=a, ls_offset=0, size=512)
+        chip.spes[0].mfc.enqueue(cmd)
+        chip.spes[0].mfc.drain_tag(0)
+        np.testing.assert_array_equal(a.as_array(np.float64), np.arange(64))
+
+    def test_put_pushes_local_bytes(self, pair):
+        chip, a, b = pair
+        a.as_array(np.float64)[:] = 7.0
+        cmd = LSToLSCommand(DMAKind.PUT, remote=b, remote_offset=256,
+                            ls_buffer=a, ls_offset=0, size=256)
+        cmd.execute()
+        np.testing.assert_array_equal(
+            b.as_array(np.float64)[32:], np.full(32, 7.0)
+        )
+        assert not b.as_bytes()[:256].any()
+
+    def test_asynchronous_until_drain(self, pair):
+        chip, a, b = pair
+        b.as_bytes()[:] = 0xFF
+        cmd = LSToLSCommand(DMAKind.GET, remote=b, remote_offset=0,
+                            ls_buffer=a, ls_offset=0, size=512)
+        chip.spes[0].mfc.enqueue(cmd)
+        assert not a.as_bytes().any()
+        chip.spes[0].mfc.drain_tag(0)
+        assert a.as_bytes().all()
+
+
+class TestValidation:
+    def test_size_rules_apply(self, pair):
+        _, a, b = pair
+        with pytest.raises(DMAError):
+            LSToLSCommand(DMAKind.GET, b, 0, a, 0, 24)
+
+    def test_overrun_rejected(self, pair):
+        _, a, b = pair
+        with pytest.raises(DMAError, match="overruns"):
+            LSToLSCommand(DMAKind.GET, b, 256, a, 0, 512)
+        with pytest.raises(DMAError, match="overruns"):
+            LSToLSCommand(DMAKind.GET, b, 0, a, 256, 512)
+
+    def test_alignment_enforced(self, pair):
+        chip, _, _ = pair
+        odd = chip.spes[0].local_store.alloc(40, alignment=16, label="odd")
+        tgt = chip.spes[1].local_store.alloc(40, alignment=16, label="tgt")
+        with pytest.raises(DMAError, match="aligned"):
+            LSToLSCommand(DMAKind.GET, tgt, 8, odd, 0, 16)
+
+
+class TestTiming:
+    def test_no_memory_banks_touched(self, pair):
+        _, a, b = pair
+        cmd = LSToLSCommand(DMAKind.GET, b, 0, a, 0, 512)
+        assert cmd.elements() == []
+        cost = MemoryTimingModel().cost([cmd])
+        assert cost.bank_factor == 1.0
+        assert cost.payload_bytes == 512
+
+    def test_faster_than_main_memory_per_byte(self, pair):
+        """LS-to-LS rides the EIB port (16 B/cycle) vs the shared MIC
+        (8 B/cycle chip-wide): per byte it must cost less."""
+        chip, _, _ = pair
+        size = 8 * 1024
+        big_a = chip.spes[0].local_store.alloc_aligned_line(size, label="big_a")
+        big_b = chip.spes[1].local_store.alloc_aligned_line(size, label="big_b")
+        ls_cmd = LSToLSCommand(DMAKind.GET, big_b, 0, big_a, 0, size)
+        cost_ls = MemoryTimingModel().cost([ls_cmd])
+        from repro.cell.dma import DMACommand
+
+        chip.host_alloc("h", 2 * size)
+        host_arr = chip.address_space["h"]
+        buf = chip.spes[0].local_store.alloc_aligned_line(size, label="stage")
+        mem_cmd = DMACommand(DMAKind.GET, host_arr, 0, buf, 0, size)
+        cost_mem = MemoryTimingModel().cost([mem_cmd])
+        assert cost_ls.bandwidth_cycles < cost_mem.bandwidth_cycles

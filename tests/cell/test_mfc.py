@@ -1,0 +1,108 @@
+"""Tests for the MFC command queue (repro.cell.mfc)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cell.dma import AddressSpace, DMACommand, DMAKind
+from repro.cell.local_store import LocalStore
+from repro.cell.mfc import MFC
+from repro.errors import MFCError
+
+
+@pytest.fixture
+def setup():
+    space = AddressSpace()
+    host = space.allocate("h", np.arange(4096, dtype=np.float64))
+    ls = LocalStore()
+    return host, ls, MFC(spe_id=0)
+
+
+def get_cmd(host, ls, size=512, tag=0, host_off=0):
+    buf = ls.alloc_aligned_line(size)
+    return DMACommand(DMAKind.GET, host, host_off, buf, 0, size, tag=tag), buf
+
+
+class TestAsynchrony:
+    def test_data_not_visible_until_drain(self, setup):
+        host, ls, mfc = setup
+        cmd, buf = get_cmd(host, ls)
+        mfc.enqueue(cmd)
+        # The kernel has NOT waited on the tag: LS still holds zeros.
+        assert not buf.as_bytes().any()
+        mfc.drain_tag(0)
+        assert buf.as_array(np.float64)[0] == 0.0  # host[0] is 0
+        assert buf.as_array(np.float64)[1] == 1.0
+
+    def test_drain_tag_completes_only_that_group(self, setup):
+        host, ls, mfc = setup
+        c0, b0 = get_cmd(host, ls, tag=0)
+        c1, b1 = get_cmd(host, ls, tag=1, host_off=512)
+        mfc.enqueue(c0)
+        mfc.enqueue(c1)
+        mfc.drain_tag(0)
+        assert b0.as_array(np.float64)[1] == 1.0
+        assert not b1.as_bytes().any()
+        assert mfc.pending_tags() == {1}
+
+    def test_drain_all_is_a_barrier(self, setup):
+        host, ls, mfc = setup
+        for tag in range(3):
+            cmd, _ = get_cmd(host, ls, tag=tag, host_off=tag * 512)
+            mfc.enqueue(cmd)
+        mfc.drain_all()
+        assert mfc.pending_tags() == set()
+
+    def test_wait_on_empty_tag_is_protocol_error(self, setup):
+        _, _, mfc = setup
+        with pytest.raises(MFCError, match="empty tag group"):
+            mfc.drain_tag(3)
+
+    def test_drain_all_with_nothing_returns_none(self, setup):
+        _, _, mfc = setup
+        assert mfc.drain_all() is None
+
+
+class TestBackPressure:
+    def test_queue_depth_enforced(self, setup):
+        host, ls, mfc = setup
+        for i in range(mfc.queue_depth):
+            cmd, _ = get_cmd(host, ls, size=128, tag=0, host_off=i * 128)
+            mfc.enqueue(cmd)
+        overflow, _ = get_cmd(host, ls, size=128, tag=1, host_off=4000 * 8)
+        with pytest.raises(MFCError, match="queue full"):
+            mfc.enqueue(overflow)
+
+    def test_drain_frees_queue_slots(self, setup):
+        host, ls, mfc = setup
+        for i in range(mfc.queue_depth):
+            cmd, _ = get_cmd(host, ls, size=128, tag=0, host_off=i * 128)
+            mfc.enqueue(cmd)
+        mfc.drain_tag(0)
+        cmd, _ = get_cmd(host, ls, size=128, tag=1)
+        mfc.enqueue(cmd)  # no raise
+
+
+class TestStats:
+    def test_traffic_accounting(self, setup):
+        host, ls, mfc = setup
+        c_get, buf = get_cmd(host, ls, size=512, tag=0)
+        mfc.enqueue(c_get)
+        mfc.drain_tag(0)
+        c_put = DMACommand(DMAKind.PUT, host, 0, buf, 0, 512, tag=1)
+        mfc.enqueue(c_put)
+        mfc.drain_tag(1)
+        assert mfc.stats.bytes_get == 512
+        assert mfc.stats.bytes_put == 512
+        assert mfc.stats.total_bytes == 1024
+        assert mfc.stats.commands == 2
+        assert mfc.stats.cycles > 0
+
+    def test_drain_returns_cost(self, setup):
+        host, ls, mfc = setup
+        cmd, _ = get_cmd(host, ls)
+        mfc.enqueue(cmd)
+        cost = mfc.drain_tag(0)
+        assert cost.payload_bytes == 512
+        assert cost.total_cycles > 0

@@ -1,0 +1,129 @@
+"""Tests for the memory-controller timing model (repro.cell.mic)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cell import constants
+from repro.cell.dma import (
+    AddressSpace,
+    DMACommand,
+    DMAElement,
+    DMAKind,
+    DMAListCommand,
+)
+from repro.cell.local_store import LocalStore
+from repro.cell.mic import (
+    BYTES_PER_CYCLE,
+    COMMAND_OVERHEAD_CYCLES,
+    MemoryTimingModel,
+    bank_spread_factor,
+    blocks_touched,
+)
+
+
+def make_cmds(sizes, aligned=True, as_list=False, bank_offset=0):
+    space = AddressSpace()
+    host = space.allocate(
+        "h", np.zeros(1024 * 1024, dtype=np.uint8), bank_offset=bank_offset
+    )
+    ls = LocalStore()
+    cmds = []
+    cursor = 0 if aligned else 16
+    if as_list:
+        buf = ls.alloc_aligned_line(sum(sizes))
+        spec = []
+        for s in sizes:
+            spec.append((cursor, s))
+            cursor += ((s + 127) // 128) * 128 if aligned else s + 16
+        cmds.append(DMAListCommand(DMAKind.GET, host, spec, buf))
+    else:
+        for s in sizes:
+            buf = ls.alloc_aligned_line(s)
+            cmds.append(DMACommand(DMAKind.GET, host, cursor, buf, 0, s))
+            cursor += ((s + 127) // 128) * 128 if aligned else s + 16
+    return cmds
+
+
+class TestBlocksTouched:
+    def test_aligned_exact(self):
+        els = [DMAElement(0, 512)]
+        assert blocks_touched(els) == 4
+
+    def test_unaligned_pays_extra_block(self):
+        els = [DMAElement(16, 512)]
+        assert blocks_touched(els) == 5
+
+    def test_tiny_transfer_still_costs_one_block(self):
+        assert blocks_touched([DMAElement(0, 4)]) == 1
+
+
+class TestBankSpread:
+    def test_even_spread_is_one(self):
+        els = [DMAElement(b * 128, 128) for b in range(16)]
+        assert bank_spread_factor(els) == pytest.approx(1.0)
+
+    def test_single_bank_hotspot(self):
+        # 16 blocks all landing in bank 0 (stride = 16 banks)
+        els = [DMAElement(i * 128 * 16, 128) for i in range(16)]
+        assert bank_spread_factor(els) == pytest.approx(16.0)
+
+    def test_empty_is_one(self):
+        assert bank_spread_factor([]) == 1.0
+
+    def test_offsets_fix_hotspot(self):
+        # Same pathological stride, but each flow bank-offset like the
+        # paper's allocation offsets: spread becomes even again.
+        els = [DMAElement(i * 128 * 16 + (i % 16) * 128, 128) for i in range(16)]
+        assert bank_spread_factor(els) == pytest.approx(1.0)
+
+
+class TestTransferCost:
+    def test_bandwidth_term_is_bytes_over_rate(self):
+        model = MemoryTimingModel()
+        cmds = make_cmds([16 * 1024])
+        cost = model.cost(cmds)
+        assert cost.bandwidth_cycles == pytest.approx(16 * 1024 / BYTES_PER_CYCLE)
+
+    def test_aligned_payload_equals_touched(self):
+        model = MemoryTimingModel()
+        cost = model.cost(make_cmds([512, 512]))
+        assert cost.touched_bytes == cost.payload_bytes
+
+    def test_unaligned_touches_more(self):
+        model = MemoryTimingModel()
+        cost = model.cost(make_cmds([512, 512], aligned=False))
+        assert cost.touched_bytes > cost.payload_bytes
+
+    def test_list_amortizes_command_overhead(self):
+        model = MemoryTimingModel(overlap_commands=False)
+        individual = model.cost(make_cmds([512] * 64))
+        as_list = model.cost(make_cmds([512] * 64, as_list=True))
+        assert as_list.command_overhead_cycles < individual.command_overhead_cycles
+        assert as_list.total_cycles < individual.total_cycles
+
+    def test_overlap_hides_queue_overheads(self):
+        overlapped = MemoryTimingModel(overlap_commands=True)
+        serial = MemoryTimingModel(overlap_commands=False)
+        cmds = make_cmds([2048] * 8)
+        assert overlapped.cost(cmds).total_cycles < serial.cost(cmds).total_cycles
+
+    def test_single_command_overhead_exposed_either_way(self):
+        model = MemoryTimingModel(overlap_commands=True)
+        cost = model.cost(make_cmds([512]))
+        assert cost.command_overhead_cycles == COMMAND_OVERHEAD_CYCLES
+
+    def test_efficiency_at_most_one(self):
+        model = MemoryTimingModel()
+        for cmds in (make_cmds([512] * 8), make_cmds([128], aligned=False)):
+            assert 0 < model.cost(cmds).efficiency <= 1.0
+
+    def test_peak_rate_large_aligned_list_near_peak(self):
+        model = MemoryTimingModel()
+        cmds = make_cmds([16 * 1024] * 8)
+        assert model.cost(cmds).efficiency > 0.9
+
+    def test_paper_bandwidth_constant(self):
+        # 25.6 GB/s at 3.2 GHz is 8 bytes per cycle chip-wide.
+        assert BYTES_PER_CYCLE == pytest.approx(8.0)

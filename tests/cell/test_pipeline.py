@@ -1,0 +1,184 @@
+"""Tests for the dual-issue SPU pipeline model (repro.cell.pipeline).
+
+The key architectural behaviours the Sec. 5.1 numbers rest on:
+
+* independent even/odd instructions dual-issue;
+* a DP instruction blocks all issue for 7 cycles total;
+* dependent instructions wait for producer latency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cell import constants
+from repro.cell.isa import InstructionStream, OpClass, SPUContext
+from repro.cell.pipeline import drain_cycles, simulate
+from repro.errors import PipelineError
+
+
+def stream_of(*ops: tuple[str, OpClass, str | None, tuple[str, ...]]) -> InstructionStream:
+    s = InstructionStream("test")
+    for opcode, opclass, dest, srcs in ops:
+        s.emit(opcode, opclass, dest, srcs)
+    return s
+
+
+class TestIssueRules:
+    def test_empty_stream_rejected(self):
+        with pytest.raises(PipelineError):
+            simulate(InstructionStream("empty"))
+
+    def test_independent_even_odd_pair_dual_issues(self):
+        s = stream_of(
+            ("ai", OpClass.FIXED, "r1", ()),
+            ("lqd", OpClass.LOAD, "r2", ()),
+        )
+        rep = simulate(s)
+        assert rep.dual_issues == 1
+        assert rep.cycles == 1
+
+    def test_same_pipe_pair_cannot_dual_issue(self):
+        s = stream_of(
+            ("ai", OpClass.FIXED, "r1", ()),
+            ("ai", OpClass.FIXED, "r2", ()),
+        )
+        rep = simulate(s)
+        assert rep.dual_issues == 0
+        assert rep.cycles == 2
+
+    def test_dependent_pair_waits_for_latency(self):
+        s = stream_of(
+            ("lqd", OpClass.LOAD, "r1", ()),          # latency 6
+            ("fa", OpClass.DP_FLOAT, "r2", ("r1",)),  # needs r1
+        )
+        rep = simulate(s)
+        issue_times = [r.issue_cycle for r in rep.records]
+        assert issue_times[0] == 0
+        assert issue_times[1] == 6
+
+    def test_program_order_is_preserved(self):
+        s = stream_of(
+            ("fa", OpClass.DP_FLOAT, "r1", ()),
+            ("lqd", OpClass.LOAD, "r2", ()),
+            ("ai", OpClass.FIXED, "r3", ()),
+        )
+        rep = simulate(s)
+        issues = [r.issue_cycle for r in rep.records]
+        assert issues == sorted(issues)
+
+
+class TestDoublePrecisionBlocking:
+    def test_dp_issue_interval_is_seven_cycles(self):
+        # "two double-precision flops every seven SPU clocks": back-to-back
+        # independent DP ops issue 7 cycles apart.
+        s = stream_of(
+            ("fma", OpClass.DP_FLOAT, "r1", ()),
+            ("fma", OpClass.DP_FLOAT, "r2", ()),
+            ("fma", OpClass.DP_FLOAT, "r3", ()),
+        )
+        rep = simulate(s)
+        issues = [r.issue_cycle for r in rep.records]
+        assert issues == [0, 7, 14]
+
+    def test_dp_blocks_odd_pipe_too(self):
+        s = stream_of(
+            ("fma", OpClass.DP_FLOAT, "r1", ()),
+            ("lqd", OpClass.LOAD, "r2", ()),
+        )
+        rep = simulate(s)
+        assert rep.records[1].issue_cycle == 7
+        assert rep.dual_issues == 0
+
+    def test_dp_peak_efficiency_is_one(self):
+        # A pure stream of independent DP fmas is by definition at peak.
+        ctx = SPUContext()
+        vs = [ctx.lqd(np.array([1.0, 2.0])) for _ in range(3)]
+        stream = InstructionStream("dp-peak")
+        for i in range(100):
+            stream.emit("fma", OpClass.DP_FLOAT, f"x{i}", (), flops=4)
+        rep = simulate(stream)
+        # 100 fmas at one per 7 cycles: 99*7 + 1 issue slots
+        assert rep.cycles == 99 * constants.DP_ISSUE_INTERVAL_CYCLES + 1
+        assert rep.efficiency(double=True) == pytest.approx(1.0, rel=0.02)
+
+    def test_sp_stream_fully_pipelined(self):
+        stream = InstructionStream("sp-peak")
+        for i in range(100):
+            stream.emit("fma", OpClass.SP_FLOAT, f"x{i}", (), flops=8)
+        rep = simulate(stream)
+        assert rep.cycles == 100  # one per cycle
+        assert rep.efficiency(double=False) == pytest.approx(1.0)
+
+
+class TestReportStatistics:
+    def test_flops_per_cycle_and_gflops(self):
+        stream = InstructionStream("k")
+        for i in range(10):
+            stream.emit("fma", OpClass.DP_FLOAT, f"x{i}", (), flops=4)
+        rep = simulate(stream)
+        assert rep.flops == 40
+        assert rep.flops_per_cycle == pytest.approx(40 / rep.cycles)
+        assert rep.gflops() == pytest.approx(rep.flops_per_cycle * 3.2)
+
+    def test_dual_issue_rate(self):
+        s = stream_of(
+            ("ai", OpClass.FIXED, "r1", ()),
+            ("lqd", OpClass.LOAD, "r2", ()),
+            ("ai", OpClass.FIXED, "r3", ()),
+            ("lqd", OpClass.LOAD, "r4", ()),
+        )
+        rep = simulate(s)
+        assert rep.dual_issues == 2
+        assert rep.cycles == 2
+        assert rep.dual_issue_rate == pytest.approx(1.0)
+
+    def test_drain_cycles_covers_last_latency(self):
+        s = stream_of(("lqd", OpClass.LOAD, "r1", ()))
+        rep = simulate(s)
+        assert rep.cycles == 1
+        assert drain_cycles(rep) == 6
+
+    def test_dp_instruction_count(self):
+        s = stream_of(
+            ("fma", OpClass.DP_FLOAT, "r1", ()),
+            ("lqd", OpClass.LOAD, "r2", ()),
+            ("fma", OpClass.DP_FLOAT, "r3", ()),
+        )
+        assert simulate(s).dp_instructions == 2
+
+
+class TestKernelShapedStreams:
+    """Streams shaped like the paper's kernel must show its signature:
+    DP-bound timing with a low dual-issue rate."""
+
+    def test_dp_dominated_stream_has_low_dual_issue_rate(self):
+        stream = InstructionStream("kernel-like")
+        for i in range(50):
+            stream.emit("lqd", OpClass.LOAD, f"l{i}", ())
+            stream.emit("fma", OpClass.DP_FLOAT, f"f{i}", (f"l{i}",), flops=4)
+            stream.emit("stqd", OpClass.STORE, None, (f"f{i}",))
+        rep = simulate(stream)
+        # DP blocking dominates: every fma occupies 7 cycles of issue.
+        assert rep.cycles >= 50 * 7
+        assert rep.dual_issue_rate < 0.10
+
+    def test_interleaving_independent_work_hides_latency(self):
+        # Four independent dependency chains (the paper's "four logical
+        # threads of vectorization") finish sooner than one serial chain
+        # of the same length.
+        def chained(n_chains: int, length: int) -> int:
+            stream = InstructionStream(f"{n_chains}chains")
+            for step in range(length):
+                for c in range(n_chains):
+                    src = f"c{c}s{step - 1}" if step else f"seed{c}"
+                    stream.emit(
+                        "fa", OpClass.SP_FLOAT, f"c{c}s{step}", (src,), flops=2
+                    )
+            return simulate(stream).cycles
+
+        serial = chained(1, 64)
+        four_way = chained(4, 64)
+        # Same per-chain length; the 4-way version should not be 4x slower.
+        assert four_way < serial * 4 * 0.5

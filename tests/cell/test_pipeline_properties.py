@@ -1,0 +1,100 @@
+"""Property tests for the SPU pipeline model over random streams."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cell.isa import DP_ISSUE_BLOCK, InstructionStream, OpClass
+from repro.cell.pipeline import drain_cycles, simulate
+
+OPCLASSES = [
+    OpClass.SP_FLOAT, OpClass.DP_FLOAT, OpClass.FIXED, OpClass.BYTE,
+    OpClass.LOAD, OpClass.STORE, OpClass.SHUFFLE, OpClass.BRANCH,
+]
+
+
+@st.composite
+def streams(draw, max_len=60):
+    """Random instruction streams with random dependency structure."""
+    n = draw(st.integers(min_value=1, max_value=max_len))
+    s = InstructionStream("fuzz")
+    regs: list[str] = []
+    for i in range(n):
+        opclass = draw(st.sampled_from(OPCLASSES))
+        nsrc = draw(st.integers(0, min(2, len(regs))))
+        srcs = tuple(
+            draw(st.sampled_from(regs)) for _ in range(nsrc)
+        ) if regs else ()
+        dest = f"r{i}"
+        regs.append(dest)
+        flops = 4 if opclass is OpClass.DP_FLOAT else 0
+        s.emit(f"op{i}", opclass, dest, srcs, flops)
+    return s
+
+
+class TestScheduleInvariants:
+    @settings(max_examples=120, deadline=None)
+    @given(streams())
+    def test_basic_invariants(self, stream):
+        report = simulate(stream)
+        issues = [r.issue_cycle for r in report.records]
+        # program order
+        assert issues == sorted(issues)
+        # at most two instructions per cycle, never two on one pipe
+        from collections import Counter
+
+        per_cycle = Counter(issues)
+        assert max(per_cycle.values()) <= 2
+        pipes_at = {}
+        for r in report.records:
+            key = r.issue_cycle
+            pipes_at.setdefault(key, []).append(r.instruction.pipe)
+        for pipes in pipes_at.values():
+            assert len(pipes) == len(set(pipes))
+        # dual-issue count consistent with the schedule
+        assert report.dual_issues == sum(
+            1 for c in per_cycle.values() if c == 2
+        )
+        # occupancy bounds
+        assert report.cycles >= (len(stream) + 1) // 2
+        assert drain_cycles(report) >= report.cycles
+
+    @settings(max_examples=120, deadline=None)
+    @given(streams())
+    def test_dependencies_respected(self, stream):
+        report = simulate(stream)
+        complete = {}
+        for r in report.records:
+            for src in r.instruction.srcs:
+                if src in complete:
+                    assert r.issue_cycle >= complete[src], (
+                        f"{r.instruction.opcode} consumed {src} early"
+                    )
+            if r.instruction.dest:
+                complete[r.instruction.dest] = r.complete_cycle
+
+    @settings(max_examples=120, deadline=None)
+    @given(streams())
+    def test_dp_blocking_respected(self, stream):
+        report = simulate(stream)
+        block_until = -1
+        for r in report.records:
+            assert r.issue_cycle >= block_until, "issued inside a DP block"
+            if r.instruction.opclass is OpClass.DP_FLOAT:
+                block_until = r.issue_cycle + 1 + DP_ISSUE_BLOCK
+
+    @settings(max_examples=60, deadline=None)
+    @given(streams(max_len=40), st.sampled_from(OPCLASSES))
+    def test_appending_never_speeds_up(self, stream, opclass):
+        before = simulate(stream).cycles
+        stream.emit("extra", opclass, "rx", ())
+        after = simulate(stream).cycles
+        assert after >= before
+
+    @settings(max_examples=60, deadline=None)
+    @given(streams(max_len=40))
+    def test_flop_accounting_additive(self, stream):
+        report = simulate(stream)
+        assert report.flops == 4 * report.dp_instructions

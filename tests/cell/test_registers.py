@@ -1,0 +1,109 @@
+"""Tests for register-pressure analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cell.isa import InstructionStream, OpClass
+from repro.cell.registers import analyze_pressure, kernel_pressure
+from repro.errors import PipelineError
+
+
+def chain(n):
+    s = InstructionStream("chain")
+    prev = None
+    for i in range(n):
+        s.emit("fa", OpClass.SP_FLOAT, f"r{i}", (prev,) if prev else ())
+        prev = f"r{i}"
+    return s
+
+
+class TestAnalysis:
+    def test_serial_chain_has_constant_pressure(self):
+        # each value dies as the next is defined: pressure stays ~2
+        report = analyze_pressure(chain(20))
+        assert report.max_live <= 2
+        assert report.total_values == 20
+        assert report.fits
+
+    def test_fanout_raises_pressure(self):
+        s = InstructionStream("fan")
+        for i in range(10):
+            s.emit("fa", OpClass.SP_FLOAT, f"v{i}", ())
+        # one consumer keeps all ten alive until the end
+        s.emit("fa", OpClass.SP_FLOAT, "sum", tuple(f"v{i}" for i in range(10)))
+        report = analyze_pressure(s)
+        assert report.max_live >= 10
+
+    def test_undefined_sources_live_from_start(self):
+        s = InstructionStream("ext")
+        s.emit("fa", OpClass.SP_FLOAT, "out", ("hoisted1", "hoisted2"))
+        report = analyze_pressure(s)
+        assert report.max_live >= 2
+
+    def test_small_register_file_forces_spills(self):
+        s = InstructionStream("fan")
+        for i in range(10):
+            s.emit("fa", OpClass.SP_FLOAT, f"v{i}", ())
+        s.emit("fa", OpClass.SP_FLOAT, "sum", tuple(f"v{i}" for i in range(10)))
+        report = analyze_pressure(s, register_file=4)
+        assert not report.fits
+        assert report.spills_needed >= 6
+
+    def test_empty_rejected(self):
+        with pytest.raises(PipelineError):
+            analyze_pressure(InstructionStream("empty"))
+
+
+class TestKernelPressure:
+    """The register file *explains the paper's choice of four logical
+    vectorization threads*: four fit, eight cannot."""
+
+    def test_plain_kernel_fits_at_four_threads(self):
+        report = kernel_pressure(nm=4, fixup=False, logical_threads=4)
+        assert report.fits, report
+        # ... but without much headroom: the unrolling is sized to the
+        # register file (115 live of 120 usable when this was written).
+        assert report.max_live > 90
+
+    def test_fixup_kernel_at_the_register_file_edge(self):
+        """The branch-free fixup path carries three masks and two solve
+        results per thread: at four threads it touches the 128-register
+        ceiling (within the raw file, above our conservative ABI
+        reservation -- a compiler would shave a few values)."""
+        report = kernel_pressure(nm=4, fixup=True, logical_threads=4)
+        assert report.max_live <= 128
+        assert report.spills_needed <= 8
+
+    def test_eight_threads_cannot_fit(self):
+        """Why the paper stopped at four: eight logical threads need far
+        more than 128 registers."""
+        report = kernel_pressure(nm=4, fixup=False, logical_threads=8)
+        assert not report.fits
+        assert report.max_live > 128
+
+    def test_pressure_scales_with_threads(self):
+        one = kernel_pressure(logical_threads=1).max_live
+        four = kernel_pressure(logical_threads=4).max_live
+        assert four > 2 * one
+
+    def test_sp_kernel_pressure_similar(self):
+        dp = kernel_pressure(double=True).max_live
+        sp = kernel_pressure(double=False).max_live
+        assert abs(dp - sp) < 20
+
+
+class TestCodeSize:
+    def test_kernel_fits_code_reservation(self):
+        """Code and data share the 256 KB local store; the emitted kernel
+        bodies plus runtime stub must fit the SPE's code reservation."""
+        from repro.cell.registers import kernel_code_bytes
+        from repro.cell.spe import SPE
+
+        spe = SPE(0)  # default 24 KB code reservation
+        assert kernel_code_bytes() <= spe.local_store.reserved_code_bytes
+
+    def test_code_grows_with_moments(self):
+        from repro.cell.registers import kernel_code_bytes
+
+        assert kernel_code_bytes(nm=6) > kernel_code_bytes(nm=1)

@@ -1,0 +1,100 @@
+"""Tests for the Cell cluster: all five parallelism levels at once."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import CellClusterSweep3D, cluster_speedup, cluster_time
+from repro.core.levels import MachineConfig
+from repro.errors import ConfigurationError
+from repro.perf.processors import measured_cell_config
+from repro.sweep import SerialSweep3D, benchmark_deck, small_deck
+
+
+@pytest.fixture(scope="module")
+def deck():
+    return small_deck(n=6, sn=4, nm=2, iterations=2, mk=3)
+
+
+@pytest.fixture(scope="module")
+def reference(deck):
+    return SerialSweep3D(deck).solve()
+
+
+class TestFunctionalCluster:
+    @pytest.mark.parametrize("P,Q", [(1, 1), (2, 1), (2, 2)])
+    def test_cluster_bitwise_equal_to_serial(self, deck, reference, P, Q):
+        """MPI wavefront (level 1) + per-rank simulated Cell chips
+        (levels 2-5): the assembled flux equals the serial solve."""
+        result = CellClusterSweep3D(deck, P=P, Q=Q).solve()
+        np.testing.assert_array_equal(result.flux, reference.flux)
+
+    def test_tally_matches(self, deck, reference):
+        result = CellClusterSweep3D(deck, P=2, Q=2).solve()
+        assert result.tally.fixups == reference.tally.fixups
+        assert result.tally.leakage == pytest.approx(
+            reference.tally.leakage, rel=1e-12
+        )
+
+    def test_ppe_only_config_rejected(self, deck):
+        with pytest.raises(ConfigurationError):
+            CellClusterSweep3D(deck, P=2, Q=2, config=MachineConfig(num_spes=0))
+
+    def test_plan_accessible(self, deck):
+        cluster = CellClusterSweep3D(deck, P=2, Q=2)
+        assert cluster.cart.size == 4
+        total = sum(
+            cluster.plan(r).nx * cluster.plan(r).ny
+            for r in range(cluster.cart.size)
+        )
+        assert total == deck.grid.nx * deck.grid.ny
+
+
+class TestClusterTiming:
+    @pytest.fixture(scope="class")
+    def bench(self):
+        return benchmark_deck(fixup=False)
+
+    def test_single_chip_matches_predict(self, bench):
+        from repro.perf.model import predict
+
+        cfg = measured_cell_config()
+        assert cluster_time(bench, cfg, 1, 1) == pytest.approx(
+            predict(bench, cfg).seconds
+        )
+
+    def test_more_chips_help_but_sublinearly(self, bench):
+        """KBA pipeline fill caps scaling: speedup grows with the chip
+        count but stays well below linear (Hoisie et al.'s wavefront
+        result, which the paper builds on)."""
+        cfg = measured_cell_config()
+        s22 = cluster_speedup(bench, cfg, 2, 2)
+        s44 = cluster_speedup(bench, cfg, 4, 4)
+        assert 1.0 < s22 < 4.0
+        assert s44 > s22 * 0.9  # may flatten, must not collapse
+        assert s44 < 16.0
+
+    def test_invalid_grid_rejected(self, bench):
+        with pytest.raises(ConfigurationError):
+            cluster_time(bench, measured_cell_config(), 0, 2)
+
+    def test_weak_scaling_beats_strong_scaling(self, bench):
+        """Wavefront folklore, checked: at 4x4 chips, weak-scaling
+        efficiency comfortably exceeds strong-scaling efficiency."""
+        from repro.core.cluster import weak_scaling_efficiency
+
+        cfg = measured_cell_config()
+        weak = weak_scaling_efficiency(bench, cfg, 4, 4)
+        strong = cluster_speedup(bench, cfg, 4, 4) / 16
+        assert weak > 1.5 * strong
+        assert 0.4 < weak <= 1.01
+
+    def test_weak_scaling_degrades_gently(self, bench):
+        from repro.core.cluster import weak_scaling_efficiency
+
+        cfg = measured_cell_config()
+        e22 = weak_scaling_efficiency(bench, cfg, 2, 2)
+        e44 = weak_scaling_efficiency(bench, cfg, 4, 4)
+        assert e44 <= e22 + 1e-9
+        assert e44 > 0.4

@@ -1,0 +1,58 @@
+"""Tests for the five-level parallelism configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.levels import MachineConfig, Precision, SchedulerKind, SyncProtocol
+from repro.errors import ConfigurationError
+
+
+class TestMachineConfig:
+    def test_defaults_match_initial_spe_offload(self):
+        """The default configuration is the Figure-5 'spe-offload' rung:
+        8 SPEs, scalar kernel, mailbox sync, nothing else."""
+        cfg = MachineConfig()
+        assert cfg.num_spes == 8
+        assert cfg.chunk_lines == 4
+        assert not cfg.simd and not cfg.double_buffer
+        assert cfg.sync is SyncProtocol.MAILBOX
+        assert cfg.scheduler is SchedulerKind.CENTRALIZED
+        assert cfg.precision is Precision.DOUBLE
+
+    def test_spe_count_bounds(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(num_spes=9)
+        with pytest.raises(ConfigurationError):
+            MachineConfig(num_spes=-1)
+
+    def test_chunk_lines_positive(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(chunk_lines=0)
+
+    def test_ppe_only_cannot_enable_spe_levels(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(num_spes=0, simd=True)
+        with pytest.raises(ConfigurationError):
+            MachineConfig(num_spes=0, double_buffer=True)
+
+    def test_with_is_nondestructive(self):
+        base = MachineConfig()
+        derived = base.with_(simd=True)
+        assert derived.simd and not base.simd
+
+    def test_levels_active_tracks_flags(self):
+        cfg = MachineConfig(double_buffer=True, simd=True)
+        levels = cfg.levels_active()
+        assert levels == {
+            "process": True,
+            "thread": True,
+            "data_streaming": True,
+            "vector": True,
+            "pipeline": True,
+        }
+
+    def test_all_five_levels_in_measured_config(self):
+        from repro.perf.processors import measured_cell_config
+
+        assert all(measured_cell_config().levels_active().values())

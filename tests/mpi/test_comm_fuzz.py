@@ -1,0 +1,102 @@
+"""Fuzz tests for the simulated communicator.
+
+Property: any traffic pattern in which every receive has a matching send
+(and vice versa) completes without deadlock and delivers payloads
+correctly; any pattern with an unmatched receive deadlocks exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DeadlockError
+from repro.mpi import run_ranks
+
+
+@st.composite
+def traffic(draw, max_ranks=4, max_msgs=12):
+    """A random matched traffic pattern: a list of (src, dst, tag)."""
+    size = draw(st.integers(min_value=2, max_value=max_ranks))
+    n = draw(st.integers(min_value=1, max_value=max_msgs))
+    msgs = [
+        (
+            draw(st.integers(0, size - 1)),
+            draw(st.integers(0, size - 1)),
+            draw(st.integers(0, 5)),
+            i,  # unique payload id
+        )
+        for i in range(n)
+    ]
+    msgs = [(s, d, t, i) for s, d, t, i in msgs if s != d]
+    return size, msgs
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(traffic())
+def test_matched_traffic_never_deadlocks(pattern):
+    size, msgs = pattern
+
+    def program(comm):
+        # sends first (buffered), then receives in arrival-agnostic order
+        for s, d, t, i in msgs:
+            if s == comm.rank:
+                comm.send(np.array([float(i)]), dest=d, tag=t)
+        got = []
+        for s, d, t, i in msgs:
+            if d == comm.rank:
+                payload = comm.recv(source=s, tag=t)
+                got.append((s, t, float(payload[0])))
+        return got
+
+    results = run_ranks(size, program)
+    # every message delivered exactly once with the right payload
+    delivered = [item for sub in results if sub for item in sub]
+    assert len(delivered) == len(msgs)
+    by_id = {i: (s, t) for s, d, t, i in msgs}
+    for s, t, payload in delivered:
+        assert by_id[int(payload)] == (s, t)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(traffic(), st.data())
+def test_dropping_one_send_deadlocks(pattern, data):
+    size, msgs = pattern
+    if not msgs:
+        return
+    dropped = data.draw(st.integers(0, len(msgs) - 1))
+
+    def program(comm):
+        for idx, (s, d, t, i) in enumerate(msgs):
+            if s == comm.rank and idx != dropped:
+                comm.send(np.array([float(i)]), dest=d, tag=t)
+        for s, d, t, i in msgs:
+            if d == comm.rank:
+                comm.recv(source=s, tag=t)
+
+    with pytest.raises(DeadlockError):
+        run_ranks(size, program)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=2, max_value=5), st.integers(min_value=1, max_value=4))
+def test_ring_rotations_complete(size, rounds):
+    """Classic ring exchange, many rounds: each rank's value travels the
+    whole ring and returns."""
+
+    def program(comm):
+        value = np.array([float(comm.rank)])
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        for r in range(rounds * comm.size):
+            comm.send(value, dest=right, tag=r)
+            value = comm.recv(source=left, tag=r)
+        return float(value[0])
+
+    results = run_ranks(size, program)
+    assert results == [float(r) for r in range(size)]

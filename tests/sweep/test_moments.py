@@ -1,0 +1,93 @@
+"""Tests for the Pn moment machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InputDeckError
+from repro.sweep.moments import MomentBasis, legendre_basis
+from repro.sweep.quadrature import Quadrature
+
+
+class TestLegendreBasis:
+    def test_p0_is_one(self):
+        mu = np.linspace(-1, 1, 7)
+        table = legendre_basis(3, mu)
+        np.testing.assert_allclose(table[0], 1.0)
+
+    def test_p1_is_mu(self):
+        mu = np.linspace(-1, 1, 7)
+        table = legendre_basis(3, mu)
+        np.testing.assert_allclose(table[1], mu)
+
+    def test_p2_formula(self):
+        mu = np.linspace(-1, 1, 7)
+        table = legendre_basis(3, mu)
+        np.testing.assert_allclose(table[2], 0.5 * (3 * mu**2 - 1), atol=1e-14)
+
+    def test_invalid_nm(self):
+        with pytest.raises(InputDeckError):
+            legendre_basis(0, np.array([0.5]))
+
+
+class TestMomentBasis:
+    @pytest.fixture
+    def basis(self):
+        return MomentBasis(Quadrature(6), nm=4)
+
+    def test_quadrature_orthogonality(self, basis):
+        """The quadrature integrates P_n * P_m moments: for an isotropic
+        angular flux (psi == 1), only moment 0 survives."""
+        psi = np.ones(basis.quadrature.num_ordinates)
+        phi = basis.wpn @ psi
+        assert phi[0] == pytest.approx(1.0, abs=1e-6)
+        np.testing.assert_allclose(phi[1:], 0.0, atol=1e-7)
+
+    def test_moment_of_p1_flux(self, basis):
+        """psi = mu has phi_1 = <mu^2> = 1/3 and phi_0 = <mu> = 0."""
+        psi = basis.quadrature.mu
+        phi = basis.wpn @ psi
+        assert abs(phi[0]) < 1e-12
+        assert phi[1] == pytest.approx(1.0 / 3.0, abs=1e-6)
+
+    def test_scattering_sigmas_decay(self, basis):
+        sig = basis.scattering_sigmas(0.5, 0.4)
+        np.testing.assert_allclose(sig, 0.5 * 0.4 ** np.arange(4))
+
+    def test_scattering_sigma_range_check(self, basis):
+        with pytest.raises(InputDeckError):
+            basis.scattering_sigmas(0.5, 1.0)
+        with pytest.raises(InputDeckError):
+            basis.scattering_sigmas(0.5, -0.1)
+
+    def test_angle_source_isotropic(self, basis):
+        msrc = np.zeros((4, 3))
+        msrc[0] = 2.0
+        for m in range(basis.quadrature.num_ordinates):
+            np.testing.assert_allclose(basis.angle_source(msrc, m), 2.0)
+
+    def test_angle_source_shape_check(self, basis):
+        with pytest.raises(InputDeckError):
+            basis.angle_source(np.zeros((3, 5)), 0)
+
+    def test_accumulate_flux_matches_figure6(self, basis):
+        """Flux[n] += pn[n][m] * w[m] * Phi -- directly against the table."""
+        phi = np.zeros((4, 5))
+        psi = np.arange(5, dtype=float)
+        basis.accumulate_flux(phi, psi, angle=7)
+        for n in range(4):
+            np.testing.assert_allclose(phi[n], basis.wpn[n, 7] * psi)
+
+    def test_source_iteration_consistency(self, basis):
+        """Scattering conserves particles: for an isotropic flux the
+        emitted n=0 source integrates back to sigma_s * phi_0."""
+        quad = basis.quadrature
+        phi0 = 3.0
+        msrc = np.zeros((4, 1))
+        msrc[0] = 0.5 * phi0  # sigma_s0 * phi_0
+        total = sum(
+            quad.weight[m] * float(basis.angle_source(msrc, m)[0])
+            for m in range(quad.num_ordinates)
+        )
+        assert total == pytest.approx(0.5 * phi0, rel=1e-6)

@@ -1,0 +1,157 @@
+"""Tests for the LQn quadrature sets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import QuadratureError
+from repro.sweep.quadrature import OCTANT_SIGNS, Quadrature, sweep3d_quadrature
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "n,per_octant", [(2, 1), (4, 3), (6, 6), (8, 10), (12, 21), (16, 36)]
+    )
+    def test_ordinates_per_octant(self, n, per_octant):
+        q = Quadrature(n)
+        assert q.per_octant == per_octant
+        assert q.num_ordinates == 8 * per_octant
+
+    def test_sweep3d_uses_s6(self):
+        # Sec. 3: "six angles (three forward, three backward) per octant"
+        q = sweep3d_quadrature()
+        assert q.n == 6
+        assert q.per_octant == 6
+
+    def test_unsupported_order_rejected(self):
+        with pytest.raises(QuadratureError):
+            Quadrature(3)
+        with pytest.raises(QuadratureError):
+            Quadrature(10)
+
+    def test_octant_signs_are_all_eight(self):
+        assert len(set(OCTANT_SIGNS)) == 8
+        for signs in OCTANT_SIGNS:
+            assert set(map(abs, signs)) == {1}
+
+
+@pytest.mark.parametrize("n", [2, 4, 6, 8, 12, 16])
+class TestInvariants:
+    def test_weights_positive_and_normalised(self, n):
+        q = Quadrature(n)
+        assert (q.weight > 0).all()
+        assert q.weight.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_directions_on_unit_sphere(self, n):
+        q = Quadrature(n)
+        norms = q.mu**2 + q.eta**2 + q.xi**2
+        np.testing.assert_allclose(norms, 1.0, atol=5e-7)
+
+    def test_odd_moments_vanish(self, n):
+        q = Quadrature(n)
+        for comp in (q.mu, q.eta, q.xi):
+            assert abs((q.weight * comp).sum()) < 1e-12
+
+    def test_second_moments_are_third(self, n):
+        # <mu^2> = 1/3 is exactly integrated by every LQn set.
+        q = Quadrature(n)
+        err = q.moment_error()
+        assert err["second_mu"] < 1e-6
+        assert err["second_eta"] < 1e-6
+        assert err["second_xi"] < 1e-6
+
+    def test_level_symmetry_under_axis_permutation(self, n):
+        # The set of |(mu, eta, xi)| triplets is permutation invariant.
+        q = Quadrature(n)
+        triplets = {
+            tuple(sorted((round(abs(m), 6), round(abs(e), 6), round(abs(x), 6))))
+            for m, e, x in zip(q.mu, q.eta, q.xi)
+        }
+        for t in triplets:
+            assert t == tuple(sorted(t))
+        # every ordinate's sorted triplet appears in all octants equally
+        assert q.num_ordinates % 8 == 0
+
+    def test_octant_slices_partition(self, n):
+        q = Quadrature(n)
+        seen = []
+        for o in range(8):
+            s = q.octant_slice(o)
+            seen.extend(range(s.start, s.stop))
+        assert seen == list(range(q.num_ordinates))
+
+    def test_octant_signs_match_slices(self, n):
+        q = Quadrature(n)
+        for o, (sx, sy, sz) in enumerate(OCTANT_SIGNS):
+            s = q.octant_slice(o)
+            assert (np.sign(q.mu[s]) == sx).all()
+            assert (np.sign(q.eta[s]) == sy).all()
+            assert (np.sign(q.xi[s]) == sz).all()
+
+
+class TestKnownValues:
+    def test_s2_diagonal_direction(self):
+        q = Quadrature(2)
+        assert q.mu[0] == pytest.approx(1 / np.sqrt(3), abs=1e-6)
+
+    def test_s6_level_values(self):
+        # Lewis & Miller Table 4-1 values for S6.
+        q = Quadrature(6)
+        levels = sorted(set(round(abs(m), 7) for m in q.mu))
+        assert levels[0] == pytest.approx(0.2666355, abs=1e-6)
+        assert levels[1] == pytest.approx(0.6815076, abs=2e-6)
+        assert levels[2] == pytest.approx(0.9261808, abs=2e-6)
+
+    def test_ordinate_octant_lookup(self):
+        q = Quadrature(4)
+        for o in range(8):
+            for ordn in np.array(q.ordinates())[list(range(*q.octant_slice(o).indices(q.num_ordinates)))]:
+                assert ordn.octant == o
+
+    def test_octant_slice_range_checked(self):
+        q = Quadrature(2)
+        with pytest.raises(QuadratureError):
+            q.octant_slice(8)
+
+
+class TestDerivedWeights:
+    """The moment-matching derivation must reproduce the published
+    Lewis & Miller tables and extend them consistently."""
+
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_derivation_matches_published_tables(self, n):
+        from repro.sweep.quadrature import _CLASS_WEIGHTS, derive_class_weights
+
+        derived = derive_class_weights(n)
+        for key, published in _CLASS_WEIGHTS[n].items():
+            assert derived[key] == pytest.approx(published, abs=2e-7)
+
+    @pytest.mark.parametrize("n", [12, 16])
+    def test_high_orders_integrate_high_moments(self, n):
+        """An S_n set integrates mu^{2i} exactly up to 2i = n."""
+        q = Quadrature(n)
+        for i in range(n // 2 + 1):
+            moment = float((q.weight * q.mu ** (2 * i)).sum())
+            assert moment == pytest.approx(1.0 / (2 * i + 1), rel=1e-9)
+
+    def test_derivation_rejects_unknown_order(self):
+        from repro.sweep.quadrature import derive_class_weights
+
+        with pytest.raises(QuadratureError):
+            derive_class_weights(10)
+
+    def test_weight_classes_count(self):
+        from repro.sweep.quadrature import weight_classes
+
+        assert len(weight_classes(8)) == 3
+        assert len(weight_classes(12)) == 5
+        assert len(weight_classes(16)) == 8
+
+    def test_s16_solve_runs(self):
+        """A full (tiny) solve at S16 exercises 288 ordinates."""
+        from repro.sweep import SerialSweep3D, small_deck
+
+        deck = small_deck(n=4, sn=16, nm=1, iterations=1, mk=2, mmi=3)
+        result = SerialSweep3D(deck).solve()
+        assert result.scalar_flux.min() >= 0

@@ -1,0 +1,154 @@
+"""Tests for the serial reference solver: engine equivalence and physics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ConvergenceError, InputDeckError
+from repro.sweep import verify
+from repro.sweep.input import InputDeck, benchmark_deck, cube_deck, small_deck
+from repro.sweep.geometry import Grid
+from repro.sweep.serial import SerialSweep3D
+
+
+class TestInputDecks:
+    def test_benchmark_deck_matches_paper(self):
+        deck = benchmark_deck()
+        assert deck.grid.shape == (50, 50, 50)
+        assert deck.angles_per_octant == 6  # S6
+        assert deck.mk == 10 and deck.grid.nz % deck.mk == 0
+        assert deck.mmi == 3
+        assert deck.cell_visits == 125_000 * 48 * 12
+
+    def test_mk_must_factor_kt(self):
+        with pytest.raises(InputDeckError):
+            InputDeck(grid=Grid.cube(10), mk=3)
+
+    def test_mmi_must_factor_angles(self):
+        with pytest.raises(InputDeckError):
+            InputDeck(grid=Grid.cube(10), sn=6, mk=10, mmi=4)
+
+    def test_cube_deck_picks_dividing_mk(self):
+        for n in (5, 7, 12, 25, 50, 60):
+            deck = cube_deck(n)
+            assert n % deck.mk == 0
+
+    def test_scattering_ratio_bounds(self):
+        with pytest.raises(InputDeckError):
+            InputDeck(grid=Grid.cube(4), mk=2, scattering_ratio=1.0)
+
+    def test_with_replaces(self):
+        deck = small_deck()
+        assert deck.with_(iterations=9).iterations == 9
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("fixup", [False, True])
+    def test_hyperplane_equals_tile(self, fixup):
+        """The structured Figure-2 sweep must reproduce the reference
+        hyperplane sweep exactly (same cells, same upstream data)."""
+        deck = small_deck(n=6, sn=4, nm=2, iterations=3, fixup=fixup, mk=3)
+        r_h = SerialSweep3D(deck, method="hyperplane").solve()
+        r_t = SerialSweep3D(deck, method="tile").solve()
+        np.testing.assert_allclose(r_h.flux, r_t.flux, rtol=1e-13, atol=1e-14)
+        assert r_h.tally.fixups == r_t.tally.fixups
+        assert r_h.tally.leakage == pytest.approx(r_t.tally.leakage, rel=1e-12)
+
+    def test_equivalence_with_mmi_one(self):
+        deck = small_deck(n=5, sn=4, nm=1, iterations=2, mk=5, mmi=1)
+        r_h = SerialSweep3D(deck, method="hyperplane").solve()
+        r_t = SerialSweep3D(deck, method="tile").solve()
+        np.testing.assert_allclose(r_h.flux, r_t.flux, rtol=1e-13, atol=1e-14)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SerialSweep3D(small_deck(), method="magic")
+
+
+class TestPhysics:
+    def test_pure_absorber_balance(self):
+        """Production = absorption + leakage, exactly, in one sweep."""
+        deck = small_deck(n=8, sn=4, nm=1, iterations=1, fixup=False).with_(
+            scattering_ratio=0.0
+        )
+        result = SerialSweep3D(deck).solve()
+        assert verify.balance_residual(deck, result) < 1e-12
+
+    def test_balance_with_fixups_still_holds(self):
+        deck = small_deck(n=8, sn=4, nm=1, iterations=1, fixup=True).with_(
+            scattering_ratio=0.0, sigma_t=8.0
+        )
+        result = SerialSweep3D(deck).solve()
+        assert verify.balance_residual(deck, result) < 1e-12
+
+    def test_flux_positive_with_fixups(self):
+        deck = small_deck(n=8, sn=4, nm=2, iterations=4, fixup=True).with_(
+            sigma_t=6.0
+        )
+        result = SerialSweep3D(deck).solve()
+        assert verify.positivity_violation(result) == 0.0
+
+    def test_axis_flip_symmetry(self):
+        deck = small_deck(n=6, sn=4, nm=2, iterations=3)
+        result = SerialSweep3D(deck).solve()
+        assert verify.symmetry_error(result, transpose=False) < 1e-12
+
+    def test_full_symmetry_when_isotropic(self):
+        deck = small_deck(n=6, sn=4, nm=1, iterations=3)
+        result = SerialSweep3D(deck).solve()
+        assert verify.symmetry_error(result, transpose=True) < 1e-12
+
+    def test_scattering_increases_flux(self):
+        base = small_deck(n=6, sn=4, nm=1, iterations=8)
+        absorber = base.with_(scattering_ratio=0.0)
+        scatterer = base.with_(scattering_ratio=0.8)
+        phi_a = SerialSweep3D(absorber).solve().total_scalar_flux()
+        phi_s = SerialSweep3D(scatterer).solve().total_scalar_flux()
+        assert phi_s > phi_a
+
+    def test_centre_flux_below_infinite_medium(self):
+        deck = small_deck(n=8, sn=4, nm=1, iterations=10)
+        result = SerialSweep3D(deck).solve()
+        centre = result.scalar_flux[4, 4, 4]
+        assert 0 < centre < verify.infinite_medium_flux(deck)
+
+    def test_source_iteration_converges_geometrically(self):
+        """The iteration's change sequence contracts roughly by the
+        scattering ratio per sweep (standard source-iteration theory)."""
+        deck = small_deck(n=6, sn=4, nm=1, iterations=8).with_(
+            scattering_ratio=0.5
+        )
+        history = SerialSweep3D(deck).solve().history
+        # skip the first iteration (flux from zero); ratios ~ c
+        ratios = [b / a for a, b in zip(history[1:-1], history[2:]) if a > 0]
+        assert all(r < 0.9 for r in ratios)
+
+    def test_epsilon_mode_stops_early(self):
+        deck = small_deck(n=5, sn=2, nm=1, iterations=50).with_(epsilon=1e-6)
+        result = SerialSweep3D(deck).solve()
+        assert result.converged
+        assert result.iterations < 50
+
+    def test_epsilon_mode_raises_when_budget_too_small(self):
+        deck = small_deck(n=5, sn=2, nm=1, iterations=2).with_(
+            epsilon=1e-14, scattering_ratio=0.9
+        )
+        with pytest.raises(ConvergenceError):
+            SerialSweep3D(deck).solve()
+
+    def test_fixups_fire_for_point_source(self):
+        """A localized source in a thick medium drives diamond-difference
+        outflows negative downstream; fixups must engage (and the two
+        engines must agree on the fixed-up flux)."""
+        deck = small_deck(n=6, sn=4, nm=1, iterations=1, fixup=True).with_(
+            sigma_t=5.0, scattering_ratio=0.0
+        )
+        msrc = np.zeros((1, 6, 6, 6))
+        msrc[0, 0, 0, 0] = 100.0
+        flux_h, tally_h = SerialSweep3D(deck, method="hyperplane").sweep_once(msrc)
+        flux_t, tally_t = SerialSweep3D(deck, method="tile").sweep_once(msrc)
+        assert tally_h.fixups > 0
+        assert tally_h.fixups == tally_t.fixups
+        np.testing.assert_allclose(flux_h, flux_t, rtol=1e-13, atol=1e-15)
+        assert flux_h[0].min() >= 0.0

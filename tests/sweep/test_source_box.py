@@ -1,0 +1,92 @@
+"""Tests for localized source regions (source_box)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CellSweep3D, MachineConfig
+from repro.errors import InputDeckError
+from repro.mpi import KBASweep3D
+from repro.sweep import SerialSweep3D, small_deck, verify
+from repro.sweep.deckfile import format_deck, parse_deck
+
+
+@pytest.fixture(scope="module")
+def boxed_deck():
+    return small_deck(n=6, sn=4, nm=1, iterations=2, mk=3).with_(
+        source_box=(0, 2, 1, 3, 2, 5), source=10.0
+    )
+
+
+class TestValidation:
+    def test_bounds_checked(self):
+        deck = small_deck(n=6, sn=4, nm=1, mk=3)
+        with pytest.raises(InputDeckError, match="outside grid"):
+            deck.with_(source_box=(0, 7, 0, 6, 0, 6))
+        with pytest.raises(InputDeckError, match="empty"):
+            deck.with_(source_box=(3, 3, 0, 6, 0, 6))
+        with pytest.raises(InputDeckError, match="six bounds"):
+            deck.with_(source_box=(0, 2, 0, 2))
+
+    def test_field_uniform_default(self):
+        deck = small_deck(n=4, sn=2, nm=1, mk=2).with_(source=2.5)
+        np.testing.assert_array_equal(
+            deck.source_field(), np.full((4, 4, 4), 2.5)
+        )
+
+    def test_field_box(self, boxed_deck):
+        field = boxed_deck.source_field()
+        assert field[1, 2, 3] == 10.0
+        assert field[2, 2, 3] == 0.0  # x outside [0, 2)
+        assert field.sum() == pytest.approx(10.0 * 2 * 2 * 3)
+
+    def test_field_tile_offsets(self, boxed_deck):
+        """Tiles must see exactly their window of the global box."""
+        whole = boxed_deck.source_field()
+        tile = boxed_deck.source_field(offset=(1, 0, 2), shape=(3, 4, 4))
+        np.testing.assert_array_equal(tile, whole[1:4, 0:4, 2:6])
+
+    def test_tile_outside_box_is_dark(self, boxed_deck):
+        tile = boxed_deck.source_field(offset=(4, 4, 0), shape=(2, 2, 6))
+        assert not tile.any()
+
+
+class TestSolverConsistency:
+    def test_serial_kba_cell_agree(self, boxed_deck):
+        """The tile-offset arithmetic of the KBA ranks must reproduce the
+        global source exactly."""
+        serial = SerialSweep3D(boxed_deck).solve()
+        kba = KBASweep3D(boxed_deck, P=2, Q=2).solve()
+        cell = CellSweep3D(boxed_deck, MachineConfig()).solve()
+        np.testing.assert_array_equal(serial.flux, kba.flux)
+        np.testing.assert_array_equal(serial.flux, cell.flux)
+
+    def test_uneven_tiles(self, boxed_deck):
+        serial = SerialSweep3D(boxed_deck).solve()
+        kba = KBASweep3D(boxed_deck, P=3, Q=2).solve()
+        np.testing.assert_array_equal(serial.flux, kba.flux)
+
+    def test_flux_peaks_inside_box(self, boxed_deck):
+        phi = SerialSweep3D(boxed_deck).solve().scalar_flux
+        peak = np.unravel_index(phi.argmax(), phi.shape)
+        x0, x1, y0, y1, z0, z1 = boxed_deck.source_box
+        assert x0 <= peak[0] < x1
+        assert y0 <= peak[1] < y1
+        assert z0 <= peak[2] < z1
+
+    def test_balance_with_box_source(self):
+        deck = small_deck(n=6, sn=4, nm=1, iterations=1, fixup=False, mk=3).with_(
+            scattering_ratio=0.0, source_box=(1, 3, 1, 3, 1, 3), source=5.0
+        )
+        result = SerialSweep3D(deck).solve()
+        assert verify.balance_residual(deck, result) < 1e-12
+
+
+class TestDeckFile:
+    def test_round_trip(self, boxed_deck):
+        assert parse_deck(format_deck(boxed_deck)) == boxed_deck
+
+    def test_parse_errors(self):
+        with pytest.raises(InputDeckError, match="six cell bounds"):
+            parse_deck("nx=4\nny=4\nnz=4\nmk=2\nsource_box = 1 2 3")

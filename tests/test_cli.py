@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv: str) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestSolve:
+    def test_serial_engine(self, capsys):
+        out = run(capsys, "solve", "--cube", "6", "--sn", "4", "--nm", "2",
+                  "--iterations", "2", "--engine", "serial")
+        assert "engine=serial" in out
+        assert "scalar flux" in out
+
+    def test_all_engines_agree(self, capsys):
+        outs = {}
+        for engine in ("serial", "tile", "kba", "cell"):
+            out = run(capsys, "solve", "--cube", "6", "--sn", "4", "--nm", "1",
+                      "--iterations", "2", "--engine", engine)
+            flux_line = [l for l in out.splitlines() if "scalar flux" in l][0]
+            outs[engine] = flux_line.split("total=")[1]
+        assert len(set(outs.values())) == 1, outs
+
+    def test_fixup_flag(self, capsys):
+        out = run(capsys, "solve", "--cube", "5", "--sn", "2", "--nm", "1",
+                  "--iterations", "1", "--fixup")
+        assert "fixups=" in out
+
+
+class TestFigures:
+    def test_ladder(self, capsys):
+        out = run(capsys, "ladder")
+        assert "ppe-gcc" in out and "ls-poke-sync" in out
+
+    def test_ladder_non_benchmark_size_omits_paper_column(self, capsys):
+        out = run(capsys, "ladder", "--cube", "20")
+        assert "20^3" in out
+
+    def test_kernel(self, capsys):
+        out = run(capsys, "kernel")
+        assert "DP+fixup" in out and "SP" in out
+
+    def test_grind(self, capsys):
+        out = run(capsys, "grind", "--min-cube", "10", "--max-cube", "30")
+        assert "plateau" in out
+
+    def test_projections(self, capsys):
+        out = run(capsys, "projections")
+        assert "distributed-scheduling" in out
+
+    def test_processors(self, capsys):
+        out = run(capsys, "processors")
+        assert "Power5" in out and "faster than" in out
+
+    def test_bounds(self, capsys):
+        out = run(capsys, "bounds")
+        assert "bandwidth bound" in out and "DMA traffic" in out
+
+    def test_cluster(self, capsys):
+        out = run(capsys, "cluster")
+        assert "speedup" in out
+
+    def test_roofline(self, capsys):
+        out = run(capsys, "roofline")
+        assert "memory-bound" in out
+        assert "ridge" in out
+
+    def test_transient(self, capsys):
+        out = run(capsys, "transient", "--cube", "5", "--sn", "2", "--nm", "1",
+                  "--iterations", "6", "--steps", "3")
+        assert "steady-state" in out
+        assert out.count("t=") == 3
+
+    def test_deck_file_flag(self, capsys, tmp_path):
+        deck_path = tmp_path / "t.deck"
+        deck_path.write_text(
+            "nx=6\nny=6\nnz=6\nsn=4\nnm=1\niterations=2\nmk=3\nmmi=3\n"
+        )
+        out = run(capsys, "solve", "--deck", str(deck_path))
+        assert "deck=(6, 6, 6)" in out
+
+
+class TestParser:
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+    def test_sn_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--sn", "5"])

@@ -1,0 +1,66 @@
+"""Golden regression tests: pinned numerical results.
+
+These checksums were produced by the verified solver (the one that is
+bit-identical across the serial/tile/KBA/Cell engines and passes the
+physics invariants).  They exist to catch *unintentional* numerics
+changes -- a refactor that alters operation order will trip them even
+if every invariant still holds.  If a change is intentional (e.g. a new
+quadrature table), regenerate with::
+
+    python -c "from tests.test_golden import regenerate; regenerate()"
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sweep import SerialSweep3D, small_deck
+
+#: (deck kwargs + extras) -> (total scalar flux, flux[0,1,2,3], leakage)
+GOLDEN = {
+    "absorber": (
+        dict(n=6, sn=4, nm=1, iterations=1, fixup=False, mk=3),
+        dict(scattering_ratio=0.0),
+        (167.65350976162827, 0.7548105266455396, 48.34649023837174),
+    ),
+    "scattering": (
+        dict(n=6, sn=4, nm=2, iterations=4, fixup=False, mk=2),
+        dict(scattering_ratio=0.5),
+        (273.16617613573817, 1.220602735653221, 73.8241861828882),
+    ),
+    "anisotropic": (
+        dict(n=5, sn=6, nm=4, iterations=3, fixup=True, mk=5),
+        dict(anisotropy=0.6),
+        (141.77686439023404, 1.1608581380075809, 47.303926130473705),
+    ),
+    "thick-fixup": (
+        dict(n=6, sn=4, nm=1, iterations=2, fixup=True, mk=3),
+        dict(sigma_t=6.0, scattering_ratio=0.2),
+        (41.36755452558583, 0.1905536855356806, 9.392507331919337),
+    ),
+}
+
+
+def _solve(key):
+    deck_kwargs, extra, _ = GOLDEN[key]
+    deck = small_deck(**deck_kwargs).with_(**extra)
+    return deck, SerialSweep3D(deck).solve()
+
+
+@pytest.mark.parametrize("key", list(GOLDEN))
+def test_golden(key):
+    _, result = _solve(key)
+    total, probe, leakage = GOLDEN[key][2]
+    assert result.total_scalar_flux() == pytest.approx(total, rel=1e-12)
+    assert result.scalar_flux[0, 1, 2] == pytest.approx(probe, rel=1e-12)
+    assert result.tally.leakage == pytest.approx(leakage, rel=1e-12)
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    for key in GOLDEN:
+        _, result = _solve(key)
+        print(
+            f'    "{key}": (..., ({result.total_scalar_flux()!r}, '
+            f"{result.scalar_flux[0, 1, 2]!r}, {result.tally.leakage!r})),"
+        )
