@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from functools import cached_property
 
 import numpy as np
 
@@ -96,10 +97,15 @@ class HostArray:
     def nbytes(self) -> int:
         return self.data.nbytes
 
+    @cached_property
+    def _bytes(self) -> np.ndarray:
+        # ``data`` is made contiguous by AddressSpace.allocate, so this is
+        # a genuine view over the live storage and can be cached safely.
+        return np.ascontiguousarray(self.data).view(np.uint8).reshape(-1)
+
     def bytes_view(self) -> np.ndarray:
         """Flat ``uint8`` view over the array storage."""
-        flat = np.ascontiguousarray(self.data).view(np.uint8)
-        return flat.reshape(-1)
+        return self._bytes
 
     def ea_of(self, byte_offset: int) -> int:
         """Effective address of a byte offset within this array."""
@@ -213,6 +219,12 @@ class DMACommand:
     def peak_rate(self) -> bool:
         return is_peak_rate(self.ea, self.ls_buffer.offset + self.ls_offset, self.size)
 
+    @cached_property
+    def cost_signature(self) -> tuple:
+        """Hashable address signature of everything the MIC timing model
+        and the MFC traffic accounting read from this command."""
+        return ("cmd", self.kind.value, self.ea, self.size)
+
     def elements(self) -> list[DMAElement]:
         return [DMAElement(self.ea, self.size)]
 
@@ -276,6 +288,17 @@ class DMAListCommand:
     @property
     def total_bytes(self) -> int:
         return sum(size for _, size in self.elements_spec)
+
+    @cached_property
+    def cost_signature(self) -> tuple:
+        """Hashable address signature of everything the MIC timing model
+        and the MFC traffic accounting read from this command (element
+        EAs, sizes, element count, direction)."""
+        return (
+            "list",
+            self.kind.value,
+            tuple((self.host.ea_of(off), size) for off, size in self.elements_spec),
+        )
 
     @property
     def peak_rate(self) -> bool:
@@ -344,6 +367,12 @@ class LSToLSCommand:
     @property
     def total_bytes(self) -> int:
         return self.size
+
+    @cached_property
+    def cost_signature(self) -> tuple:
+        """Hashable signature for MIC cost memoization (LS-to-LS moves
+        touch no memory banks; only size and direction matter)."""
+        return ("lsls", self.kind.value, self.size)
 
     def elements(self) -> list[DMAElement]:
         """LS-to-LS transfers touch no main-memory banks."""

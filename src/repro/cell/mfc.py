@@ -70,21 +70,28 @@ class MFC:
         self.timing = timing or MemoryTimingModel()
         self.queue_depth = queue_depth
         self._queue: dict[int, list[AnyDMACommand]] = {}
+        self._pending = 0
         self.stats = TagStats()
+        # memo of per-batch traffic-accounting deltas keyed by the batch's
+        # address signature: replayed chunk programs (the common case, see
+        # repro.core.streaming) skip the per-command accounting loop.  The
+        # accumulated stats are identical either way.
+        self._batch_stats_cache: dict[tuple, tuple] = {}
 
     # -- queue management --------------------------------------------------
 
     def _pending_count(self) -> int:
-        return sum(len(v) for v in self._queue.values())
+        return self._pending
 
     def enqueue(self, command: AnyDMACommand) -> None:
         """Queue one validated DMA command under its tag."""
-        if self._pending_count() >= self.queue_depth:
+        if self._pending >= self.queue_depth:
             raise MFCError(
                 f"SPE {self.spe_id}: MFC queue full "
                 f"({self.queue_depth} commands pending); wait on a tag first"
             )
         self._queue.setdefault(command.tag, []).append(command)
+        self._pending += 1
 
     def pending_tags(self) -> set[int]:
         """Tags with at least one command still in flight."""
@@ -95,20 +102,44 @@ class MFC:
     def _drain(self, commands: list[AnyDMACommand]) -> TransferCost:
         from .dma import DMAKind, DMAListCommand
 
-        cost = self.timing.cost(commands)
+        try:
+            signature = tuple(cmd.cost_signature for cmd in commands)
+        except AttributeError:  # foreign command type without a signature
+            signature = None
+        cost = self.timing.cost(commands, signature=signature)
         for cmd in commands:
             cmd.execute()
-            self.stats.commands += 1
-            if isinstance(cmd, DMAListCommand):
-                self.stats.list_elements += len(cmd.elements_spec)
-                for _, size in cmd.elements_spec:
-                    self.stats.element_sizes[size] += 1
-            else:
-                self.stats.element_sizes[cmd.total_bytes] += 1
-            if cmd.kind is DMAKind.GET:
-                self.stats.bytes_get += cmd.total_bytes
-            else:
-                self.stats.bytes_put += cmd.total_bytes
+        delta = (
+            self._batch_stats_cache.get(signature)
+            if signature is not None
+            else None
+        )
+        if delta is None:
+            n_elements = 0
+            bytes_get = 0
+            bytes_put = 0
+            sizes: Counter = Counter()
+            for cmd in commands:
+                if isinstance(cmd, DMAListCommand):
+                    n_elements += len(cmd.elements_spec)
+                    for _, size in cmd.elements_spec:
+                        sizes[size] += 1
+                else:
+                    sizes[cmd.total_bytes] += 1
+                if cmd.kind is DMAKind.GET:
+                    bytes_get += cmd.total_bytes
+                else:
+                    bytes_put += cmd.total_bytes
+            delta = (len(commands), n_elements, bytes_get, bytes_put, sizes)
+            if signature is not None:
+                if len(self._batch_stats_cache) >= 1 << 16:
+                    self._batch_stats_cache.clear()
+                self._batch_stats_cache[signature] = delta
+        self.stats.commands += delta[0]
+        self.stats.list_elements += delta[1]
+        self.stats.bytes_get += delta[2]
+        self.stats.bytes_put += delta[3]
+        self.stats.element_sizes.update(delta[4])
         self.stats.cycles += cost.total_cycles
         return cost
 
@@ -124,6 +155,7 @@ class MFC:
         cmds = self._queue.pop(tag, [])
         if not cmds:
             raise MFCError(f"SPE {self.spe_id}: wait on empty tag group {tag}")
+        self._pending -= len(cmds)
         return self._drain(cmds)
 
     def drain_all(self) -> TransferCost | None:
@@ -133,4 +165,5 @@ class MFC:
             cmds.extend(self._queue.pop(tag))
         if not cmds:
             return None
+        self._pending -= len(cmds)
         return self._drain(cmds)

@@ -42,6 +42,10 @@ LIST_ELEMENT_OVERHEAD_CYCLES: int = 12
 #: 25.6 GB/s / 3.2 GHz = 8 bytes/cycle for the whole chip.
 BYTES_PER_CYCLE: float = constants.MIC_BANDWIDTH / constants.CLOCK_HZ
 
+#: Entry cap of the per-model transfer-cost memo (cleared wholesale on
+#: overflow -- correctness never depends on a hit).
+COST_CACHE_MAX_ENTRIES: int = 1 << 16
+
 
 def blocks_touched(elements: Iterable[DMAElement]) -> int:
     """Number of 128-byte memory blocks a set of transfer elements touches."""
@@ -130,9 +134,44 @@ class MemoryTimingModel:
             raise ValueError(f"bank_weight must be in [0, 1], got {bank_weight}")
         self.overlap_commands = overlap_commands
         self.bank_weight = bank_weight
+        # Memo of computed costs keyed by the batch's address signature.
+        # The cost is a pure function of the per-command signatures (type,
+        # element EAs and sizes), so recurring chunk programs -- the common
+        # case in a sweep, where working-set shapes repeat across angle
+        # blocks, octants and iterations -- skip the Python-level bank
+        # histogram and block walk entirely.  TransferCost is frozen, so
+        # sharing the instance is safe.
+        self._cost_cache: dict[tuple, TransferCost] = {}
 
-    def cost(self, commands: Sequence[AnyDMACommand]) -> TransferCost:
-        """Throughput cost of issuing and completing ``commands``."""
+    def cost(
+        self,
+        commands: Sequence[AnyDMACommand],
+        signature: tuple | None = None,
+    ) -> TransferCost:
+        """Throughput cost of issuing and completing ``commands``.
+
+        ``signature`` lets callers that already computed the batch's
+        address signature (the MFC drain path) skip rebuilding it.
+        """
+        if signature is not None:
+            key = signature
+        else:
+            try:
+                key = tuple(cmd.cost_signature for cmd in commands)
+            except AttributeError:  # foreign command type without a signature
+                key = None
+        if key is not None:
+            cached = self._cost_cache.get(key)
+            if cached is not None:
+                return cached
+        result = self._cost_uncached(commands)
+        if key is not None:
+            if len(self._cost_cache) >= COST_CACHE_MAX_ENTRIES:
+                self._cost_cache.clear()
+            self._cost_cache[key] = result
+        return result
+
+    def _cost_uncached(self, commands: Sequence[AnyDMACommand]) -> TransferCost:
         payload = 0
         elements: list[DMAElement] = []
         overhead = 0.0

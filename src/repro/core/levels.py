@@ -90,6 +90,13 @@ class MachineConfig:
     #: Sec. 6 projection: coalesce DMA into larger granularity than the
     #: 512-byte row lists of the measured implementation.
     large_dma_granularity: bool = False
+    #: host-simulator optimization (no simulated-machine effect): memoize
+    #: each chunk's assembled, validated DMA command program and replay it
+    #: through the same MFC path when the identical working set recurs
+    #: across angle blocks, octants and source iterations.  Replay
+    #: enqueues the very same commands, so DMA traffic, MIC costs and
+    #: queue back-pressure are indistinguishable from a cold build.
+    cache_dma_programs: bool = True
 
     def __post_init__(self) -> None:
         if not 0 <= self.num_spes <= 8:

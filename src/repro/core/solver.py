@@ -160,52 +160,52 @@ class CellSweep3D:
         lines: list[StagedLine] = list(chunk.lines)
         L = len(lines)
         bufs = self.buffers[chunk.spe]
-        s = self._buffer_set if self.config.double_buffer else 0
-        self._buffer_set ^= 1
+        if self.config.double_buffer:
+            s = self._buffer_set
+            self._buffer_set ^= 1
+        else:
+            s = 0
 
         bufs.stage_in(self.host, lines, s)
         views = bufs.views(s)
-
-        def oriented_rows(arr: np.ndarray) -> np.ndarray:
-            """Logical (L, it) view in sweep order of a row buffer."""
-            rows = arr[:L, :it]
-            if lines[0].reverse_i:
-                rows = rows[:, ::-1]
-            return rows
+        angles = np.array([ln.angle for ln in lines], dtype=np.intp)
+        mms = np.array([ln.mm for ln in lines], dtype=np.intp)
 
         # combine the angular source from the streamed moment rows, with
         # the reference's exact accumulation order (MomentBasis.combine).
         msrc = views["msrc"][:, :L, :it]
         if lines[0].reverse_i:
             msrc = msrc[:, :, ::-1]
-        coeffs = np.stack(
-            [self.basis.src_pn[:, ln.angle] for ln in lines], axis=1
-        )  # (nm, L)
+        coeffs = self.basis.src_pn[:, angles]  # (nm, L)
         src = self.basis.combine(coeffs[..., None], msrc)
 
         phij = views["phij"][:L, :it]   # oriented scratch: no flip
         phik = views["phik"][:L, :it]
         phii = views["phii"][:L]
-        sigt = oriented_rows(views["sigt"])
-        cx = np.array([cxs[ln.mm] for ln in lines])
-        cy = np.array([cys[ln.mm] for ln in lines])
-        cz = np.array([czs[ln.mm] for ln in lines])
+        cx = cxs[mms]
+        cy = cys[mms]
+        cz = czs[mms]
 
         # pass the scalar when the material is uniform so the arithmetic
         # matches the reference executor's scalar path bit for bit.
-        sigma = sigt if deck.material_box is not None else deck.sigma_t
+        if deck.material_box is not None:
+            sigma = views["sigt"][:L, :it]
+            if lines[0].reverse_i:
+                sigma = sigma[:, ::-1]
+        else:
+            sigma = deck.sigma_t
         psi_c, phi_i_out, fixups = dd_line_block_solve(
             src, sigma, phii.copy(), phij, phik, cx, cy, cz,
             fixup=deck.fixup,
         )
 
-        # flux accumulation on the SPE: Flux[n] += w*Pn * Phi (Figure 6)
-        flux = oriented_rows_view = views["flux"][:, :L, :it]
+        # flux accumulation on the SPE: Flux[n] += w*Pn * Phi (Figure 6),
+        # broadcast over (moment, line) with the same per-element
+        # multiply-then-add as the reference's scalar loop.
+        flux = views["flux"][:, :L, :it]
         if lines[0].reverse_i:
             flux = flux[:, :, ::-1]
-        for n in range(deck.nm):
-            for l, ln in enumerate(lines):
-                flux[n, l] = self.basis.wpn[n, ln.angle] * psi_c[l] + flux[n, l]
+        flux[...] = self.basis.wpn[:, angles][:, :, None] * psi_c + flux
         # I-outflows take the inflow slots for the PUT program
         phii[:] = phi_i_out
 

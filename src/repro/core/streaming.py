@@ -35,6 +35,10 @@ from .porting import HostState, RowSpec
 GET_TAGS = (2, 3)
 PUT_TAG = 5
 
+#: Entry cap of the per-SPE DMA-program cache (cleared wholesale on
+#: overflow; a miss only costs a rebuild).
+PROGRAM_CACHE_MAX_ENTRIES: int = 1 << 17
+
 
 @dataclass(frozen=True)
 class StagedLine:
@@ -85,6 +89,13 @@ class ChunkBuffers:
                     "phii": alloc(max(self.L, 2) * 8, label=f"phii[{s}]"),
                 }
             )
+        # the buffers live as long as this object, so their NumPy views
+        # can be built once per set and reused for every chunk.
+        self._views: list[dict[str, np.ndarray] | None] = [None] * self.sets
+        # assembled, validated DMA command programs keyed by the chunk's
+        # staged-line identities + direction + buffer set; see _program().
+        self._program_cache: dict[tuple, list] = {}
+        self._program_host: HostState | None = None
 
     @property
     def ls_bytes(self) -> int:
@@ -92,9 +103,14 @@ class ChunkBuffers:
         return sum(b.nbytes for s in self._bufs for b in s.values())
 
     def views(self, s: int = 0) -> dict[str, np.ndarray]:
+        """NumPy views over buffer set ``s`` (built once and reused; each
+        view aliases the live local-store bytes)."""
+        cached = self._views[s]
+        if cached is not None:
+            return cached
         nm, L, R = self.deck.nm, self.L, self.row_len
         bufs = self._bufs[s]
-        return {
+        cached = {
             "msrc": bufs["msrc"].as_array(np.float64, (nm, L, R)),
             "flux": bufs["flux"].as_array(np.float64, (nm, L, R)),
             "sigt": bufs["sigt"].as_array(np.float64, (L, R)),
@@ -102,6 +118,8 @@ class ChunkBuffers:
             "phik": bufs["phik"].as_array(np.float64, (L, R)),
             "phii": bufs["phii"].as_array(np.float64)[:L],
         }
+        self._views[s] = cached
+        return cached
 
     # -- command assembly ----------------------------------------------------------
 
@@ -191,6 +209,47 @@ class ChunkBuffers:
                 rows.append(("phii", 0, l, host.phii_out_cell(ln.mm, ln.kk, ln.j_o)))
         return rows
 
+    def _program(
+        self,
+        host: HostState,
+        lines: list[StagedLine],
+        direction: DMAKind,
+        s: int,
+        tag: int,
+    ) -> list:
+        """The chunk's transfer program, memoized when enabled.
+
+        Chunk working-set shapes recur across angle blocks, K-blocks,
+        octants and source iterations, so the assembled, validated
+        command program is cached keyed by the staged lines' identities
+        (every coordinate :meth:`rows_for_chunk` reads), the transfer
+        direction and the buffer set.  A cached program is the *same*
+        command objects re-enqueued through the same MFC path, so queue
+        back-pressure, tag drains and traffic counters are
+        indistinguishable from a cold build.
+        """
+        if not self.config.cache_dma_programs:
+            rows = self.rows_for_chunk(host, lines, direction)
+            return self._commands(direction, rows, s, tag)
+        if host is not self._program_host:
+            # programs embed host-array addresses: a new HostState (e.g.
+            # a fresh solve sharing this SPE) invalidates them all.
+            self._program_cache.clear()
+            self._program_host = host
+        key = (
+            direction is DMAKind.GET,
+            s,
+            tuple((ln.mm, ln.kk, ln.j_o, ln.j_g, ln.k_g) for ln in lines),
+        )
+        program = self._program_cache.get(key)
+        if program is None:
+            rows = self.rows_for_chunk(host, lines, direction)
+            program = self._commands(direction, rows, s, tag)
+            if len(self._program_cache) >= PROGRAM_CACHE_MAX_ENTRIES:
+                self._program_cache.clear()
+            self._program_cache[key] = program
+        return program
+
     def issue(self, commands: list, tag: int) -> None:
         """Enqueue a command program, draining when the MFC queue fills
         (the back-pressure real SPU code experiences with individual
@@ -212,12 +271,10 @@ class ChunkBuffers:
                 f"chunk of {len(lines)} lines exceeds buffer capacity {self.L}"
             )
         tag = GET_TAGS[s]
-        rows = self.rows_for_chunk(host, lines, DMAKind.GET)
-        self.issue(self._commands(DMAKind.GET, rows, s, tag), tag)
+        self.issue(self._program(host, lines, DMAKind.GET, s, tag), tag)
         self.spe.mfc.drain_tag(tag)
 
     def stage_out(self, host: HostState, lines: list[StagedLine], s: int = 0) -> None:
         """Issue and complete the PUT program for a chunk."""
-        rows = self.rows_for_chunk(host, lines, DMAKind.PUT)
-        self.issue(self._commands(DMAKind.PUT, rows, s, PUT_TAG), PUT_TAG)
+        self.issue(self._program(host, lines, DMAKind.PUT, s, PUT_TAG), PUT_TAG)
         self.spe.mfc.drain_tag(PUT_TAG)

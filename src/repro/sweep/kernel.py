@@ -81,19 +81,41 @@ def dd_solve(
 
     if not fixup:
         return CellResult(psi_c, out_x, out_y, out_z, 0)
+    psi_c, out_x, out_y, out_z, touched = _set_to_zero_fixup(
+        source, sigma_t, in_x, in_y, in_z, cx, cy, cz, psi_c, out_x, out_y, out_z
+    )
+    return CellResult(psi_c, out_x, out_y, out_z, touched)
 
-    # Set-to-zero fixup.  dd_x/dd_y/dd_z track which faces still use the
-    # diamond relation.  Balance: sigma_t psi_c = S + sum_f c_f (in - out).
-    # A diamond face (out = 2 psi_c - in) contributes 2c*in to the
-    # numerator and 2c to the denominator; a zeroed face (out = 0)
-    # contributes c*in to the numerator and nothing to the denominator.
-    #
-    # Cells never touched by a fixup keep their *plain* diamond values
-    # (not the all-diamond masked formula, which is mathematically equal
-    # but rounds differently): a cell's result is then a deterministic
-    # function of its own inputs, independent of which other cells share
-    # the batch -- the property the hyperplane/tile/SIMD equivalence
-    # tests rely on bit for bit.
+
+def _set_to_zero_fixup(
+    source: np.ndarray,
+    sigma_t: np.ndarray | float,
+    in_x: np.ndarray,
+    in_y: np.ndarray,
+    in_z: np.ndarray,
+    cx: np.ndarray,
+    cy: np.ndarray,
+    cz: np.ndarray,
+    psi_c: np.ndarray,
+    out_x: np.ndarray,
+    out_y: np.ndarray,
+    out_z: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Set-to-zero fixup of a batch of plain diamond solutions.
+
+    dd_x/dd_y/dd_z track which faces still use the diamond relation.
+    Balance: sigma_t psi_c = S + sum_f c_f (in - out).  A diamond face
+    (out = 2 psi_c - in) contributes 2c*in to the numerator and 2c to
+    the denominator; a zeroed face (out = 0) contributes c*in to the
+    numerator and nothing to the denominator.
+
+    Cells never touched by a fixup keep their *plain* diamond values
+    (not the all-diamond masked formula, which is mathematically equal
+    but rounds differently): a cell's result is then a deterministic
+    function of its own inputs, independent of which other cells share
+    the batch -- the property the hyperplane/tile/SIMD equivalence
+    tests rely on bit for bit.
+    """
     plain = (psi_c, out_x, out_y, out_z)
     dd_x = np.ones(source.shape, dtype=bool)
     dd_y = np.ones(source.shape, dtype=bool)
@@ -131,7 +153,7 @@ def dd_solve(
         out_x = np.where(touched, out_x, plain[1])
         out_y = np.where(touched, out_y, plain[2])
         out_z = np.where(touched, out_z, plain[3])
-    return CellResult(psi_c, out_x, out_y, out_z, int(touched.sum()))
+    return psi_c, out_x, out_y, out_z, int(touched.sum())
 
 
 def dd_line_block_solve(
@@ -181,25 +203,68 @@ def dd_line_block_solve(
     phi_i = np.array(phi_i_in, dtype=np.float64, copy=True)
     if phi_i.shape != (nlines,):
         raise SweepError(f"phi_i_in must be ({nlines},), got {phi_i.shape}")
-    sigma_col = np.broadcast_to(np.asarray(sigma_t, dtype=np.float64), source.shape)
+
+    # The fused fast path: everything :func:`dd_solve` would redo per
+    # I-column -- dtype coercion, coefficient broadcasting, the
+    # non-negativity check, and the constant part of the denominator --
+    # is hoisted out of the i-loop, and the diamond-difference update is
+    # inlined.  Every floating-point expression below is *literally* the
+    # one in :func:`dd_solve` (only loop-invariant subexpressions are
+    # hoisted, which is bitwise neutral), so results stay bit-identical
+    # to the per-column reference path.
+    cx = np.broadcast_to(np.asarray(cx, dtype=np.float64), (nlines,))
+    cy = np.broadcast_to(np.asarray(cy, dtype=np.float64), (nlines,))
+    cz = np.broadcast_to(np.asarray(cz, dtype=np.float64), (nlines,))
+    if np.any(cx < 0) or np.any(cy < 0) or np.any(cz < 0):
+        raise SweepError("dd_solve expects non-negative face coefficients")
+    sigma_arr = np.asarray(sigma_t, dtype=np.float64)
+    sigma_col = np.broadcast_to(sigma_arr, source.shape)
+    two_csum = 2.0 * (cx + cy + cz)
+    # uniform cross section: the denominator is the same for every column
+    denom_const = sigma_arr + two_csum if sigma_arr.ndim == 0 else None
+    check_fixup = fixup and nlines > 0
+
+    # Faces are stacked on a leading axis so each column is a handful of
+    # whole-array operations: faces_in[0] = I-inflow, [1] = J, [2] = K.
+    # ``coef * faces_in`` gives the three per-face products in one
+    # multiply and ``2.0 * psi - faces_in`` the three outflows in one
+    # subtract; per element every operation (and its order) is exactly
+    # dd_solve's, so the results remain bit-identical.
+    coef = np.empty((3, nlines))
+    coef[0] = cx
+    coef[1] = cy
+    coef[2] = cz
+    faces_in = np.empty((3, nlines))
+
     fixups = 0
     for i in range(it):
-        res = dd_solve(
-            source[:, i],
-            sigma_col[:, i],
-            phi_i,
-            phi_j[:, i],
-            phi_k[:, i],
-            cx,
-            cy,
-            cz,
-            fixup=fixup,
-        )
-        psi_c[:, i] = res.psi_c
-        phi_i = res.out_x
-        phi_j[:, i] = res.out_y
-        phi_k[:, i] = res.out_z
-        fixups += res.fixups_applied
+        src_i = source[:, i]
+        faces_in[0] = phi_i
+        faces_in[1] = phi_j[:, i]
+        faces_in[2] = phi_k[:, i]
+        prod = coef * faces_in
+        csum = (prod[0] + prod[1]) + prod[2]
+        denom = denom_const if denom_const is not None else sigma_col[:, i] + two_csum
+        psi = (src_i + 2.0 * csum) / denom
+        faces_out = 2.0 * psi - faces_in
+        if check_fixup and faces_out.min() < 0.0:
+            # lazy fixup: entered only for columns where a negative
+            # outflow actually exists (the common case is none).
+            psi, out_x, out_y, out_z, touched = _set_to_zero_fixup(
+                src_i, sigma_col[:, i],
+                faces_in[0], faces_in[1], faces_in[2], cx, cy, cz,
+                psi, faces_out[0], faces_out[1], faces_out[2],
+            )
+            fixups += touched
+            psi_c[:, i] = psi
+            phi_i = out_x
+            phi_j[:, i] = out_y
+            phi_k[:, i] = out_z
+        else:
+            psi_c[:, i] = psi
+            phi_i = faces_out[0]
+            phi_j[:, i] = faces_out[1]
+            phi_k[:, i] = faces_out[2]
     return psi_c, phi_i, fixups
 
 

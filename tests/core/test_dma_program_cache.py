@@ -1,0 +1,142 @@
+"""The DMA program cache is invisible to the simulated machine.
+
+Cached replay re-enqueues the *same* validated command objects through
+the same MFC path, so everything the simulated Cell can observe -- the
+per-SPE command stream, the enqueue/drain ordering, the MIC traffic and
+cycle counters, and of course the flux -- must be identical whether the
+cache is on or off.  These tests run the same solve both ways under an
+instrumented MFC and compare event-for-event.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cell.dma import DMAKind
+from repro.cell.mfc import MFC
+from repro.core.levels import MachineConfig, SyncProtocol
+from repro.core.solver import CellSweep3D
+from repro.core.streaming import ChunkBuffers, StagedLine
+from repro.sweep.input import small_deck
+from repro.sweep.moments import build_moment_source
+
+
+def config(cache: bool) -> MachineConfig:
+    return MachineConfig(
+        aligned_rows=True, double_buffer=True, simd=True, dma_lists=True,
+        bank_offsets=True, sync=SyncProtocol.LS_POKE, num_spes=3,
+        cache_dma_programs=cache,
+    )
+
+
+def instrumented_solve(deck, cache: bool):
+    """Full solve with every MFC enqueue/drain recorded as an event."""
+    events: list[tuple] = []
+    real_enqueue = MFC.enqueue
+    real_drain_tag = MFC.drain_tag
+    real_drain_all = MFC.drain_all
+
+    def enqueue(self, command):
+        events.append(("enq", self.spe_id, command.tag, command.cost_signature))
+        return real_enqueue(self, command)
+
+    def drain_tag(self, tag):
+        events.append(("drain", self.spe_id, tag))
+        return real_drain_tag(self, tag)
+
+    def drain_all(self):
+        events.append(("drain_all", self.spe_id))
+        return real_drain_all(self)
+
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setattr(MFC, "enqueue", enqueue)
+        mp.setattr(MFC, "drain_tag", drain_tag)
+        mp.setattr(MFC, "drain_all", drain_all)
+        solver = CellSweep3D(deck, config(cache))
+        result = solver.solve()
+    stats = [
+        (
+            spe.mfc.stats.commands,
+            spe.mfc.stats.list_elements,
+            spe.mfc.stats.bytes_get,
+            spe.mfc.stats.bytes_put,
+            spe.mfc.stats.cycles,
+            dict(spe.mfc.stats.element_sizes),
+        )
+        for spe in solver.chip.spes
+    ]
+    return result, events, stats
+
+
+@pytest.fixture
+def deck():
+    return small_deck(n=8, sn=4, nm=2, iterations=2, mk=2)
+
+
+class TestCacheTransparency:
+    def test_cached_replay_is_machine_identical(self, deck):
+        res_off, ev_off, stats_off = instrumented_solve(deck, False)
+        res_on, ev_on, stats_on = instrumented_solve(deck, True)
+
+        # the command stream and enqueue/drain interleaving, event for event
+        assert ev_on == ev_off
+        # accumulated per-SPE traffic and cycle counters
+        assert stats_on == stats_off
+        # and the physics
+        np.testing.assert_array_equal(res_on.flux, res_off.flux)
+        assert res_on.tally.fixups == res_off.tally.fixups
+
+    def test_simulated_timing_unaffected(self, deck):
+        # the calibrated TimingReport depends only on deck + config levels,
+        # never on the cache flag
+        t_off = CellSweep3D(deck, config(False)).timing()
+        t_on = CellSweep3D(deck, config(True)).timing()
+        assert t_on.seconds == t_off.seconds
+
+
+class TestProgramMemoization:
+    def test_repeat_chunk_reuses_program_objects(self, deck):
+        solver = CellSweep3D(deck, config(True))
+        msrc = build_moment_source(deck, np.zeros((deck.nm, *deck.grid.shape)))
+        solver.host.load_moment_source(msrc)
+        bufs = solver.buffers[0]
+        lines = [
+            StagedLine(mm=0, kk=0, j_o=j, j_g=j, k_g=0, angle=0, reverse_i=False)
+            for j in range(2)
+        ]
+        first = bufs._program(solver.host, lines, DMAKind.GET, 0, 2)
+        again = bufs._program(solver.host, lines, DMAKind.GET, 0, 2)
+        assert again is first
+        # distinct working sets, directions and buffer sets miss
+        other_lines = [
+            StagedLine(mm=0, kk=1, j_o=j, j_g=j, k_g=1, angle=0, reverse_i=False)
+            for j in range(2)
+        ]
+        assert bufs._program(solver.host, other_lines, DMAKind.GET, 0, 2) is not first
+        assert bufs._program(solver.host, lines, DMAKind.PUT, 0, 5) is not first
+        assert bufs._program(solver.host, lines, DMAKind.GET, 1, 3) is not first
+
+    def test_cache_disabled_rebuilds(self, deck):
+        solver = CellSweep3D(deck, config(False))
+        bufs = solver.buffers[0]
+        lines = [
+            StagedLine(mm=0, kk=0, j_o=0, j_g=0, k_g=0, angle=0, reverse_i=False)
+        ]
+        first = bufs._program(solver.host, lines, DMAKind.GET, 0, 2)
+        again = bufs._program(solver.host, lines, DMAKind.GET, 0, 2)
+        assert again is not first
+        assert not bufs._program_cache
+
+    def test_new_host_state_invalidates(self, deck):
+        solver = CellSweep3D(deck, config(True))
+        bufs = solver.buffers[0]
+        lines = [
+            StagedLine(mm=0, kk=0, j_o=0, j_g=0, k_g=0, angle=0, reverse_i=False)
+        ]
+        first = bufs._program(solver.host, lines, DMAKind.GET, 0, 2)
+        # a second solve on a fresh chip brings a fresh HostState whose
+        # arrays live at different effective addresses
+        fresh_host = CellSweep3D(deck, config(True)).host
+        rebuilt = bufs._program(fresh_host, lines, DMAKind.GET, 0, 2)
+        assert rebuilt is not first
