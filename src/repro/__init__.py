@@ -19,6 +19,10 @@ Subpackages
 ``repro.perf``
     Performance models: work counting, the per-diagonal discrete-event
     execution model, processor comparisons, grind-time analysis.
+``repro.trace``
+    Machine-wide event tracing: the TraceBus every instrumented unit
+    emits into, Perfetto/Chrome-trace export, timeline summaries, and
+    the DMA-hazard sanitizer (see ``docs/TRACING.md``).
 
 See ``DESIGN.md`` for the full inventory and ``EXPERIMENTS.md`` for
 paper-versus-measured results.
@@ -26,6 +30,9 @@ paper-versus-measured results.
 
 __version__ = "1.0.0"
 
-from . import cell, core, errors, mpi, perf, sweep, units
+from . import cell, core, errors, mpi, perf, sweep, trace, units
 
-__all__ = ["cell", "core", "errors", "mpi", "perf", "sweep", "units", "__version__"]
+__all__ = [
+    "cell", "core", "errors", "mpi", "perf", "sweep", "trace", "units",
+    "__version__",
+]

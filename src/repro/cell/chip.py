@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..trace.bus import NULL_BUS
 from .atomic import AtomicDomain
 from .clock import CycleClock
 from .dma import AddressSpace
@@ -61,10 +62,39 @@ class CellBE:
         self.eib = EIBModel()
         self.atomics = AtomicDomain()
         self.clock = CycleClock()
+        #: chip-wide trace bus; the null bus until ``install_trace``
+        self.trace = NULL_BUS
 
     @property
     def num_spes(self) -> int:
         return len(self.spes)
+
+    def install_trace(self, bus) -> None:
+        """Point every instrumented unit of the chip at ``bus``.
+
+        One bus observes the whole machine: the per-SPE MFCs, the shared
+        memory-controller and EIB models, mailbox pairs and signal
+        registers, plus anything that reads ``chip.trace`` dynamically
+        (sync protocols, schedulers, the solver).  Also stamps the
+        machine metadata the DMA-hazard sanitizer's capacity checks
+        need.  Install :data:`repro.trace.NULL_BUS` to switch tracing
+        back off.
+        """
+        self.trace = bus
+        self.memory_timing.trace = bus
+        self.eib.trace = bus
+        for spe in self.spes:
+            spe.trace = bus
+            spe.mfc.trace = bus
+            spe.mailboxes.trace = bus
+            spe.signals.sig1.trace = bus
+            spe.signals.sig2.trace = bus
+        if bus.enabled:
+            bus.machine_info = {
+                "num_spes": self.num_spes,
+                "ls_capacity": self.spes[0].local_store.capacity,
+                "ls_code_bytes": self.spes[0].local_store.reserved_code_bytes,
+            }
 
     def host_alloc(
         self,

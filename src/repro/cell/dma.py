@@ -225,6 +225,12 @@ class DMACommand:
         and the MFC traffic accounting read from this command."""
         return ("cmd", self.kind.value, self.ea, self.size)
 
+    def ls_regions(self) -> tuple[tuple[int, int], ...]:
+        """Absolute local-store (start, size) byte ranges this command
+        reads or writes -- the footprint the trace sanitizer checks for
+        overlap with other in-flight commands."""
+        return ((self.ls_buffer.offset + self.ls_offset, self.size),)
+
     def elements(self) -> list[DMAElement]:
         return [DMAElement(self.ea, self.size)]
 
@@ -300,6 +306,13 @@ class DMAListCommand:
             tuple((self.host.ea_of(off), size) for off, size in self.elements_spec),
         )
 
+    def ls_regions(self) -> tuple[tuple[int, int], ...]:
+        """List elements fill the local store contiguously from
+        ``ls_offset``, so the footprint is one dense range."""
+        return (
+            (self.ls_buffer.offset + self.ls_offset, self.total_bytes),
+        )
+
     @property
     def peak_rate(self) -> bool:
         cursor = self.ls_offset
@@ -373,6 +386,11 @@ class LSToLSCommand:
         """Hashable signature for MIC cost memoization (LS-to-LS moves
         touch no memory banks; only size and direction matter)."""
         return ("lsls", self.kind.value, self.size)
+
+    def ls_regions(self) -> tuple[tuple[int, int], ...]:
+        """The issuing SPE's local footprint (the remote store belongs
+        to another track; its MFC sees nothing of this command)."""
+        return ((self.ls_buffer.offset + self.ls_offset, self.size),)
 
     def elements(self) -> list[DMAElement]:
         """LS-to-LS transfers touch no main-memory banks."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..trace.bus import EIB_TRACK, NULL_BUS
 from . import constants
 
 #: Aggregate EIB bandwidth, bytes per SPU cycle: 204.8 GB/s / 3.2 GHz = 64.
@@ -47,6 +48,10 @@ class BusCost:
 class EIBModel:
     """Throughput model for concurrent point-to-point flows on the EIB."""
 
+    def __init__(self) -> None:
+        #: trace bus (see ``CellBE.install_trace``).
+        self.trace = NULL_BUS
+
     def ls_to_ls_cycles(self, nbytes: int) -> float:
         """Cycles to move ``nbytes`` between two local stores.
 
@@ -55,7 +60,12 @@ class EIBModel:
         """
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes}")
-        return ARBITRATION_CYCLES + nbytes / PORT_BYTES_PER_CYCLE
+        cycles = ARBITRATION_CYCLES + nbytes / PORT_BYTES_PER_CYCLE
+        if self.trace.enabled:
+            self.trace.instant(
+                EIB_TRACK, "EibFlow", flows=1, bytes=nbytes, cycles=cycles
+            )
+        return cycles
 
     def concurrent_flows_cycles(self, flow_bytes: list[int]) -> BusCost:
         """Cycles for ``len(flow_bytes)`` concurrent flows to all finish.
@@ -71,7 +81,15 @@ class EIBModel:
             return BusCost(0, 0.0)
         per_port_makespan = max(b / PORT_BYTES_PER_CYCLE for b in flow_bytes)
         aggregate_makespan = total / EIB_BYTES_PER_CYCLE
-        return BusCost(total, ARBITRATION_CYCLES + max(per_port_makespan, aggregate_makespan))
+        cost = BusCost(
+            total, ARBITRATION_CYCLES + max(per_port_makespan, aggregate_makespan)
+        )
+        if self.trace.enabled:
+            self.trace.instant(
+                EIB_TRACK, "EibFlow", flows=len(flow_bytes), bytes=total,
+                cycles=cost.cycles,
+            )
+        return cost
 
     def mic_bound_check(self, nbytes: int, mic_cycles: float) -> bool:
         """True when main memory, not the EIB, limits a transfer of

@@ -19,6 +19,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..errors import MailboxError
+from ..trace.bus import NULL_BUS, PPE_TRACK, spe_track
 from . import constants
 
 #: SPU-side channel access to its own mailbox, cycles.
@@ -90,6 +91,11 @@ class MailboxPair:
         self.outbound = Mailbox(
             f"SPE{spe_id}.outbound", constants.MAILBOX_OUTBOUND_DEPTH
         )
+        #: trace bus (see ``CellBE.install_trace``).  Mailbox events are
+        #: instants (their cycle cost rides in the args); the sync
+        #: protocol layer owns the timeline-advancing spans, so the two
+        #: layers never double-charge the same cycles.
+        self.trace = NULL_BUS
 
     # Convenience wrappers named for who performs the access, so call
     # sites read like the protocol descriptions in the paper.
@@ -97,18 +103,40 @@ class MailboxPair:
     def ppe_send(self, value: int) -> int:
         """PPE writes the SPU's inbound mailbox over MMIO; returns cycles."""
         self.inbound.write(value)
+        if self.trace.enabled:
+            self.trace.instant(
+                PPE_TRACK, "MailboxSend", spe=self.spe_id, value=value,
+                mailbox="inbound", cycles=PPE_MAILBOX_MMIO_CYCLES,
+            )
         return PPE_MAILBOX_MMIO_CYCLES
 
     def spu_receive(self) -> tuple[int, int]:
         """SPU reads its inbound mailbox; returns (value, cycles)."""
-        return self.inbound.read(), SPU_MAILBOX_ACCESS_CYCLES
+        value = self.inbound.read()
+        if self.trace.enabled:
+            self.trace.instant(
+                spe_track(self.spe_id), "MailboxRecv", value=value,
+                mailbox="inbound", cycles=SPU_MAILBOX_ACCESS_CYCLES,
+            )
+        return value, SPU_MAILBOX_ACCESS_CYCLES
 
     def spu_send(self, value: int) -> int:
         """SPU writes its outbound mailbox; returns cycles."""
         self.outbound.write(value)
+        if self.trace.enabled:
+            self.trace.instant(
+                spe_track(self.spe_id), "MailboxSend", value=value,
+                mailbox="outbound", cycles=SPU_MAILBOX_ACCESS_CYCLES,
+            )
         return SPU_MAILBOX_ACCESS_CYCLES
 
     def ppe_receive(self) -> tuple[int, int]:
         """PPE reads the SPU's outbound mailbox over MMIO; returns
         (value, cycles)."""
-        return self.outbound.read(), PPE_MAILBOX_MMIO_CYCLES
+        value = self.outbound.read()
+        if self.trace.enabled:
+            self.trace.instant(
+                PPE_TRACK, "MailboxRecv", spe=self.spe_id, value=value,
+                mailbox="outbound", cycles=PPE_MAILBOX_MMIO_CYCLES,
+            )
+        return value, PPE_MAILBOX_MMIO_CYCLES

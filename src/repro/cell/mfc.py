@@ -20,6 +20,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from ..errors import MFCError
+from ..trace.bus import NULL_BUS, spe_track
 from .dma import AnyDMACommand
 from .mic import MemoryTimingModel, TransferCost
 from . import constants
@@ -72,6 +73,9 @@ class MFC:
         self._queue: dict[int, list[AnyDMACommand]] = {}
         self._pending = 0
         self.stats = TagStats()
+        #: trace bus (chip-wide; see ``CellBE.install_trace``).  The
+        #: shared null bus makes every hook a single-branch no-op.
+        self.trace = NULL_BUS
         # memo of per-batch traffic-accounting deltas keyed by the batch's
         # address signature: replayed chunk programs (the common case, see
         # repro.core.streaming) skip the per-command accounting loop.  The
@@ -92,6 +96,13 @@ class MFC:
             )
         self._queue.setdefault(command.tag, []).append(command)
         self._pending += 1
+        if self.trace.enabled:
+            self.trace.instant(
+                spe_track(self.spe_id), "DmaEnqueue",
+                tag=command.tag, kind=command.kind.value,
+                bytes=command.total_bytes, depth=self._pending,
+                regions=[list(r) for r in command.ls_regions()],
+            )
 
     def pending_tags(self) -> set[int]:
         """Tags with at least one command still in flight."""
@@ -141,6 +152,13 @@ class MFC:
         self.stats.bytes_put += delta[3]
         self.stats.element_sizes.update(delta[4])
         self.stats.cycles += cost.total_cycles
+        if self.trace.enabled:
+            self.trace.span(
+                spe_track(self.spe_id), "DmaComplete", cost.total_cycles,
+                tags=sorted({cmd.tag for cmd in commands}),
+                commands=delta[0], bytes_get=delta[2], bytes_put=delta[3],
+                bank_factor=cost.bank_factor,
+            )
         return cost
 
     def drain_tag(self, tag: int) -> TransferCost:

@@ -27,6 +27,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from ..trace.bus import MIC_TRACK, NULL_BUS
 from . import constants
 from .dma import AnyDMACommand, DMACommand, DMAElement, DMAListCommand, LSToLSCommand
 
@@ -134,6 +135,10 @@ class MemoryTimingModel:
             raise ValueError(f"bank_weight must be in [0, 1], got {bank_weight}")
         self.overlap_commands = overlap_commands
         self.bank_weight = bank_weight
+        #: trace bus (see ``CellBE.install_trace``); emission happens on
+        #: every ``cost`` call -- memo hit or miss -- so the event stream
+        #: is independent of cache warmth.
+        self.trace = NULL_BUS
         # Memo of computed costs keyed by the batch's address signature.
         # The cost is a pure function of the per-command signatures (type,
         # element EAs and sizes), so recurring chunk programs -- the common
@@ -160,15 +165,20 @@ class MemoryTimingModel:
                 key = tuple(cmd.cost_signature for cmd in commands)
             except AttributeError:  # foreign command type without a signature
                 key = None
-        if key is not None:
-            cached = self._cost_cache.get(key)
-            if cached is not None:
-                return cached
-        result = self._cost_uncached(commands)
-        if key is not None:
-            if len(self._cost_cache) >= COST_CACHE_MAX_ENTRIES:
-                self._cost_cache.clear()
-            self._cost_cache[key] = result
+        result = self._cost_cache.get(key) if key is not None else None
+        if result is None:
+            result = self._cost_uncached(commands)
+            if key is not None:
+                if len(self._cost_cache) >= COST_CACHE_MAX_ENTRIES:
+                    self._cost_cache.clear()
+                self._cost_cache[key] = result
+        if self.trace.enabled:
+            self.trace.instant(
+                MIC_TRACK, "MicBankAccess",
+                commands=len(commands), payload_bytes=result.payload_bytes,
+                touched_bytes=result.touched_bytes,
+                bank_factor=result.bank_factor,
+            )
         return result
 
     def _cost_uncached(self, commands: Sequence[AnyDMACommand]) -> TransferCost:

@@ -13,9 +13,10 @@ completion without serialising through the PPE.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..errors import SignalError
+from ..trace.bus import NULL_BUS, spe_track
 
 #: SPU channel read of its own signal register, cycles.
 SPU_SIGNAL_READ_CYCLES: int = 12
@@ -33,6 +34,9 @@ class SignalRegister:
     or_mode: bool = True
     value: int = 0
     pending: bool = False
+    #: trace bus and owning track (see ``CellBE.install_trace``)
+    trace: object = field(default=NULL_BUS, repr=False, compare=False)
+    track: str = field(default="SPE?", repr=False, compare=False)
 
     def write(self, bits: int) -> int:
         """Deposit ``bits``; returns the modelled remote-write cycles."""
@@ -43,6 +47,11 @@ class SignalRegister:
         else:
             self.value = bits
         self.pending = True
+        if self.trace.enabled:
+            self.trace.instant(
+                self.track, "SignalNotify", register=self.name, bits=bits,
+                or_mode=self.or_mode, cycles=REMOTE_SIGNAL_WRITE_CYCLES,
+            )
         return REMOTE_SIGNAL_WRITE_CYCLES
 
     def read(self) -> tuple[int, int]:
@@ -72,5 +81,6 @@ class SignalUnit:
 
     def __init__(self, spe_id: int, or_mode: bool = True) -> None:
         self.spe_id = spe_id
-        self.sig1 = SignalRegister(f"SPE{spe_id}.Sig_Notify_1", or_mode)
-        self.sig2 = SignalRegister(f"SPE{spe_id}.Sig_Notify_2", or_mode)
+        track = spe_track(spe_id)
+        self.sig1 = SignalRegister(f"SPE{spe_id}.Sig_Notify_1", or_mode, track=track)
+        self.sig2 = SignalRegister(f"SPE{spe_id}.Sig_Notify_2", or_mode, track=track)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..trace.bus import NULL_BUS
 from .clock import CycleBudget
 from .isa import SPUContext
 from .local_store import LocalStore
@@ -82,6 +83,8 @@ class SPE:
         self.signals = SignalUnit(spe_id)
         #: synchronization cycle costs attributed to this SPE
         self.sync_budget = CycleBudget()
+        #: trace bus shared chip-wide (see ``CellBE.install_trace``)
+        self.trace = NULL_BUS
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -6,6 +6,7 @@ writing code:
 
 =============  ===========================================================
 ``solve``      run a cubic problem through a chosen engine
+``trace``      traced Cell solve: Perfetto export + DMA-hazard sanitizer
 ``ladder``     Figure 5: the optimization ladder
 ``kernel``     Sec. 5.1: SPE kernel pipeline statistics
 ``grind``      Figure 9: grind time vs cube size
@@ -14,6 +15,10 @@ writing code:
 ``bounds``     Sec. 6: traffic and lower bounds
 ``cluster``    multi-chip Cell cluster scaling (extension)
 =============  ===========================================================
+
+``solve`` and ``kernel`` take ``--json`` for machine-readable output;
+``solve --engine cell --trace out.json`` exports the event trace of the
+functional run (see ``docs/TRACING.md``).
 """
 
 from __future__ import annotations
@@ -65,9 +70,14 @@ def cmd_solve(args) -> int:
     from .sweep.serial import SerialSweep3D
 
     deck = _build_deck(args)
+    if args.trace and args.engine != "cell":
+        print("error: --trace requires --engine cell (only the simulated "
+              "machine emits events)", file=sys.stderr)
+        return 2
     if deck.grid.num_cells > 30**3 and args.engine != "serial":
         print("note: functional engines other than 'serial' are slow above "
               "~30^3; consider --cube 16", file=sys.stderr)
+    solver = None
     if args.engine == "serial":
         result = SerialSweep3D(deck).solve()
     elif args.engine == "tile":
@@ -75,18 +85,77 @@ def cmd_solve(args) -> int:
     elif args.engine == "kba":
         result = KBASweep3D(deck, P=args.p, Q=args.q).solve()
     elif args.engine == "cell":
-        result = CellSweep3D(deck, measured_cell_config()).solve()
+        config = measured_cell_config()
+        if args.trace:
+            config = config.with_(trace=True)
+        solver = CellSweep3D(deck, config)
+        result = solver.solve()
     else:  # pragma: no cover - argparse enforces choices
         raise ValueError(args.engine)
     phi = result.scalar_flux
-    print(f"engine={args.engine} deck={deck.grid.shape} S{deck.sn} "
-          f"nm={deck.nm} iters={result.iterations}")
-    print(f"scalar flux: total={phi.sum():.6f} max={phi.max():.6f} "
-          f"min={phi.min():.6f}")
-    print(f"leakage={result.tally.leakage:.6f} fixups={result.tally.fixups}")
-    if result.history:
-        print(f"last flux change: {result.history[-1]:.3e}")
+    if args.json:
+        from .perf.report import Row, format_json
+
+        rows = [
+            Row("flux total", float(phi.sum()), unit=""),
+            Row("flux max", float(phi.max()), unit=""),
+            Row("flux min", float(phi.min()), unit=""),
+            Row("leakage", float(result.tally.leakage), unit=""),
+            Row("fixups", float(result.tally.fixups), unit=""),
+        ]
+        extra = {
+            "engine": args.engine,
+            "deck": {"shape": list(deck.grid.shape), "sn": deck.sn,
+                     "nm": deck.nm, "iterations": result.iterations},
+            "last_flux_change": (result.history[-1] if result.history
+                                 else None),
+        }
+        print(format_json("solve", rows, extra))
+    else:
+        print(f"engine={args.engine} deck={deck.grid.shape} S{deck.sn} "
+              f"nm={deck.nm} iters={result.iterations}")
+        print(f"scalar flux: total={phi.sum():.6f} max={phi.max():.6f} "
+              f"min={phi.min():.6f}")
+        print(f"leakage={result.tally.leakage:.6f} fixups={result.tally.fixups}")
+        if result.history:
+            print(f"last flux change: {result.history[-1]:.3e}")
+    if args.trace and solver is not None:
+        from .trace.export import write_chrome_trace
+
+        write_chrome_trace(args.trace, solver.trace)
+        print(f"trace: {len(solver.trace)} events -> {args.trace}",
+              file=sys.stderr)
     return 0
+
+
+def cmd_trace(args) -> int:
+    """Traced functional solve on the simulated Cell: export the event
+    stream as Chrome-trace/Perfetto JSON, print the per-track timeline
+    summary, and run the DMA-hazard sanitizer over the stream."""
+    from .core.solver import CellSweep3D
+    from .perf.processors import measured_cell_config
+    from .trace.export import timeline_summary, write_chrome_trace
+    from .trace.sanitizer import format_hazards, sanitize
+
+    deck = _build_deck(args)
+    if deck.grid.num_cells > 16**3:
+        print("note: tracing a functional solve above ~16^3 is slow and "
+              "produces very large traces; consider --cube 8",
+              file=sys.stderr)
+    config = measured_cell_config().with_(trace=True)
+    solver = CellSweep3D(deck, config)
+    solver.solve()
+    bus = solver.trace
+    if args.out:
+        write_chrome_trace(args.out, bus)
+        print(f"wrote {len(bus)} events to {args.out} "
+              f"(open in https://ui.perfetto.dev)")
+        print()
+    print(timeline_summary(bus))
+    hazards = sanitize(bus)
+    print()
+    print(format_hazards(hazards))
+    return 1 if hazards else 0
 
 
 def cmd_ladder(args) -> int:
@@ -105,14 +174,35 @@ def cmd_ladder(args) -> int:
 def cmd_kernel(args) -> int:
     from .core.spe_kernel import cells_per_invocation, kernel_cycle_report
 
-    print(f"{'kernel':14s} {'cells':>5s} {'cycles':>7s} {'flops':>6s} "
-          f"{'dual':>5s} {'eff':>7s}")
+    variants = []
     for name, fixup, double in (
         ("DP", False, True), ("DP+fixup", True, True), ("SP", False, False),
     ):
         r = kernel_cycle_report(nm=args.nm, fixup=fixup, double=double)
-        eff = r.efficiency(double)
-        print(f"{name:14s} {cells_per_invocation(double):5d} {r.cycles:7d} "
+        variants.append((name, cells_per_invocation(double), r,
+                         r.efficiency(double)))
+    if args.json:
+        from .perf.report import Row, format_json
+
+        rows = [
+            Row(f"{name} cycles/invocation", float(r.cycles), unit="cy")
+            for name, _, r, _ in variants
+        ]
+        extra = {
+            "nm": args.nm,
+            "variants": [
+                {"name": name, "cells": cells, "cycles": r.cycles,
+                 "flops": r.flops, "dual_issues": r.dual_issues,
+                 "efficiency": eff}
+                for name, cells, r, eff in variants
+            ],
+        }
+        print(format_json("Sec. 5.1 kernel statistics", rows, extra))
+        return 0
+    print(f"{'kernel':14s} {'cells':>5s} {'cycles':>7s} {'flops':>6s} "
+          f"{'dual':>5s} {'eff':>7s}")
+    for name, cells, r, eff in variants:
+        print(f"{name:14s} {cells:5d} {r.cycles:7d} "
               f"{r.flops:6d} {r.dual_issues:5d} {eff:7.1%}")
     return 0
 
@@ -240,7 +330,21 @@ def build_parser() -> argparse.ArgumentParser:
                    default="serial")
     p.add_argument("-p", type=int, default=2, help="KBA process columns")
     p.add_argument("-q", type=int, default=2, help="KBA process rows")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="export a Chrome-trace/Perfetto JSON of the run "
+                        "(requires --engine cell)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON output")
     p.set_defaults(fn=cmd_solve)
+
+    p = sub.add_parser(
+        "trace",
+        help="traced Cell solve: Perfetto export + DMA-hazard sanitizer",
+    )
+    _deck_args(p)
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write the Chrome-trace/Perfetto JSON here")
+    p.set_defaults(fn=cmd_trace)
 
     for name, fn, help_ in (
         ("ladder", cmd_ladder, "Figure 5"),
@@ -263,6 +367,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("kernel", help="Sec. 5.1 kernel statistics")
     p.add_argument("--nm", type=int, default=4)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON output")
     p.set_defaults(fn=cmd_kernel)
 
     p = sub.add_parser("grind", help="Figure 9 grind-time curve")

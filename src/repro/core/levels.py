@@ -97,6 +97,13 @@ class MachineConfig:
     #: enqueues the very same commands, so DMA traffic, MIC costs and
     #: queue back-pressure are indistinguishable from a cold build.
     cache_dma_programs: bool = True
+    #: machine-wide event tracing (:mod:`repro.trace`): the solver builds
+    #: a TraceBus and installs it chip-wide, and every instrumented unit
+    #: (MFC, MIC, mailboxes, sync, schedulers, kernel) emits typed,
+    #: timestamped events -- including on the cached DMA-program replay
+    #: path, which stays observable-transparent.  Off by default; the
+    #: disabled hooks are single-branch no-ops.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if not 0 <= self.num_spes <= 8:

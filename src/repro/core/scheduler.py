@@ -24,6 +24,7 @@ from typing import Callable, Sequence
 from ..cell.atomic import ATOMIC_OP_CYCLES
 from ..cell.chip import CellBE
 from ..errors import SchedulerError
+from ..trace.bus import PPE_TRACK, spe_track
 from .sync import LSPokeSync, MailboxSync
 from .worklist import Chunk, assign_cyclic
 
@@ -47,12 +48,24 @@ class CentralizedScheduler:
     ) -> list[Chunk]:
         """Dispatch one jkm diagonal's lines cyclically across the SPEs."""
         chunks = assign_cyclic(lines, chunk_lines, len(self.chip.spes))
+        trace = self.chip.trace
         for chunk in chunks:
             spe = self.chip.spes[chunk.spe]
+            if trace.enabled:
+                trace.instant(
+                    PPE_TRACK, "WorkAssigned", chunk=chunk.index,
+                    spe=chunk.spe, lines=len(chunk.lines),
+                    scheduler="centralized",
+                )
             self.sync.dispatch(spe, chunk.index)
             execute(chunk)
             self.sync.complete(spe, chunk.index)
             self.chunks_dispatched += 1
+            if trace.enabled:
+                trace.instant(
+                    PPE_TRACK, "WorkDone", chunk=chunk.index, spe=chunk.spe,
+                    scheduler="centralized",
+                )
         return chunks
 
 
@@ -97,7 +110,18 @@ class DistributedScheduler:
             chunk = chunks[old]
             # the claiming SPE executes it regardless of the cyclic hint
             executed.append(Chunk(chunk.index, spe.spe_id, chunk.lines))
+            if self.chip.trace.enabled:
+                self.chip.trace.instant(
+                    spe_track(spe.spe_id), "WorkAssigned", chunk=chunk.index,
+                    spe=spe.spe_id, lines=len(chunk.lines),
+                    scheduler="distributed", attempts=attempts,
+                )
             execute(executed[-1])
             claimed += 1
             self.chunks_dispatched += 1
+            if self.chip.trace.enabled:
+                self.chip.trace.instant(
+                    spe_track(spe.spe_id), "WorkDone", chunk=chunk.index,
+                    spe=spe.spe_id, scheduler="distributed",
+                )
         return executed

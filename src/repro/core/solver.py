@@ -30,6 +30,7 @@ from ..sweep.kernel import dd_line_block_solve
 from ..sweep.moments import MomentBasis
 from ..sweep.pipelining import angle_blocks, diagonal_lines, k_blocks, num_diagonals
 from ..sweep.quadrature import OCTANT_SIGNS
+from ..trace.bus import NULL_BUS, spe_track
 from .levels import MachineConfig, SchedulerKind, SyncProtocol
 from .porting import HostState
 from .scheduler import CentralizedScheduler, DistributedScheduler
@@ -63,6 +64,21 @@ class CellSweep3D:
                 "reference solver only (the paper's benchmark is vacuum)"
             )
         self.chip = chip or CellBE(num_spes=self.config.num_spes)
+        if self.config.trace:
+            from ..trace.bus import TraceBus
+
+            self.trace = TraceBus()
+            self.chip.install_trace(self.trace)
+            # modelled SPU cycles per cell visit, so KernelExec spans
+            # carry the same cost the performance model charges
+            from ..perf.model import _kernel_cycles_per_visit
+
+            self._trace_cycles_per_visit = _kernel_cycles_per_visit(
+                deck, self.config
+            )
+        else:
+            self.trace = NULL_BUS
+            self._trace_cycles_per_visit = 0.0
         self.host = HostState(deck, self.config, self.chip)
         self.quad = deck.quadrature()
         self.basis = MomentBasis(self.quad, deck.nm)
@@ -198,6 +214,14 @@ class CellSweep3D:
             src, sigma, phii.copy(), phij, phik, cx, cy, cz,
             fixup=deck.fixup,
         )
+        if self.trace.enabled:
+            self.trace.span(
+                spe_track(chunk.spe), "KernelExec",
+                self._trace_cycles_per_visit * L * it,
+                chunk=chunk.index, set=s, lines=L, cells=L * it,
+                fixups=int(fixups),
+                regions=[list(r) for r in bufs.ls_regions(s)],
+            )
 
         # flux accumulation on the SPE: Flux[n] += w*Pn * Phi (Figure 6),
         # broadcast over (moment, line) with the same per-element

@@ -28,6 +28,7 @@ from ..cell.local_store import LSBuffer
 from ..cell.spe import SPE
 from ..errors import ConfigurationError
 from ..sweep.input import InputDeck
+from ..trace.bus import spe_track
 from .levels import MachineConfig
 from .porting import HostState, RowSpec
 
@@ -101,6 +102,14 @@ class ChunkBuffers:
     def ls_bytes(self) -> int:
         """Total local-store bytes held by the working-set buffers."""
         return sum(b.nbytes for s in self._bufs for b in s.values())
+
+    def ls_regions(self, s: int) -> tuple[tuple[int, int], ...]:
+        """Absolute (start, size) local-store ranges of buffer set ``s``
+        -- the kernel's working-set footprint, as reported in KernelExec
+        trace events for the DMA-hazard sanitizer."""
+        return tuple(
+            sorted((b.offset, b.nbytes) for b in self._bufs[s].values())
+        )
 
     def views(self, s: int = 0) -> dict[str, np.ndarray]:
         """NumPy views over buffer set ``s`` (built once and reused; each
@@ -271,6 +280,12 @@ class ChunkBuffers:
                 f"chunk of {len(lines)} lines exceeds buffer capacity {self.L}"
             )
         tag = GET_TAGS[s]
+        if self.spe.trace.enabled:
+            self.spe.trace.instant(
+                spe_track(self.spe.spe_id), "BufferSwap", set=s, tag=tag,
+                lines=len(lines), sets=self.sets,
+                ls_used=self.spe.local_store.used_bytes,
+            )
         self.issue(self._program(host, lines, DMAKind.GET, s, tag), tag)
         self.spe.mfc.drain_tag(tag)
 

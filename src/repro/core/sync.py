@@ -24,6 +24,7 @@ from ..cell.mailbox import PPE_MAILBOX_MMIO_CYCLES, SPU_MAILBOX_ACCESS_CYCLES
 from ..cell.ppe import PPE_LS_POKE_CYCLES
 from ..cell.spe import SPE
 from ..errors import SchedulerError
+from ..trace.bus import PPE_TRACK
 
 #: SPU-side poll of its own local store (a plain load).
 SPU_LS_POLL_CYCLES: int = 6
@@ -53,6 +54,11 @@ class MailboxSync:
             raise SchedulerError(f"mailbox delivered {value}, expected {work_id}")
         spe.sync_budget.charge("mailbox_recv", spu_cycles)
         self.chip.ppe.sync_budget.charge("mailbox_send", ppe_cycles)
+        if self.chip.trace.enabled:
+            self.chip.trace.span(
+                PPE_TRACK, "SyncDispatch", ppe_cycles, spe=spe.spe_id,
+                work_id=work_id, protocol=self.name,
+            )
         return ppe_cycles
 
     def complete(self, spe: SPE, work_id: int) -> int:
@@ -63,6 +69,11 @@ class MailboxSync:
         if value != work_id:  # pragma: no cover - protocol invariant
             raise SchedulerError(f"mailbox returned {value}, expected {work_id}")
         self.chip.ppe.sync_budget.charge("mailbox_recv", ppe_cycles)
+        if self.chip.trace.enabled:
+            self.chip.trace.span(
+                PPE_TRACK, "SyncComplete", ppe_cycles, spe=spe.spe_id,
+                work_id=work_id, protocol=self.name,
+            )
         return ppe_cycles
 
     @property
@@ -105,6 +116,11 @@ class LSPokeSync:
         if got != work_id:  # pragma: no cover - protocol invariant
             raise SchedulerError(f"LS doorbell held {got}, expected {work_id}")
         spe.sync_budget.charge("ls_poll", SPU_LS_POLL_CYCLES)
+        if self.chip.trace.enabled:
+            self.chip.trace.span(
+                PPE_TRACK, "SyncDispatch", ppe_cycles, spe=spe.spe_id,
+                work_id=work_id, protocol=self.name,
+            )
         return ppe_cycles
 
     def complete(self, spe: SPE, work_id: int) -> int:
@@ -113,6 +129,11 @@ class LSPokeSync:
         self._completion[spe.spe_id, 0] = work_id
         spe.sync_budget.charge("completion_dma", SPE_COMPLETION_DMA_CYCLES)
         self.chip.ppe.sync_budget.charge("completion_poll", PPE_CACHED_POLL_CYCLES)
+        if self.chip.trace.enabled:
+            self.chip.trace.span(
+                PPE_TRACK, "SyncComplete", PPE_CACHED_POLL_CYCLES,
+                spe=spe.spe_id, work_id=work_id, protocol=self.name,
+            )
         return PPE_CACHED_POLL_CYCLES
 
     @property

@@ -19,7 +19,7 @@ from .processors import (
     measured_cell_config,
     speedup_over,
 )
-from .report import Row, ascii_bars, format_series, format_table
+from .report import Row, ascii_bars, format_json, format_series, format_table, rows_payload
 from .roofline import RooflinePoint, analyze as roofline_analyze, ascii_roofline
 
 __all__ = [
@@ -50,8 +50,10 @@ __all__ = [
     "comparison_table",
     "compute_bound",
     "count_work",
+    "format_json",
     "format_series",
     "format_table",
+    "rows_payload",
     "grind_curve",
     "grind_time_ns",
     "measured_cell_config",

@@ -8,7 +8,9 @@ command per figure.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from typing import Any
 
 
 @dataclass(frozen=True)
@@ -39,6 +41,37 @@ def format_table(title: str, rows: list[Row], precision: int = 2) -> str:
         ratio = f"{r.ratio:.2f}" if r.ratio is not None else "-"
         out.append(f"{r.label:{width}s}  {ours:>12s}  {paper:>10s}  {ratio:>7s}")
     return "\n".join(out)
+
+
+def rows_payload(title: str, rows: list[Row]) -> dict[str, Any]:
+    """The comparison table as a JSON-serializable payload -- the same
+    label/value/paper/ratio content :func:`format_table` prints, for
+    benches and CI to consume without scraping terminal output."""
+    return {
+        "title": title,
+        "rows": [
+            {
+                "label": r.label,
+                "value": r.value,
+                "paper": r.paper,
+                "unit": r.unit,
+                "ratio": r.ratio,
+            }
+            for r in rows
+        ],
+    }
+
+
+def format_json(
+    title: str, rows: list[Row], extra: dict[str, Any] | None = None
+) -> str:
+    """Machine-readable rendering of a comparison table (``--json`` mode
+    of the CLI commands).  ``extra`` merges additional top-level fields
+    (engine, deck shape, ...) into the payload."""
+    payload = rows_payload(title, rows)
+    if extra:
+        payload.update(extra)
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def format_series(

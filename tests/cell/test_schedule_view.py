@@ -48,6 +48,27 @@ class TestFormatSchedule:
         text = format_schedule(simulate(s), max_cycles=10)
         assert "more cycles" in text
 
+    def test_first_cycle_offsets_the_window(self):
+        s = InstructionStream("long")
+        for i in range(50):
+            s.emit("fma", OpClass.DP_FLOAT, f"r{i}", ())
+        report = simulate(s)
+        tail = format_schedule(report, first_cycle=report.cycles - 5)
+        assert "more cycles" not in tail
+        # the header row plus at most 5 cycle rows plus the summary
+        assert len(tail.splitlines()) <= 7
+
+    def test_summary_line_matches_report(self, mixed_report):
+        last = format_schedule(mixed_report).splitlines()[-1]
+        assert f"total {mixed_report.cycles} cycles" in last
+        assert f"{mixed_report.instructions} instructions" in last
+        assert f"{mixed_report.flops} flops" in last
+
+    def test_single_instruction(self):
+        report = simulate(stream_of(("ai", OpClass.FIXED, "r1", ())))
+        text = format_schedule(report)
+        assert "ai" in text and "*dual" not in text
+
 
 class TestOccupancy:
     def test_sums_to_total_cycles(self, mixed_report):
@@ -64,6 +85,23 @@ class TestOccupancy:
             s.emit("fma", OpClass.DP_FLOAT, f"r{i}", ())
         hist = occupancy_histogram(simulate(s))
         assert hist["dp_blocked"] > hist["single_issue"]
+
+    def test_dependency_chain_counts_stalls(self):
+        """A load feeding a dependent consumer exposes latency as
+        dependency-stall cycles, not DP blocking."""
+        s = InstructionStream("chain")
+        s.emit("lqd", OpClass.LOAD, "r1", ())
+        s.emit("a", OpClass.FIXED, "r2", ("r1",))
+        hist = occupancy_histogram(simulate(s))
+        assert hist["dependency_stall"] > 0
+        assert hist["dp_blocked"] == 0
+
+    def test_histogram_keys_and_nonnegative(self, mixed_report):
+        hist = occupancy_histogram(mixed_report)
+        assert set(hist) == {
+            "dual_issue", "single_issue", "dp_blocked", "dependency_stall",
+        }
+        assert all(v >= 0 for v in hist.values())
 
     def test_kernel_occupancy_explains_efficiency(self):
         """For the production kernel, DP blocking must dominate the

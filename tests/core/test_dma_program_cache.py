@@ -22,11 +22,11 @@ from repro.sweep.input import small_deck
 from repro.sweep.moments import build_moment_source
 
 
-def config(cache: bool) -> MachineConfig:
+def config(cache: bool, trace: bool = False) -> MachineConfig:
     return MachineConfig(
         aligned_rows=True, double_buffer=True, simd=True, dma_lists=True,
         bank_offsets=True, sync=SyncProtocol.LS_POKE, num_spes=3,
-        cache_dma_programs=cache,
+        cache_dma_programs=cache, trace=trace,
     )
 
 
@@ -93,6 +93,26 @@ class TestCacheTransparency:
         t_off = CellSweep3D(deck, config(False)).timing()
         t_on = CellSweep3D(deck, config(True)).timing()
         assert t_on.seconds == t_off.seconds
+
+    def test_trace_streams_byte_identical(self, deck):
+        """Cached replay must be invisible to the trace bus too: the full
+        exported event stream -- every timestamp, duration, LS region and
+        queue depth, serialized -- is byte-identical either way."""
+        import json
+
+        from repro.trace.export import to_chrome_trace
+        from repro.trace.sanitizer import sanitize
+
+        def traced_stream(cache: bool) -> tuple[str, list]:
+            solver = CellSweep3D(deck, config(cache, trace=True))
+            solver.solve()
+            blob = json.dumps(to_chrome_trace(solver.trace), sort_keys=True)
+            return blob, sanitize(solver.trace)
+
+        blob_off, hazards_off = traced_stream(False)
+        blob_on, hazards_on = traced_stream(True)
+        assert blob_on == blob_off
+        assert hazards_on == hazards_off == []
 
 
 class TestProgramMemoization:

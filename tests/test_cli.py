@@ -33,6 +33,33 @@ class TestSolve:
                   "--iterations", "1", "--fixup")
         assert "fixups=" in out
 
+    def test_json_output(self, capsys):
+        import json
+
+        out = run(capsys, "solve", "--cube", "6", "--sn", "4", "--nm", "1",
+                  "--iterations", "2", "--json")
+        doc = json.loads(out)
+        assert doc["engine"] == "serial"
+        assert doc["deck"]["shape"] == [6, 6, 6]
+        labels = [r["label"] for r in doc["rows"]]
+        assert "flux total" in labels and "leakage" in labels
+
+    def test_trace_flag_exports_cell_run(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "run.json"
+        out = run(capsys, "solve", "--cube", "6", "--sn", "4", "--nm", "1",
+                  "--iterations", "1", "--engine", "cell",
+                  "--trace", str(path))
+        assert "scalar flux" in out
+        doc = json.loads(path.read_text())
+        assert any(e.get("name") == "KernelExec" for e in doc["traceEvents"])
+
+    def test_trace_flag_requires_cell_engine(self, capsys, tmp_path):
+        assert main(["solve", "--cube", "6", "--trace",
+                     str(tmp_path / "x.json")]) == 2
+        assert "requires --engine cell" in capsys.readouterr().err
+
 
 class TestFigures:
     def test_ladder(self, capsys):
@@ -46,6 +73,31 @@ class TestFigures:
     def test_kernel(self, capsys):
         out = run(capsys, "kernel")
         assert "DP+fixup" in out and "SP" in out
+
+    def test_kernel_json(self, capsys):
+        import json
+
+        doc = json.loads(run(capsys, "kernel", "--json"))
+        names = [v["name"] for v in doc["variants"]]
+        assert names == ["DP", "DP+fixup", "SP"]
+        assert all(0 < v["efficiency"] <= 1 for v in doc["variants"])
+
+    def test_trace_command(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        out = run(capsys, "trace", "--cube", "6", "--sn", "4", "--nm", "1",
+                  "--iterations", "1", "--out", str(path))
+        assert "sanitizer: 0 hazards" in out
+        assert "overlap potential" in out
+        doc = json.loads(path.read_text())
+        assert doc["otherData"]["total_cycles"] > 0
+
+    def test_trace_command_without_out(self, capsys):
+        out = run(capsys, "trace", "--cube", "5", "--sn", "2", "--nm", "1",
+                  "--iterations", "1")
+        assert "sanitizer: 0 hazards" in out
+        assert "wrote" not in out
 
     def test_grind(self, capsys):
         out = run(capsys, "grind", "--min-cube", "10", "--max-cube", "30")

@@ -1,0 +1,117 @@
+"""Tests for the Chrome-trace exporter and the aggregate reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.trace.bus import MIC_TRACK, PPE_TRACK, TraceBus, spe_track
+from repro.trace.export import (
+    CYCLES_PER_US,
+    aggregate_stats,
+    queue_depth_series,
+    timeline_summary,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture
+def bus() -> TraceBus:
+    """A tiny hand-built trace: one SPE stages, computes, writes back."""
+    b = TraceBus()
+    b.machine_info = {"num_spes": 1, "ls_capacity": 262144, "ls_code_bytes": 4096}
+    t = spe_track(0)
+    b.instant(t, "DmaEnqueue", tag=2, kind="get", depth=1, regions=[[8192, 512]])
+    b.instant(t, "DmaEnqueue", tag=2, kind="get", depth=2, regions=[[8704, 512]])
+    b.span(t, "DmaComplete", 400.0, tags=[2])
+    b.instant(MIC_TRACK, "MicBankAccess", commands=2, payload_bytes=1024)
+    b.span(t, "KernelExec", 600.0, cells=64, regions=[[8192, 1024]])
+    b.instant(t, "DmaEnqueue", tag=5, kind="put", depth=1, regions=[[8192, 512]])
+    b.span(t, "DmaComplete", 200.0, tags=[5])
+    b.span(PPE_TRACK, "SyncComplete", 50.0, spe=0)
+    return b
+
+
+class TestChromeTrace:
+    def test_metadata_names_process_and_threads(self, bus):
+        doc = to_chrome_trace(bus)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"]: e["args"]["name"] for e in meta}
+        assert names["process_name"] == "Cell BE (simulated)"
+        thread_names = [e["args"]["name"] for e in meta if e["name"] == "thread_name"]
+        assert set(thread_names) == {"SPE0", "MIC", "PPE"}
+
+    def test_spans_and_instants(self, bus):
+        doc = to_chrome_trace(bus)
+        spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        instants = [e for e in doc["traceEvents"] if e.get("ph") == "i"]
+        assert len(spans) == 4 and len(instants) == 4
+        assert all("dur" in e for e in spans)
+        assert all(e["s"] == "t" for e in instants)
+
+    def test_cycles_convert_to_microseconds(self, bus):
+        doc = to_chrome_trace(bus)
+        kernel = next(e for e in doc["traceEvents"] if e["name"] == "KernelExec")
+        assert kernel["ts"] == pytest.approx(400.0 / CYCLES_PER_US)
+        assert kernel["dur"] == pytest.approx(600.0 / CYCLES_PER_US)
+        assert kernel["args"]["cycles"] == 600.0
+
+    def test_stable_tids(self, bus):
+        doc = to_chrome_trace(bus)
+        by_name = {}
+        for e in doc["traceEvents"]:
+            if e["ph"] == "M" and e["name"] == "thread_name":
+                by_name[e["args"]["name"]] = e["tid"]
+        assert by_name == {"PPE": 0, "SPE0": 1, "MIC": 100}
+
+    def test_other_data_carries_machine_info(self, bus):
+        doc = to_chrome_trace(bus)
+        assert doc["otherData"]["ls_capacity"] == 262144
+        assert doc["otherData"]["total_cycles"] == bus.now
+
+    def test_write_is_valid_deterministic_json(self, bus, tmp_path):
+        p1 = write_chrome_trace(tmp_path / "a.json", bus)
+        p2 = write_chrome_trace(tmp_path / "b.json", bus)
+        doc = json.loads(p1.read_text())
+        assert len(doc["traceEvents"]) == len(bus) + 4  # + metadata records
+        assert p1.read_text() == p2.read_text()
+
+
+class TestAggregates:
+    def test_utilization_and_counts(self, bus):
+        stats = aggregate_stats(bus)
+        assert stats["total_events"] == 8
+        assert stats["total_cycles"] == 1250.0
+        spe = stats["tracks"]["SPE0"]
+        assert spe["busy_cycles"] == 1200.0
+        assert spe["utilization"] == pytest.approx(1200.0 / 1250.0)
+        assert spe["by_name"]["DmaEnqueue"] == 3
+
+    def test_per_spe_overlap_and_queue_depth(self, bus):
+        spe = aggregate_stats(bus)["per_spe"]["SPE0"]
+        assert spe["dma_cycles"] == 600.0
+        assert spe["compute_cycles"] == 600.0
+        assert spe["overlap_fraction"] == pytest.approx(1.0)
+        assert spe["queue_depth_max"] == 2
+        assert spe["enqueues"] == 3
+
+    def test_empty_bus(self):
+        stats = aggregate_stats(TraceBus())
+        assert stats["total_events"] == 0
+        assert stats["tracks"] == {} and stats["per_spe"] == {}
+
+    def test_queue_depth_series(self, bus):
+        series = queue_depth_series(bus, "SPE0")
+        # two enqueues, drain to zero, one enqueue, drain to zero
+        assert [d for _, d in series] == [1, 2, 0, 1, 0]
+        ts = [t for t, _ in series]
+        assert ts == sorted(ts)
+
+    def test_timeline_summary_text(self, bus):
+        text = timeline_summary(bus)
+        assert "8 events" in text
+        assert "SPE0" in text and "PPE" in text and "MIC" in text
+        assert "overlap potential 100.0%" in text
+        assert "queue depth max 2" in text
