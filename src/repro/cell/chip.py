@@ -64,6 +64,12 @@ class CellBE:
         self.clock = CycleClock()
         #: chip-wide trace bus; the null bus until ``install_trace``
         self.trace = NULL_BUS
+        #: optional allocator override for :meth:`host_alloc`:
+        #: ``callable(name, shape, dtype) -> ndarray`` (or None to use
+        #: plain ``np.zeros``).  :mod:`repro.parallel` installs a
+        #: shared-memory factory here so selected host arrays become
+        #: visible to worker processes without copying.
+        self.host_array_factory = None
 
     @property
     def num_spes(self) -> int:
@@ -115,14 +121,20 @@ class CellBE:
         if isinstance(shape, int):
             shape = (shape,)
         dt = np.dtype(dtype)
+
+        def zeros(shape_: tuple[int, ...]) -> np.ndarray:
+            if self.host_array_factory is not None:
+                return self.host_array_factory(name, shape_, dt)
+            return np.zeros(shape_, dtype=dt)
+
         if pad_rows_to_line and len(shape) >= 1:
             row = shape[-1]
             per_line = constants.CACHE_LINE_BYTES // dt.itemsize
             padded_row = -(-row // per_line) * per_line
-            storage = np.zeros(shape[:-1] + (padded_row,), dtype=dt)
+            storage = zeros(shape[:-1] + (padded_row,))
             self.address_space.allocate(name, storage, bank_offset=bank_offset)
             return storage[..., :row]
-        storage = np.zeros(shape, dtype=dt)
+        storage = zeros(shape)
         self.address_space.allocate(name, storage, bank_offset=bank_offset)
         return storage
 

@@ -64,6 +64,9 @@ def _build_deck(args):
 
 
 def cmd_solve(args) -> int:
+    import os
+    import time
+
     from .core.solver import CellSweep3D
     from .mpi.wavefront import KBASweep3D
     from .perf.processors import measured_cell_config
@@ -74,10 +77,15 @@ def cmd_solve(args) -> int:
         print("error: --trace requires --engine cell (only the simulated "
               "machine emits events)", file=sys.stderr)
         return 2
+    if args.workers > 1 and args.engine != "cell":
+        print("error: --workers requires --engine cell (the host-parallel "
+              "engine runs the functional Cell solver)", file=sys.stderr)
+        return 2
     if deck.grid.num_cells > 30**3 and args.engine != "serial":
         print("note: functional engines other than 'serial' are slow above "
               "~30^3; consider --cube 16", file=sys.stderr)
     solver = None
+    start = time.perf_counter()
     if args.engine == "serial":
         result = SerialSweep3D(deck).solve()
     elif args.engine == "tile":
@@ -88,10 +96,14 @@ def cmd_solve(args) -> int:
         config = measured_cell_config()
         if args.trace:
             config = config.with_(trace=True)
-        solver = CellSweep3D(deck, config)
-        result = solver.solve()
+        solver = CellSweep3D(deck, config, workers=args.workers)
+        try:
+            result = solver.solve()
+        finally:
+            solver.close()
     else:  # pragma: no cover - argparse enforces choices
         raise ValueError(args.engine)
+    wall = time.perf_counter() - start
     phi = result.scalar_flux
     if args.json:
         from .perf.report import Row, format_json
@@ -109,6 +121,11 @@ def cmd_solve(args) -> int:
                      "nm": deck.nm, "iterations": result.iterations},
             "last_flux_change": (result.history[-1] if result.history
                                  else None),
+            "perf": {
+                "host_wall_seconds": wall,
+                "workers": args.workers,
+                "host_cpus": os.cpu_count(),
+            },
         }
         print(format_json("solve", rows, extra))
     else:
@@ -119,6 +136,7 @@ def cmd_solve(args) -> int:
         print(f"leakage={result.tally.leakage:.6f} fixups={result.tally.fixups}")
         if result.history:
             print(f"last flux change: {result.history[-1]:.3e}")
+        print(f"host wall: {wall:.3f}s (workers={args.workers})")
     if args.trace and solver is not None:
         from .trace.export import write_chrome_trace
 
@@ -305,6 +323,8 @@ def cmd_cluster(args) -> int:
     from .core.cluster import cluster_speedup, cluster_time
     from .perf.processors import measured_cell_config
 
+    if args.workers:
+        return _cluster_solve(args)
     deck = _build_deck(args)
     cfg = measured_cell_config()
     print(f"{'chips':>7s} {'time':>9s} {'speedup':>8s}")
@@ -314,6 +334,31 @@ def cmd_cluster(args) -> int:
         t = cluster_time(deck, cfg, p, q)
         s = cluster_speedup(deck, cfg, p, q)
         print(f"{p:3d}x{q:<3d} {t:8.3f}s {s:8.2f}x")
+    return 0
+
+
+def _cluster_solve(args) -> int:
+    """Functional P x Q cluster solve on the host-parallel engine."""
+    import time
+
+    from .core.cluster import CellClusterSweep3D
+
+    deck = _build_deck(args)
+    if deck.grid.num_cells > 30**3:
+        print("note: the functional cluster solve is slow above ~30^3; "
+              "consider --cube 16", file=sys.stderr)
+    start = time.perf_counter()
+    with CellClusterSweep3D(deck, P=args.p, Q=args.q,
+                            workers=args.workers) as cluster:
+        result = cluster.solve()
+    wall = time.perf_counter() - start
+    phi = result.scalar_flux
+    print(f"cluster {args.p}x{args.q} deck={deck.grid.shape} S{deck.sn} "
+          f"nm={deck.nm} iters={result.iterations}")
+    print(f"scalar flux: total={phi.sum():.6f} max={phi.max():.6f} "
+          f"min={phi.min():.6f}")
+    print(f"leakage={result.tally.leakage:.6f} fixups={result.tally.fixups}")
+    print(f"host wall: {wall:.3f}s (workers={args.workers})")
     return 0
 
 
@@ -333,6 +378,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", metavar="PATH", default=None,
                    help="export a Chrome-trace/Perfetto JSON of the run "
                         "(requires --engine cell)")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="host worker processes for the cell engine "
+                        "(bit-identical to serial for any N; default 1)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable JSON output")
     p.set_defaults(fn=cmd_solve)
@@ -351,12 +399,20 @@ def build_parser() -> argparse.ArgumentParser:
         ("projections", cmd_projections, "Figure 10"),
         ("processors", cmd_processors, "Figure 11"),
         ("bounds", cmd_bounds, "Sec. 6 bounds"),
-        ("cluster", cmd_cluster, "multi-chip scaling (extension)"),
         ("roofline", cmd_roofline, "roofline position (extension)"),
     ):
         p = sub.add_parser(name, help=help_)
         _deck_args(p)
         p.set_defaults(fn=fn)
+
+    p = sub.add_parser("cluster", help="multi-chip scaling (extension)")
+    _deck_args(p)
+    p.add_argument("-p", type=int, default=2, help="chip grid columns")
+    p.add_argument("-q", type=int, default=2, help="chip grid rows")
+    p.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="run a functional P x Q cluster solve on N host "
+                        "worker processes (default: print the timing model)")
+    p.set_defaults(fn=cmd_cluster)
 
     p = sub.add_parser("transient", help="time-dependent solve (extension)")
     _deck_args(p)

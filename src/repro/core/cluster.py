@@ -40,18 +40,31 @@ class CellClusterSweep3D:
         P: int,
         Q: int,
         config: MachineConfig | None = None,
+        workers: int = 1,
     ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self.deck = deck
+        self.workers = int(workers)
         self.config = config or MachineConfig(
             aligned_rows=True, structured_loops=True, double_buffer=True,
             simd=True, dma_lists=True, bank_offsets=True,
         )
         if not self.config.uses_spes:
             raise ConfigurationError("cluster ranks need at least one SPE")
-        self._kba = KBASweep3D(
-            deck, P=P, Q=Q,
-            sweeper_factory=lambda local: CellSweep3D(local, self.config),
-        )
+        self._engine = None
+        if self.workers > 1:
+            from ..parallel.cluster import ClusterEngine
+
+            self._engine = ClusterEngine(
+                deck, P, Q, self.config, self.workers
+            )
+            self._kba = self._engine._kba
+        else:
+            self._kba = KBASweep3D(
+                deck, P=P, Q=Q,
+                sweeper_factory=lambda local: CellSweep3D(local, self.config),
+            )
 
     @property
     def cart(self) -> Cart2D:
@@ -61,8 +74,25 @@ class CellClusterSweep3D:
         return self._kba.plan(rank)
 
     def solve(self) -> SolveResult:
-        """Run the cluster job; every rank simulates a whole Cell BE."""
+        """Run the cluster job; every rank simulates a whole Cell BE.
+
+        With ``workers > 1`` the ranks' (octant, angle-block) units run
+        on a host process pool (:class:`repro.parallel.ClusterEngine`);
+        the result is bit-identical to the threaded runtime."""
+        if self._engine is not None:
+            return self._engine.solve()
         return self._kba.solve()
+
+    def close(self) -> None:
+        """Release the host worker pool (no-op for ``workers == 1``)."""
+        if self._engine is not None:
+            self._engine.close()
+
+    def __enter__(self) -> "CellClusterSweep3D":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def cluster_time(

@@ -40,6 +40,29 @@ class CentralizedScheduler:
         self.sync = sync
         self.chunks_dispatched = 0
 
+    def run_chunk(self, chunk: Chunk, execute: ExecuteFn) -> None:
+        """One chunk through the full dispatch protocol: sync round trip,
+        kernel execution, completion.  The per-chunk unit of
+        :meth:`run_diagonal`, also driven directly by the host-parallel
+        lanes of :mod:`repro.parallel`."""
+        trace = self.chip.trace
+        spe = self.chip.spes[chunk.spe]
+        if trace.enabled:
+            trace.instant(
+                PPE_TRACK, "WorkAssigned", chunk=chunk.index,
+                spe=chunk.spe, lines=len(chunk.lines),
+                scheduler="centralized",
+            )
+        self.sync.dispatch(spe, chunk.index)
+        execute(chunk)
+        self.sync.complete(spe, chunk.index)
+        self.chunks_dispatched += 1
+        if trace.enabled:
+            trace.instant(
+                PPE_TRACK, "WorkDone", chunk=chunk.index, spe=chunk.spe,
+                scheduler="centralized",
+            )
+
     def run_diagonal(
         self,
         lines: Sequence,
@@ -48,24 +71,8 @@ class CentralizedScheduler:
     ) -> list[Chunk]:
         """Dispatch one jkm diagonal's lines cyclically across the SPEs."""
         chunks = assign_cyclic(lines, chunk_lines, len(self.chip.spes))
-        trace = self.chip.trace
         for chunk in chunks:
-            spe = self.chip.spes[chunk.spe]
-            if trace.enabled:
-                trace.instant(
-                    PPE_TRACK, "WorkAssigned", chunk=chunk.index,
-                    spe=chunk.spe, lines=len(chunk.lines),
-                    scheduler="centralized",
-                )
-            self.sync.dispatch(spe, chunk.index)
-            execute(chunk)
-            self.sync.complete(spe, chunk.index)
-            self.chunks_dispatched += 1
-            if trace.enabled:
-                trace.instant(
-                    PPE_TRACK, "WorkDone", chunk=chunk.index, spe=chunk.spe,
-                    scheduler="centralized",
-                )
+            self.run_chunk(chunk, execute)
         return chunks
 
 

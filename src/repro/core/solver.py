@@ -28,25 +28,33 @@ from ..sweep.flux import SolveResult, SweepTally, relative_change
 from ..sweep.input import InputDeck
 from ..sweep.kernel import dd_line_block_solve
 from ..sweep.moments import MomentBasis
-from ..sweep.pipelining import angle_blocks, diagonal_lines, k_blocks, num_diagonals
+from ..sweep.pipelining import angle_blocks, k_blocks, num_diagonals
 from ..sweep.quadrature import OCTANT_SIGNS
 from ..trace.bus import NULL_BUS, spe_track
 from .levels import MachineConfig, SchedulerKind, SyncProtocol
 from .porting import HostState
 from .scheduler import CentralizedScheduler, DistributedScheduler
-from .streaming import ChunkBuffers, StagedLine
+from .streaming import ChunkBuffers, staged_lines_for_diagonal
 from .sync import LSPokeSync, MailboxSync
 from .worklist import Chunk
 
 
 class CellSweep3D:
-    """Sweep3D on one simulated Cell Broadband Engine."""
+    """Sweep3D on one simulated Cell Broadband Engine.
+
+    ``workers > 1`` attaches a host-parallel execution engine
+    (:mod:`repro.parallel`) that spreads independent simulated work
+    units over a process pool; the flux it produces is bit-identical to
+    the ``workers=1`` serial execution for any worker count.
+    """
 
     def __init__(
         self,
         deck: InputDeck,
         config: MachineConfig | None = None,
         chip: CellBE | None = None,
+        workers: int = 1,
+        granularity: str = "block",
     ) -> None:
         self.deck = deck
         self.config = config or MachineConfig(
@@ -63,7 +71,18 @@ class CellSweep3D:
                 "reflective boundaries are supported by the hyperplane "
                 "reference solver only (the paper's benchmark is vacuum)"
             )
+        self.workers = int(workers)
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self.chip = chip or CellBE(num_spes=self.config.num_spes)
+        self._engine = None
+        if self.workers > 1:
+            # the engine hooks chip.host_array_factory so the host
+            # arrays its granularity shares land in shared memory;
+            # that must happen before HostState allocates them.
+            from ..parallel.engine import ParallelEngine
+
+            ParallelEngine.prepare_chip(self.chip, self.config, granularity)
         if self.config.trace:
             from ..trace.bus import TraceBus
 
@@ -97,6 +116,29 @@ class CellSweep3D:
             else CentralizedScheduler(self.chip, sync)
         )
         self._buffer_set = 0
+        #: coordinates of the block/diagonal currently executing:
+        #: ``(octant, a0, na, k0, d)``, published for the host-parallel
+        #: lane scheduler (repro.parallel) to rebuild the work remotely.
+        self._diag_ctx: tuple[int, int, int, int, int] | None = None
+        if self.workers > 1:
+            from ..parallel.engine import ParallelEngine
+
+            self._engine = ParallelEngine(self, self.workers, granularity)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the parallel engine (workers, shared memory), if any.
+        Safe to call repeatedly; a ``workers=1`` solver is a no-op."""
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+
+    def __enter__(self) -> "CellSweep3D":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- one octant ------------------------------------------------------------
 
@@ -104,72 +146,85 @@ class CellSweep3D:
         """Figure 2's loops for one octant, RECV/SEND through ``boundary``
         (a :class:`~repro.sweep.pipelining.BoundaryIO`: vacuum+leakage for
         a single chip, MPI messages for a multi-chip cluster)."""
+        for angles in angle_blocks(self.quad.per_octant, self.deck.mmi):
+            self._sweep_block(octant, angles, tally, boundary)
+
+    def _sweep_block(
+        self, octant: int, angles: list[int], tally: SweepTally, boundary,
+        psi_sink: np.ndarray | None = None,
+    ) -> None:
+        """One (octant, angle-block) unit of Figure 2's loops.
+
+        This is the self-contained work unit of the host-parallel
+        engine: given the moment source and ``boundary`` inflows it
+        touches only the block's own face state, so independent blocks
+        can execute in separate processes.  ``psi_sink``, when given,
+        captures every line's cell-centred angular flux at
+        ``psi_sink[angle, k_g, j_g, :it]`` (global coordinates, already
+        unflipped) so the caller can replay the flux accumulation in
+        the serial order.
+        """
         deck = self.deck
         g = deck.grid
         it, jt, kt = g.nx, g.ny, g.nz
-        sx, sy, sz = OCTANT_SIGNS[octant]
         base = octant * self.quad.per_octant
-
-        for angles in angle_blocks(self.quad.per_octant, deck.mmi):
-            globals_ = [base + a for a in angles]
-            na = len(angles)
-            cxs = np.abs(self.quad.mu[globals_]) / g.dx
-            cys = np.abs(self.quad.eta[globals_]) / g.dy
-            czs = np.abs(self.quad.xi[globals_]) / g.dz
-            self.host.phik[...] = 0.0  # vacuum at the oriented K entry
-            for k0 in k_blocks(kt, deck.mk):
-                # RECV W/E and N/S into the host face arrays
-                self.host.phii[...] = 0.0
-                self.host.phii[:na, :, :jt] = boundary.recv_i(
-                    octant, angles, k0, jt, it
-                )
-                self.host.phij[...] = 0.0
-                self.host.phij[:na, :, :it] = boundary.recv_j(
-                    octant, angles, k0, jt, it
-                )
-                self.host.phii_out[...] = 0.0
-                for d in range(num_diagonals(jt, deck.mk, deck.mmi)):
-                    raw = diagonal_lines(jt, deck.mk, deck.mmi, d)
-                    lines = [
-                        StagedLine(
-                            mm=mm,
-                            kk=kk,
-                            j_o=j,
-                            j_g=j if sy > 0 else jt - 1 - j,
-                            k_g=(k0 + kk) if sz > 0 else kt - 1 - (k0 + kk),
-                            angle=globals_[mm],
-                            reverse_i=sx < 0,
-                        )
-                        for (j, kk, mm) in raw
-                    ]
-                    fixups = [0]
-
-                    def execute(chunk: Chunk) -> None:
-                        fixups[0] += self._execute_chunk(
-                            chunk, cxs, cys, czs
-                        )
-
-                    self.scheduler.run_diagonal(
-                        lines, self.config.chunk_lines, execute
-                    )
-                    tally.fixups += fixups[0]
-                # SEND W/E and N/S
-                boundary.send_i(
-                    octant, angles, k0,
-                    self.host.phii_out[:na, :, :jt].copy(),
-                )
-                boundary.send_j(
-                    octant, angles, k0,
-                    self.host.phij[:na, :, :it].copy(),
-                )
-            boundary.finish_octant(
-                octant, angles, self.host.phik[:na, :, :it].copy()
+        globals_ = [base + a for a in angles]
+        na = len(angles)
+        cxs = np.abs(self.quad.mu[globals_]) / g.dx
+        cys = np.abs(self.quad.eta[globals_]) / g.dy
+        czs = np.abs(self.quad.xi[globals_]) / g.dz
+        # restart the double-buffer rotation per block so a block's
+        # staged execution is independent of what ran before it (the
+        # buffer-set choice never affects results; pinning it makes the
+        # serial and parallel event streams line up unit for unit).
+        self._buffer_set = 0
+        self.host.phik[...] = 0.0  # vacuum at the oriented K entry
+        for k0 in k_blocks(kt, deck.mk):
+            # RECV W/E and N/S into the host face arrays
+            self.host.phii[...] = 0.0
+            self.host.phii[:na, :, :jt] = boundary.recv_i(
+                octant, angles, k0, jt, it
             )
+            self.host.phij[...] = 0.0
+            self.host.phij[:na, :, :it] = boundary.recv_j(
+                octant, angles, k0, jt, it
+            )
+            self.host.phii_out[...] = 0.0
+            for d in range(num_diagonals(jt, deck.mk, deck.mmi)):
+                lines = staged_lines_for_diagonal(
+                    deck, octant, globals_, k0, d
+                )
+                fixups = [0]
+
+                def execute(chunk: Chunk) -> None:
+                    fixups[0] += self._execute_chunk(
+                        chunk, cxs, cys, czs, psi_sink
+                    )
+
+                self._diag_ctx = (octant, angles[0], na, k0, d)
+                self.scheduler.run_diagonal(
+                    lines, self.config.chunk_lines, execute
+                )
+                self._diag_ctx = None
+                tally.fixups += fixups[0]
+            # SEND W/E and N/S
+            boundary.send_i(
+                octant, angles, k0,
+                self.host.phii_out[:na, :, :jt].copy(),
+            )
+            boundary.send_j(
+                octant, angles, k0,
+                self.host.phij[:na, :, :it].copy(),
+            )
+        boundary.finish_octant(
+            octant, angles, self.host.phik[:na, :, :it].copy()
+        )
 
     # -- one chunk on one SPE -----------------------------------------------------
 
     def _execute_chunk(
-        self, chunk: Chunk, cxs: np.ndarray, cys: np.ndarray, czs: np.ndarray
+        self, chunk: Chunk, cxs: np.ndarray, cys: np.ndarray, czs: np.ndarray,
+        psi_sink: np.ndarray | None = None,
     ) -> int:
         deck = self.deck
         it = deck.grid.nx
@@ -223,6 +278,14 @@ class CellSweep3D:
                 regions=[list(r) for r in bufs.ls_regions(s)],
             )
 
+        if psi_sink is not None:
+            # capture the cell-centred angular flux in global (k, j, i)
+            # coordinates: the host-parallel engine replays the flux
+            # accumulation from these rows in the serial order.
+            for l, ln in enumerate(lines):
+                row = psi_c[l, ::-1] if ln.reverse_i else psi_c[l]
+                psi_sink[ln.angle, ln.k_g, ln.j_g, :it] = row
+
         # flux accumulation on the SPE: Flux[n] += w*Pn * Phi (Figure 6),
         # broadcast over (moment, line) with the same per-element
         # multiply-then-add as the reference's scalar loop.
@@ -252,6 +315,17 @@ class CellSweep3D:
                 f"moment_source must be {(self.deck.nm, *self.deck.grid.shape)}, "
                 f"got {moment_source.shape}"
             )
+        if self._engine is not None:
+            parallel = self._engine.sweep(moment_source, boundary)
+            if parallel is not None:
+                return parallel
+        return self._sweep_serial(moment_source, boundary)
+
+    def _sweep_serial(
+        self, moment_source: np.ndarray, boundary=None
+    ) -> tuple[np.ndarray, SweepTally, object]:
+        """The serial sweep body (also the lane-parallel body when the
+        diagonal-granularity engine has hooked the scheduler)."""
         if boundary is None:
             from ..sweep.pipelining import VacuumBoundary
 

@@ -54,6 +54,36 @@ class StagedLine:
     reverse_i: bool  # sweep direction along the row
 
 
+def staged_lines_for_diagonal(
+    deck: InputDeck, octant: int, globals_: list[int], k0: int, d: int
+) -> list[StagedLine]:
+    """The :class:`StagedLine` descriptors of one jkm diagonal.
+
+    Pure function of the deck geometry and the (octant, angle block,
+    K block, diagonal) coordinates -- the property that lets
+    :mod:`repro.parallel` worker processes rebuild a diagonal's work
+    from a few integers instead of pickling line lists.
+    """
+    from ..sweep.pipelining import diagonal_lines
+    from ..sweep.quadrature import OCTANT_SIGNS
+
+    g = deck.grid
+    jt, kt = g.ny, g.nz
+    sx, sy, sz = OCTANT_SIGNS[octant]
+    return [
+        StagedLine(
+            mm=mm,
+            kk=kk,
+            j_o=j,
+            j_g=j if sy > 0 else jt - 1 - j,
+            k_g=(k0 + kk) if sz > 0 else kt - 1 - (k0 + kk),
+            angle=globals_[mm],
+            reverse_i=sx < 0,
+        )
+        for (j, kk, mm) in diagonal_lines(jt, deck.mk, deck.mmi, d)
+    ]
+
+
 class ChunkBuffers:
     """Local-store working-set buffers for one SPE.
 

@@ -85,3 +85,7 @@ class SchedulerError(ReproError):
 
 class CalibrationError(ReproError):
     """A performance-model constant is out of its documented validity range."""
+
+
+class ParallelError(ReproError):
+    """Host-parallel engine failure (worker crash, timeout, bad state)."""

@@ -70,6 +70,12 @@ class RankBoundary:
         self.mk = mk
         self.leakage = 0.0
 
+    def _tally(self, contribution: float) -> None:
+        # single funnel for domain-edge leakage, one call per
+        # (send, angle); repro.parallel subclasses record the exact
+        # per-contribution chain to refold reductions bit-identically
+        self.leakage += contribution
+
     # -- direction resolution -------------------------------------------------
 
     def _upstream_i(self, octant: int) -> int | None:
@@ -133,10 +139,10 @@ class RankBoundary:
         base = octant * self.quad.per_octant
         for a_local, a in enumerate(angles):
             m = base + a
-            self.leakage += float(
+            self._tally(float(
                 self.quad.weight[m] * abs(self.quad.mu[m])
                 * data[a_local].sum() * g.dy * g.dz
-            )
+            ))
 
     def send_j(self, octant, angles, k0, data):
         dest = self._downstream_j(octant)
@@ -148,10 +154,10 @@ class RankBoundary:
         base = octant * self.quad.per_octant
         for a_local, a in enumerate(angles):
             m = base + a
-            self.leakage += float(
+            self._tally(float(
                 self.quad.weight[m] * abs(self.quad.eta[m])
                 * data[a_local].sum() * g.dx * g.dz
-            )
+            ))
 
     def finish_octant(self, octant, angles, phik):
         # K is never decomposed: the top face is always a global boundary.
@@ -159,10 +165,10 @@ class RankBoundary:
         base = octant * self.quad.per_octant
         for a_local, a in enumerate(angles):
             m = base + a
-            self.leakage += float(
+            self._tally(float(
                 self.quad.weight[m] * abs(self.quad.xi[m])
                 * phik[a_local].sum() * g.dx * g.dy
-            )
+            ))
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,52 @@
+"""Host-parallel execution of independent simulated work units.
+
+The functional Cell solver spends its host time in numpy kernels that
+model *independent* pieces of simulated hardware: the SPE lanes of one
+chip, the ``(octant, angle-block)`` slices of one sweep, the whole chips
+of the KBA cluster grid.  This package runs those units on a
+``multiprocessing`` pool with the bulk arrays in shared memory
+(:mod:`repro.parallel.shm`) and reduces their results in the serial
+order (:mod:`repro.parallel.workunits`), so a parallel solve is
+bit-identical to the serial engine for any worker count.
+
+Entry points: ``CellSweep3D(..., workers=N)`` for a single chip
+(:class:`ParallelEngine`), ``CellClusterSweep3D(..., workers=N)`` for
+the cluster (:class:`ClusterEngine`), and ``repro solve/cluster
+--workers N`` on the command line.
+"""
+
+from .engine import GRANULARITIES, ParallelEngine
+from .shm import SharedArrayPool
+from .workunits import (
+    BlockUnit,
+    RecordingRankBoundary,
+    RecordingVacuumBoundary,
+    UnitComm,
+    UnitResult,
+    enumerate_block_units,
+    replay_flux,
+)
+
+__all__ = [
+    "GRANULARITIES",
+    "ParallelEngine",
+    "ClusterEngine",
+    "SharedArrayPool",
+    "BlockUnit",
+    "RecordingVacuumBoundary",
+    "RecordingRankBoundary",
+    "UnitComm",
+    "UnitResult",
+    "enumerate_block_units",
+    "replay_flux",
+]
+
+
+def __getattr__(name: str):
+    # ClusterEngine pulls in repro.mpi; import it lazily so plain
+    # single-chip parallel solves don't pay for it.
+    if name == "ClusterEngine":
+        from .cluster import ClusterEngine
+
+        return ClusterEngine
+    raise AttributeError(name)

@@ -1,0 +1,272 @@
+"""Host-parallel execution of the multi-chip Cell cluster.
+
+Every rank of the KBA P x Q grid simulates a whole Cell BE; the ranks'
+``(octant, angle-block)`` units form a dependency DAG -- unit
+``(rank, o, b)`` consumes the I- and J-face messages its upstream
+neighbours' ``(o, b)`` units produced -- and any ready unit may run in
+any worker process.  Face messages are a few KB and flow through the
+task queue (the MPI-message level, where the real code pays a network);
+the bulk arrays never move: each rank's moment source and angular-flux
+capture live in shared memory, and the parent replays flux and refolds
+leakage per rank in the serial order, reproducing
+:meth:`repro.mpi.wavefront.KBASweep3D.solve` bit for bit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import numpy as np
+
+from ..cell.chip import CellBE
+from ..errors import ConfigurationError
+from ..sweep.flux import SolveResult, SweepTally
+from ..sweep.input import InputDeck
+from ..sweep.pipelining import angle_blocks
+from ..sweep.quadrature import OCTANT_SIGNS
+from .engine import ParallelEngine, _block_worker, drive_units
+from .workunits import RecordingRankBoundary, UnitComm, UnitResult
+
+
+def _decode_tag(tag: int) -> tuple[int, int, int, int]:
+    """Invert :func:`repro.mpi.wavefront._tag`."""
+    kblock = tag % 512
+    rest = tag // 512
+    ablock = rest % 16
+    rest //= 16
+    octant = rest % 8
+    axis = rest // 8
+    return axis, octant, ablock, kblock
+
+
+class ClusterEngine:
+    """Process-pool executor for a P x Q cluster of simulated chips."""
+
+    def __init__(
+        self, deck: InputDeck, P: int, Q: int, config, workers: int
+    ) -> None:
+        from ..core.solver import CellSweep3D
+        from ..mpi.wavefront import KBASweep3D
+
+        if config.trace:
+            raise ConfigurationError(
+                "tracing the parallel cluster is unsupported; trace a "
+                "single-chip solve instead"
+            )
+        self.deck = deck
+        self.config = config
+        self.workers = int(workers)
+        self._kba = KBASweep3D(deck, P=P, Q=Q)
+        self.cart = self._kba.cart
+        self.ctx = mp.get_context("fork")
+        self.solvers = []
+        self.locals: list[InputDeck] = []
+        self.psi: list[np.ndarray] = []
+        for rank in range(self.cart.size):
+            plan = self._kba.plan(rank)
+            local = deck.tile((plan.x0, plan.y0, 0), plan.local_grid(deck.grid))
+            chip = CellBE(num_spes=config.num_spes)
+            ParallelEngine.prepare_chip(chip, config, "block")
+            solver = CellSweep3D(local, config, chip=chip)
+            num_angles = 8 * solver.quad.per_octant
+            g = local.grid
+            self.psi.append(
+                chip._parallel_pool.alloc(
+                    "parallel-psi",
+                    (num_angles, g.nz, g.ny, solver.host.row_len),
+                )
+            )
+            self.solvers.append(solver)
+            self.locals.append(local)
+        # unit table: (rank, octant, local angle tuple), plus the
+        # per-rank (octant, ablock)-ordered lists the reductions walk
+        quad = self.solvers[0].quad
+        self._unit_coords: list[tuple[int, int, tuple[int, ...]]] = []
+        self._unit_index: dict[tuple[int, int, int], int] = {}
+        self._rank_units: list[list[int]] = [[] for _ in range(self.cart.size)]
+        for octant in range(8):
+            for ablock, angles in enumerate(
+                angle_blocks(quad.per_octant, deck.mmi)
+            ):
+                for rank in range(self.cart.size):
+                    index = len(self._unit_coords)
+                    self._unit_coords.append((rank, octant, tuple(angles)))
+                    self._unit_index[(rank, octant, ablock)] = index
+                    self._rank_units[rank].append(index)
+        self._tasks = self.ctx.Queue()
+        self._results = self.ctx.Queue()
+        self._procs: list = []
+        self._started = False
+        self._closed = False
+        self._seq = 0
+        self._indeg: dict[int, int] = {}
+        self._inboxes: dict[int, dict] = {}
+
+    # -- DAG structure ---------------------------------------------------------
+
+    def _neighbours(self, index: int, upstream: bool) -> list[int]:
+        rank, octant, angles = self._unit_coords[index]
+        ablock = angles[0] // self.deck.mmi
+        sx, sy = OCTANT_SIGNS[octant][0], OCTANT_SIGNS[octant][1]
+        cart = self.cart
+        if upstream:
+            i_n = cart.west(rank) if sx > 0 else cart.east(rank)
+            j_n = cart.north(rank) if sy > 0 else cart.south(rank)
+        else:
+            i_n = cart.east(rank) if sx > 0 else cart.west(rank)
+            j_n = cart.south(rank) if sy > 0 else cart.north(rank)
+        return [
+            self._unit_index[(n, octant, ablock)]
+            for n in (i_n, j_n)
+            if n is not None
+        ]
+
+    # -- pool lifecycle --------------------------------------------------------
+
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        for lane in range(1, self.workers):
+            p = self.ctx.Process(
+                target=_block_worker, args=(self, lane), daemon=True,
+                name=f"repro-cluster-lane{lane}",
+            )
+            p.start()
+            self._procs.append(p)
+        self._started = True
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._started:
+            for _ in self._procs:
+                self._tasks.put(("stop",))
+            for p in self._procs:
+                p.join(timeout=5.0)
+                if p.is_alive():  # pragma: no cover - hung worker
+                    p.terminate()
+                    p.join(timeout=5.0)
+            self._procs = []
+        for solver in self.solvers:
+            solver.chip._parallel_pool.close()
+
+    # -- unit execution (parent or worker) -------------------------------------
+
+    def _execute_unit(self, index: int, inbox) -> UnitResult:
+        rank, octant, angles = self._unit_coords[index]
+        solver = self.solvers[rank]
+        comm = UnitComm(rank, dict(inbox) if inbox else {})
+        boundary = RecordingRankBoundary(
+            self.locals[rank], solver.quad, comm, self.cart,
+            self.deck.mmi, self.deck.mk,
+        )
+        tally = SweepTally()
+        solver._sweep_block(
+            octant, list(angles), tally, boundary, psi_sink=self.psi[rank]
+        )
+        return UnitResult(
+            index=index,
+            fixups=tally.fixups,
+            leak_records=boundary.records,
+            outbox=comm.outbox,
+        )
+
+    def _on_unit_done(self, seq: int, index: int, results: dict) -> None:
+        """Route the finished unit's face messages and dispatch any
+        dependents whose inputs are now complete."""
+        rank = self._unit_coords[index][0]
+        for dest, tag, data in results[index].outbox:
+            _, octant, ablock, _ = _decode_tag(tag)
+            target = self._unit_index[(dest, octant, ablock)]
+            self._inboxes.setdefault(target, {})[(rank, tag)] = data
+        for downstream in self._neighbours(index, upstream=False):
+            self._indeg[downstream] -= 1
+            if self._indeg[downstream] == 0:
+                self._tasks.put(
+                    ("unit", seq, downstream,
+                     self._inboxes.pop(downstream, {}))
+                )
+
+    # -- the solve -------------------------------------------------------------
+
+    def solve(self) -> SolveResult:
+        """Source iteration over the cluster; bit-identical to the
+        threaded :class:`~repro.mpi.wavefront.KBASweep3D` run."""
+        from ..sweep.moments import build_moment_source
+
+        deck = self.deck
+        size = self.cart.size
+        self._ensure_started()
+        flux = [
+            np.zeros((deck.nm, *self.locals[r].grid.shape)) for r in range(size)
+        ]
+        history: list[float] = []
+        total_fixups = [0] * size
+        last_leakage = [0.0] * size
+        for _ in range(deck.iterations):
+            for rank in range(size):
+                msrc = build_moment_source(self.locals[rank], flux[rank])
+                self.solvers[rank].host.load_moment_source(msrc)
+            self._seq += 1
+            seq = self._seq
+            self._indeg = {
+                u: len(self._neighbours(u, upstream=True))
+                for u in range(len(self._unit_coords))
+            }
+            self._inboxes = {}
+            for u, deg in self._indeg.items():
+                if deg == 0:
+                    self._tasks.put(("unit", seq, u, {}))
+            results = drive_units(self, seq, len(self._unit_coords))
+            # per-rank deterministic reductions, serial (octant, ablock)
+            # order within the rank
+            diffs = []
+            scales = []
+            for rank in range(size):
+                solver = self.solvers[rank]
+                leak = 0.0
+                for u in self._rank_units[rank]:
+                    r = results[u]
+                    total_fixups[rank] += r.fixups
+                    for contribution in r.leak_records:
+                        leak += contribution
+                last_leakage[rank] = leak
+                solver.host.zero_flux()
+                from .workunits import replay_flux
+
+                replay_flux(
+                    solver.host, self.psi[rank], solver.quad, solver.basis,
+                    self.locals[rank],
+                )
+                new_flux = solver.host.flux_logical()
+                diffs.append(float(np.max(np.abs(new_flux[0] - flux[rank][0]))))
+                scales.append(float(np.max(np.abs(new_flux[0]))))
+                flux[rank] = new_flux
+            gdiff = max(diffs)
+            gscale = max(scales)
+            history.append(gdiff / gscale if gscale else 0.0)
+        # the rank-0 reduce of the threaded runtime folds in rank order
+        fixups = sum(total_fixups)
+        leakage = last_leakage[0]
+        for rank in range(1, size):
+            leakage = leakage + last_leakage[rank]
+        global_flux = np.zeros((deck.nm, *deck.grid.shape))
+        for rank in range(size):
+            plan = self._kba.plan(rank)
+            global_flux[
+                :, plan.x0:plan.x0 + plan.nx, plan.y0:plan.y0 + plan.ny, :
+            ] = flux[rank]
+        return SolveResult(
+            flux=global_flux,
+            iterations=deck.iterations,
+            history=history,
+            tally=SweepTally(fixups=fixups, leakage=leakage),
+            converged=True,
+        )
+
+    def __enter__(self) -> "ClusterEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,417 @@
+"""The host-parallel execution engine for one simulated Cell chip.
+
+Two work-unit granularities, both bit-identical to serial execution:
+
+* ``block`` (default) -- the unit is one ``(octant, angle-block)``
+  slice of the sweep.  Workers inherit the fully-built solver through
+  ``fork`` (chip, local stores, DMA programs: copy-on-write, private),
+  read the moment source from shared memory, execute the unit with the
+  complete staged machinery (scheduler, sync protocol, DMA staging,
+  kernel) against their private face/flux arrays, and capture the
+  unit's angular flux into a shared ``psi`` array.  The parent then
+  *replays* the flux accumulation and refolds leakage in the serial
+  order (see :mod:`.workunits`), so the reduction is deterministic by
+  construction.  Per-unit trace-event buffers merge back into the
+  parent's :class:`~repro.trace.bus.TraceBus` in unit order, cycle
+  cursor and all, so tracing and the DMA-hazard sanitizer keep working.
+* ``diagonal`` -- the unit is one SPE lane's chunks of each jkm
+  diagonal, which the paper's Sec. 3 observation makes embarrassingly
+  parallel ("all the I-lines for each jkm value can be processed in
+  parallel").  Every host array is shared; lanes write disjoint rows,
+  so no replay is needed; two barrier crossings per diagonal keep the
+  wavefront order.  Finer-grained and allocation-free on the hot path,
+  but the per-diagonal barriers bound its scalability -- it exists as
+  the faithful analogue of the machine's own schedule.
+
+Work distribution is a shared task queue: the parent enqueues every
+unit, workers pull, and the parent itself drains the queue between
+collecting results, so a lone straggler never idles the pool ("any
+lane may execute any unit").
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue
+import traceback
+from dataclasses import replace
+
+import numpy as np
+
+from ..errors import ConfigurationError, ParallelError
+from ..sweep.flux import SweepTally
+from ..sweep.pipelining import VacuumBoundary
+from .shm import SharedArrayPool
+from .workunits import (
+    BlockUnit,
+    RecordingVacuumBoundary,
+    UnitResult,
+    enumerate_block_units,
+    replay_flux,
+)
+
+GRANULARITIES = ("block", "diagonal")
+
+#: host arrays shared under each granularity (name prefixes; everything
+#: else stays process-private and is inherited copy-on-write)
+_BLOCK_SHARED_PREFIXES = ("msrc",)
+_DIAGONAL_SHARED_PREFIXES = (
+    "flux", "msrc", "sigt", "phij", "phik", "phii",  # phii also matches phii_out
+)
+
+#: seconds a blocked queue read waits before declaring the pool dead
+_RESULT_TIMEOUT = 600.0
+
+#: control-block slots of the diagonal-granularity protocol
+_CTRL_CMD, _CTRL_OCTANT, _CTRL_A0, _CTRL_NA, _CTRL_K0, _CTRL_D, _CTRL_EPOCH, _CTRL_ERR = range(8)
+_CMD_RUN, _CMD_STOP = 1, 2
+
+
+def _shared_name_predicate(granularity: str):
+    prefixes = (
+        _BLOCK_SHARED_PREFIXES
+        if granularity == "block"
+        else _DIAGONAL_SHARED_PREFIXES
+    )
+    return lambda name: name.startswith(prefixes)
+
+
+class ParallelEngine:
+    """Runs one :class:`~repro.core.solver.CellSweep3D`'s sweeps on a
+    pool of forked worker processes."""
+
+    @staticmethod
+    def prepare_chip(chip, config, granularity: str) -> None:
+        """Install the shared-memory allocator on ``chip`` *before* the
+        solver builds its :class:`~repro.core.porting.HostState`, so the
+        granularity's shared arrays land in shared memory."""
+        if granularity not in GRANULARITIES:
+            raise ConfigurationError(
+                f"granularity must be one of {GRANULARITIES}, got {granularity!r}"
+            )
+        pool = SharedArrayPool()
+        chip.host_array_factory = pool.factory(
+            _shared_name_predicate(granularity)
+        )
+        chip._parallel_pool = pool
+
+    def __init__(self, solver, workers: int, granularity: str) -> None:
+        self.solver = solver
+        self.workers = int(workers)
+        self.granularity = granularity
+        self.pool: SharedArrayPool = solver.chip._parallel_pool
+        self.ctx = mp.get_context("fork")
+        self._procs: list = []
+        self._started = False
+        self._closed = False
+        deck = solver.deck
+        g = deck.grid
+        if granularity == "block":
+            self.units: list[BlockUnit] = enumerate_block_units(deck, solver.quad)
+            num_angles = 8 * solver.quad.per_octant
+            self.psi = self.pool.alloc(
+                "parallel-psi", (num_angles, g.nz, g.ny, solver.host.row_len)
+            )
+            self._tasks = self.ctx.Queue()
+            self._results = self.ctx.Queue()
+            self._sweep_seq = 0
+        else:
+            if solver.config.trace:
+                raise ConfigurationError(
+                    "tracing needs granularity='block' (diagonal lanes "
+                    "run in processes whose buses cannot interleave "
+                    "mid-diagonal)"
+                )
+            from ..core.scheduler import CentralizedScheduler
+
+            if not isinstance(solver.scheduler, CentralizedScheduler):
+                raise ConfigurationError(
+                    "granularity='diagonal' needs the centralized "
+                    "scheduler (the distributed claim protocol is "
+                    "inherently one sequential stream)"
+                )
+            self._ctrl = self.pool.alloc("parallel-ctrl", (8,), dtype=np.int64)
+            self._lane_fixups = self.pool.alloc(
+                "parallel-fixups", (self.workers,), dtype=np.int64
+            )
+            self._barrier = self.ctx.Barrier(self.workers)
+            solver.scheduler = _LaneScheduler(self, solver.scheduler)
+
+    # -- process lifecycle -----------------------------------------------------
+
+    def _ensure_started(self) -> None:
+        """Fork the worker processes (lazily, on the first sweep, so the
+        children inherit the fully-built solver state)."""
+        if self._started:
+            return
+        if self._closed:
+            raise ParallelError("engine already closed")
+        target = (
+            _block_worker if self.granularity == "block" else _diagonal_worker
+        )
+        for lane in range(1, self.workers):
+            p = self.ctx.Process(
+                target=target, args=(self, lane), daemon=True,
+                name=f"repro-lane{lane}",
+            )
+            p.start()
+            self._procs.append(p)
+        self._started = True
+
+    def close(self) -> None:
+        """Stop the workers and release the shared-memory segments."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._started:
+            if self.granularity == "block":
+                for _ in self._procs:
+                    self._tasks.put(("stop",))
+            else:
+                self._ctrl[_CTRL_CMD] = _CMD_STOP
+                try:
+                    self._barrier.wait(timeout=5.0)
+                except Exception:  # pragma: no cover - dead lanes
+                    pass
+            for p in self._procs:
+                p.join(timeout=5.0)
+                if p.is_alive():  # pragma: no cover - hung worker
+                    p.terminate()
+                    p.join(timeout=5.0)
+            self._procs = []
+        if self.granularity == "diagonal":
+            lane = self.solver.scheduler
+            if isinstance(lane, _LaneScheduler):
+                self.solver.scheduler = lane.inner
+        self.pool.close()
+
+    # -- sweeping --------------------------------------------------------------
+
+    def sweep(self, moment_source: np.ndarray, boundary):
+        """One parallel sweep, or ``None`` to make the solver fall back
+        to its serial path (block granularity with a caller-supplied
+        boundary: the unit decomposition owns the boundary protocol)."""
+        if self.granularity == "diagonal":
+            return self._sweep_diagonal(moment_source, boundary)
+        if boundary is not None:
+            return None
+        return self._sweep_blocks(moment_source)
+
+    # -- block granularity -----------------------------------------------------
+
+    def _execute_unit(self, index: int, payload) -> UnitResult:
+        return _execute_block_unit(self.solver, self.units[index], self.psi)
+
+    def _sweep_blocks(self, moment_source: np.ndarray):
+        solver = self.solver
+        self._ensure_started()
+        solver.host.load_moment_source(moment_source)
+        self._sweep_seq += 1
+        seq = self._sweep_seq
+        for unit in self.units:
+            self._tasks.put(("unit", seq, unit.index, None))
+        bus = solver.trace
+        base_idx = len(bus.events) if bus.enabled else 0
+        base_now = bus.now
+        results = drive_units(self, seq, len(self.units))
+
+        # deterministic reduction, strictly in serial unit order
+        tally = SweepTally()
+        boundary = VacuumBoundary(solver.deck, solver.quad)
+        if bus.enabled:
+            # rebuild the sweep's stretch of the trace from the
+            # per-unit captures: unit order restores the serial stream
+            del bus.events[base_idx:]
+            bus.now = base_now
+        for unit in self.units:
+            r = results[unit.index]
+            tally.fixups += r.fixups
+            for contribution in r.leak_records:
+                boundary._tally(contribution)
+            if bus.enabled and r.events is not None:
+                offset = bus.now - r.start
+                for ev in r.events:
+                    bus.events.append(
+                        replace(ev, seq=len(bus.events), ts=ev.ts + offset)
+                    )
+                bus.now += r.span
+        solver.host.zero_flux()
+        replay_flux(solver.host, self.psi, solver.quad, solver.basis, solver.deck)
+        tally.leakage = boundary.leakage
+        return solver.host.flux_logical(), tally, boundary
+
+    def _on_unit_done(self, seq: int, index: int, results: dict) -> None:
+        """Completion hook (the cluster engine schedules dependents here)."""
+
+    # -- diagonal granularity --------------------------------------------------
+
+    def _sweep_diagonal(self, moment_source: np.ndarray, boundary):
+        solver = self.solver
+        self._ensure_started()
+        self._lane_fixups[:] = 0
+        flux, tally, bnd = solver._sweep_serial(moment_source, boundary)
+        # lanes 1..W-1 tallied their fixup counts in shared memory;
+        # integer addition commutes, so the total is exact
+        tally.fixups += int(self._lane_fixups.sum())
+        return flux, tally, bnd
+
+
+class _LaneScheduler:
+    """``run_diagonal`` facade the diagonal granularity installs on the
+    solver: publish the diagonal's coordinates, release the lanes,
+    execute the parent lane's chunks, wait for the others."""
+
+    def __init__(self, engine: ParallelEngine, inner) -> None:
+        self.engine = engine
+        self.inner = inner
+
+    @property
+    def chunks_dispatched(self) -> int:
+        return self.inner.chunks_dispatched
+
+    def run_diagonal(self, lines, chunk_lines, execute):
+        from ..core.worklist import assign_cyclic
+
+        engine = self.engine
+        solver = engine.solver
+        ctx = solver._diag_ctx
+        ctrl = engine._ctrl
+        ctrl[_CTRL_OCTANT:_CTRL_D + 1] = ctx
+        ctrl[_CTRL_EPOCH] += 1
+        ctrl[_CTRL_CMD] = _CMD_RUN
+        engine._barrier.wait(timeout=_RESULT_TIMEOUT)  # release the lanes
+        chunks = assign_cyclic(lines, chunk_lines, len(solver.chip.spes))
+        for chunk in chunks:
+            if chunk.spe % engine.workers == 0:
+                self.inner.run_chunk(chunk, execute)
+        engine._barrier.wait(timeout=_RESULT_TIMEOUT)  # diagonal barrier
+        if ctrl[_CTRL_ERR]:
+            raise ParallelError(
+                "a diagonal lane failed; see the worker's stderr"
+            )
+        return chunks
+
+
+# -- worker processes (run in forked children) -------------------------------
+
+
+def _execute_block_unit(solver, unit: BlockUnit, psi: np.ndarray) -> UnitResult:
+    """One (octant, angle-block) unit through the full staged machinery,
+    against this process's private faces and flux, capturing psi."""
+    boundary = RecordingVacuumBoundary(solver.deck, solver.quad)
+    tally = SweepTally()
+    bus = solver.trace
+    start_idx = len(bus.events) if bus.enabled else 0
+    start_now = bus.now
+    solver._sweep_block(
+        unit.octant, list(unit.angles), tally, boundary, psi_sink=psi
+    )
+    events = list(bus.events[start_idx:]) if bus.enabled else None
+    return UnitResult(
+        index=unit.index,
+        fixups=tally.fixups,
+        leak_records=boundary.records,
+        events=events,
+        start=start_now,
+        span=bus.now - start_now,
+    )
+
+
+def drive_units(engine, seq: int, total: int) -> dict[int, UnitResult]:
+    """The parent's participation loop: execute queued units inline when
+    the task queue has work, otherwise collect worker results."""
+    results: dict[int, UnitResult] = {}
+    while len(results) < total:
+        task = None
+        try:
+            task = engine._tasks.get_nowait()
+        except queue.Empty:
+            pass
+        if task is not None:
+            _, tseq, index, payload = task
+            if tseq != seq:  # pragma: no cover - stale after an abort
+                continue
+            results[index] = engine._execute_unit(index, payload)
+            engine._on_unit_done(seq, index, results)
+            continue
+        try:
+            kind, rseq, index, payload = engine._results.get(
+                timeout=_RESULT_TIMEOUT
+            )
+        except queue.Empty:  # pragma: no cover - dead pool
+            raise ParallelError(
+                f"no worker result within {_RESULT_TIMEOUT:.0f}s "
+                f"({len(results)}/{total} units done)"
+            ) from None
+        if rseq != seq:  # pragma: no cover - stale after an abort
+            continue
+        if kind == "err":
+            raise ParallelError(f"worker unit failed:\n{payload}")
+        results[index] = payload
+        engine._on_unit_done(seq, index, results)
+    return results
+
+
+def _block_worker(engine: ParallelEngine, lane: int) -> None:
+    """Block-granularity worker loop: pull unit indices, run them
+    against the inherited solver, return scalars."""
+    while True:
+        task = engine._tasks.get()
+        if task[0] == "stop":
+            break
+        _, seq, index, payload = task
+        try:
+            result = engine._execute_unit(index, payload)
+            engine._results.put(("ok", seq, index, result))
+        except BaseException:
+            engine._results.put(("err", seq, index, traceback.format_exc()))
+
+
+def _diagonal_worker(engine: ParallelEngine, lane: int) -> None:
+    """Diagonal-granularity lane loop: on each barrier release, rebuild
+    the published diagonal's chunks and execute the cyclically-owned
+    subset against the shared host arrays."""
+    from ..core.streaming import staged_lines_for_diagonal
+    from ..core.worklist import assign_cyclic
+
+    solver = engine.solver
+    inner = solver.scheduler.inner
+    deck = solver.deck
+    quad = solver.quad
+    g = deck.grid
+    while True:
+        try:
+            engine._barrier.wait(timeout=_RESULT_TIMEOUT)
+        except Exception:  # pragma: no cover - parent died
+            break
+        if engine._ctrl[_CTRL_CMD] == _CMD_STOP:
+            break
+        octant, a0, na, k0, d = (
+            int(x) for x in engine._ctrl[_CTRL_OCTANT:_CTRL_D + 1]
+        )
+        try:
+            base = octant * quad.per_octant
+            globals_ = [base + a for a in range(a0, a0 + na)]
+            cxs = np.abs(quad.mu[globals_]) / g.dx
+            cys = np.abs(quad.eta[globals_]) / g.dy
+            czs = np.abs(quad.xi[globals_]) / g.dz
+            lines = staged_lines_for_diagonal(deck, octant, globals_, k0, d)
+            chunks = assign_cyclic(
+                lines, solver.config.chunk_lines, len(solver.chip.spes)
+            )
+            fixups = [0]
+
+            def execute(chunk):
+                fixups[0] += solver._execute_chunk(chunk, cxs, cys, czs)
+
+            for chunk in chunks:
+                if chunk.spe % engine.workers == lane:
+                    inner.run_chunk(chunk, execute)
+            engine._lane_fixups[lane] += fixups[0]
+        except BaseException:  # pragma: no cover - surfaced via ctrl
+            traceback.print_exc()
+            engine._ctrl[_CTRL_ERR] = 1
+        try:
+            engine._barrier.wait(timeout=_RESULT_TIMEOUT)
+        except Exception:  # pragma: no cover - parent died
+            break

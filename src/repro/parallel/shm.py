@@ -1,0 +1,106 @@
+"""Shared-memory numpy arrays for the host-parallel engine.
+
+The hot path of the parallel engine must not pickle arrays: the moment
+source the workers read and the angular-flux capture they write live in
+``multiprocessing.shared_memory`` segments, exposed on both sides as
+ordinary numpy views.  With the ``fork`` start method the parent
+allocates every segment *before* spawning workers, so the children
+inherit the open mappings and never exchange anything but a few ints
+per work unit.
+
+Lifecycle: the pool owns its segments.  :meth:`SharedArrayPool.close`
+unlinks them (so ``/dev/shm`` is not leaked) and closes what it can; a
+segment whose numpy views are still referenced stays mapped until the
+process exits, which is exactly the semantics the views need.  An
+``atexit`` hook guarantees the unlink even when callers forget.
+"""
+
+from __future__ import annotations
+
+import atexit
+from multiprocessing import shared_memory
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ParallelError
+
+
+class SharedArrayPool:
+    """Allocates named numpy arrays backed by POSIX shared memory."""
+
+    def __init__(self) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._closed = False
+        atexit.register(self.close)
+
+    def alloc(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype: np.dtype | type = np.float64,
+    ) -> np.ndarray:
+        """A zero-filled shared array of ``shape``; ``name`` is the
+        pool-local logical name (the OS-level segment name is system
+        generated and unique)."""
+        if self._closed:
+            raise ParallelError("shared-array pool already closed")
+        if name in self._segments:
+            raise ParallelError(f"shared array {name!r} already allocated")
+        dt = np.dtype(dtype)
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        seg = shared_memory.SharedMemory(
+            create=True, size=max(count * dt.itemsize, 1)
+        )
+        arr = np.frombuffer(seg.buf, dtype=dt, count=count).reshape(shape)
+        arr[...] = 0
+        self._segments[name] = seg
+        return arr
+
+    def factory(
+        self, share: Callable[[str], bool]
+    ) -> Callable[[str, tuple[int, ...], np.dtype], np.ndarray]:
+        """An allocator for :meth:`repro.cell.chip.CellBE.host_alloc`'s
+        ``host_array_factory`` hook: arrays whose name satisfies
+        ``share`` come from this pool, the rest are private zeros."""
+
+        def make(name: str, shape: tuple[int, ...], dt: np.dtype) -> np.ndarray:
+            if share(name):
+                return self.alloc(name, shape, dt)
+            return np.zeros(shape, dtype=dt)
+
+        return make
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(seg.size for seg in self._segments.values())
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def close(self) -> None:
+        """Unlink every segment.  Idempotent.  Views handed out earlier
+        stay valid until their mapping is dropped at process exit."""
+        if self._closed:
+            return
+        self._closed = True
+        for seg in self._segments.values():
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+            try:
+                seg.close()
+            except BufferError:
+                # live numpy views still reference the mapping; the OS
+                # reclaims it at process exit.  Neutralize the instance
+                # finalizer so interpreter shutdown doesn't print the
+                # same BufferError as an ignored exception.
+                seg.close = lambda: None
+        self._segments = {}
+
+    def __enter__(self) -> "SharedArrayPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

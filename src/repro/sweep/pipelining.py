@@ -137,6 +137,12 @@ class VacuumBoundary:
         base = octant * self.quad.per_octant
         return self.quad.weight[[base + a for a in angles]]
 
+    def _tally(self, contribution: float) -> None:
+        # every leakage contribution funnels through here, one per
+        # (send, angle), so subclasses can observe the exact summation
+        # chain (repro.parallel refolds it for bit-identical reductions)
+        self.leakage += contribution
+
     def recv_i(self, octant, angles, k0, jt, it):
         return np.zeros((len(angles), self.deck.mk, jt))
 
@@ -149,39 +155,39 @@ class VacuumBoundary:
         g = self.deck.grid
         for a_local, a in enumerate(angles):
             m = base + a
-            self.leakage += float(
+            self._tally(float(
                 self.quad.weight[m]
                 * abs(self.quad.mu[m])
                 * data[a_local].sum()
                 * g.dy
                 * g.dz
-            )
+            ))
 
     def send_j(self, octant, angles, k0, data):
         base = octant * self.quad.per_octant
         g = self.deck.grid
         for a_local, a in enumerate(angles):
             m = base + a
-            self.leakage += float(
+            self._tally(float(
                 self.quad.weight[m]
                 * abs(self.quad.eta[m])
                 * data[a_local].sum()
                 * g.dx
                 * g.dz
-            )
+            ))
 
     def finish_octant(self, octant, angles, phik):
         base = octant * self.quad.per_octant
         g = self.deck.grid
         for a_local, a in enumerate(angles):
             m = base + a
-            self.leakage += float(
+            self._tally(float(
                 self.quad.weight[m]
                 * abs(self.quad.xi[m])
                 * phik[a_local].sum()
                 * g.dx
                 * g.dy
-            )
+            ))
 
 
 # ---------------------------------------------------------------------------

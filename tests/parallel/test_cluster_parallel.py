@@ -1,0 +1,58 @@
+"""Parallel cluster solves equal the threaded KBA runtime bit for bit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import CellClusterSweep3D
+from repro.errors import ConfigurationError
+from repro.sweep import SerialSweep3D, small_deck
+
+
+def make_deck():
+    return small_deck(n=8, sn=4, nm=2, iterations=2, mk=3)
+
+
+@pytest.fixture(scope="module")
+def threaded_result():
+    return CellClusterSweep3D(make_deck(), P=2, Q=2).solve()
+
+
+def test_parallel_cluster_matches_threaded(threaded_result):
+    with CellClusterSweep3D(make_deck(), P=2, Q=2, workers=2) as cluster:
+        result = cluster.solve()
+    np.testing.assert_array_equal(threaded_result.flux, result.flux)
+    assert threaded_result.tally.leakage == result.tally.leakage
+    assert threaded_result.tally.fixups == result.tally.fixups
+    assert threaded_result.history == result.history
+
+
+def test_parallel_cluster_matches_serial_sweeper(threaded_result):
+    reference = SerialSweep3D(make_deck()).solve()
+    np.testing.assert_array_equal(reference.flux, threaded_result.flux)
+
+
+def test_uneven_tiles_and_single_column():
+    """2x1 split of an 8-cube leaves uneven J tiles on a 3-way split."""
+    threaded = CellClusterSweep3D(make_deck(), P=3, Q=1).solve()
+    with CellClusterSweep3D(make_deck(), P=3, Q=1, workers=2) as cluster:
+        parallel = cluster.solve()
+    np.testing.assert_array_equal(threaded.flux, parallel.flux)
+    assert threaded.tally.leakage == parallel.tally.leakage
+
+
+def test_cluster_rejects_bad_workers():
+    with pytest.raises(ConfigurationError):
+        CellClusterSweep3D(make_deck(), P=2, Q=2, workers=0)
+
+
+def test_cluster_rejects_trace():
+    from repro.core.levels import MachineConfig
+
+    cfg = MachineConfig(
+        aligned_rows=True, structured_loops=True, double_buffer=True,
+        simd=True, dma_lists=True, bank_offsets=True, trace=True,
+    )
+    with pytest.raises(ConfigurationError):
+        CellClusterSweep3D(make_deck(), P=2, Q=2, config=cfg, workers=2)

@@ -1,0 +1,114 @@
+"""The host-parallel engine is bit-identical to the serial engine.
+
+The whole value of :mod:`repro.parallel` rests on one promise: for any
+worker count, a parallel solve returns the *same bits* as the serial
+solve -- flux, leakage, fixups, history.  These tests pin that promise
+for both work-unit granularities and for the cluster engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.levels import MachineConfig
+from repro.core.solver import CellSweep3D
+from repro.errors import ConfigurationError
+from repro.sweep import SerialSweep3D, small_deck
+
+
+def make_deck():
+    return small_deck(n=6, sn=4, nm=2, iterations=2, mk=3)
+
+
+CFG = MachineConfig(
+    aligned_rows=True, structured_loops=True, double_buffer=True,
+    simd=True, dma_lists=True, bank_offsets=True,
+)
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return CellSweep3D(make_deck(), CFG).solve()
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_block_granularity_bit_identical(serial_result, workers):
+    with CellSweep3D(make_deck(), CFG, workers=workers) as solver:
+        result = solver.solve()
+    np.testing.assert_array_equal(serial_result.flux, result.flux)
+    assert serial_result.tally.leakage == result.tally.leakage
+    assert serial_result.tally.fixups == result.tally.fixups
+    assert serial_result.history == result.history
+
+
+def test_diagonal_granularity_bit_identical(serial_result):
+    with CellSweep3D(
+        make_deck(), CFG, workers=2, granularity="diagonal"
+    ) as solver:
+        result = solver.solve()
+    np.testing.assert_array_equal(serial_result.flux, result.flux)
+    assert serial_result.tally.leakage == result.tally.leakage
+    assert serial_result.tally.fixups == result.tally.fixups
+    assert serial_result.history == result.history
+
+
+def test_parallel_matches_plain_serial_sweeper(serial_result):
+    """Transitively: parallel == Cell-serial == SerialSweep3D."""
+    reference = SerialSweep3D(make_deck()).solve()
+    np.testing.assert_array_equal(reference.flux, serial_result.flux)
+
+
+def test_fixup_deck_bit_identical():
+    """Fixup counts are summed across workers; flux stays exact."""
+    deck = small_deck(n=6, sn=4, nm=2, iterations=3, mk=3, fixup=True)
+    serial = CellSweep3D(deck, CFG).solve()
+    with CellSweep3D(
+        small_deck(n=6, sn=4, nm=2, iterations=3, mk=3, fixup=True),
+        CFG, workers=2,
+    ) as solver:
+        parallel = solver.solve()
+    np.testing.assert_array_equal(serial.flux, parallel.flux)
+    assert serial.tally.fixups == parallel.tally.fixups
+    assert serial.tally.leakage == parallel.tally.leakage
+
+
+def test_solve_is_repeatable_across_sweeps():
+    """The pool persists across iterations; a second solve on the same
+    engine still matches (exercises queue reuse and psi rewrites)."""
+    with CellSweep3D(make_deck(), CFG, workers=2) as solver:
+        first = solver.solve()
+        second = solver.solve()
+    np.testing.assert_array_equal(first.flux, second.flux)
+
+
+def test_custom_boundary_falls_back_to_serial():
+    """Block units assume vacuum boundaries; a custom boundary routes
+    through the serial path instead of returning wrong answers."""
+    from repro.sweep.pipelining import VacuumBoundary
+
+    deck = make_deck()
+    boundary = VacuumBoundary(deck, deck.quadrature())
+    with CellSweep3D(make_deck(), CFG, workers=2) as solver:
+        flux, tally, bnd = solver.sweep(
+            np.zeros((deck.nm, *deck.grid.shape)), boundary=boundary
+        )
+    assert bnd is boundary
+
+
+def test_bad_worker_count_rejected():
+    with pytest.raises(ConfigurationError):
+        CellSweep3D(make_deck(), CFG, workers=0)
+
+
+def test_bad_granularity_rejected():
+    with pytest.raises(ConfigurationError):
+        CellSweep3D(make_deck(), CFG, workers=2, granularity="line")
+
+
+def test_diagonal_granularity_rejects_trace():
+    with pytest.raises(ConfigurationError):
+        CellSweep3D(
+            make_deck(), CFG.with_(trace=True), workers=2,
+            granularity="diagonal",
+        )

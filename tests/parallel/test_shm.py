@@ -1,0 +1,79 @@
+"""Unit tests for the shared-memory pool and the work-unit helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParallelError
+from repro.parallel import SharedArrayPool, enumerate_block_units
+from repro.sweep import small_deck
+
+
+def test_alloc_returns_zeroed_view():
+    with SharedArrayPool() as pool:
+        a = pool.alloc("a", (4, 3))
+        assert a.shape == (4, 3)
+        assert a.dtype == np.float64
+        assert not a.any()
+        a[1, 2] = 7.0
+        assert a[1, 2] == 7.0
+
+
+def test_duplicate_name_rejected():
+    with SharedArrayPool() as pool:
+        pool.alloc("a", (2,))
+        with pytest.raises(ParallelError):
+            pool.alloc("a", (2,))
+
+
+def test_alloc_after_close_rejected():
+    pool = SharedArrayPool()
+    pool.close()
+    with pytest.raises(ParallelError):
+        pool.alloc("a", (2,))
+
+
+def test_close_is_idempotent():
+    pool = SharedArrayPool()
+    pool.alloc("a", (8,))
+    pool.close()
+    pool.close()
+    assert len(pool) == 0
+
+
+def test_factory_routes_by_name():
+    with SharedArrayPool() as pool:
+        make = pool.factory(lambda name: name.startswith("msrc"))
+        shared = make("msrc0", (4,), np.dtype(np.float64))
+        private = make("flux0", (4,), np.dtype(np.float64))
+        assert len(pool) == 1
+        assert pool.total_bytes == 4 * 8
+        shared[0] = 1.0
+        private[0] = 2.0
+
+
+def test_int_dtype_and_scalar_shape():
+    with SharedArrayPool() as pool:
+        a = pool.alloc("ctrl", (8,), np.int64)
+        assert a.dtype == np.int64
+        a[3] = -1
+        assert a[3] == -1
+
+
+def test_block_units_cover_sweep_in_serial_order():
+    deck = small_deck(n=6, sn=4, nm=2, iterations=1, mk=3)
+    quad = deck.quadrature()
+    units = enumerate_block_units(deck, quad)
+    # 8 octants x (per_octant / mmi) angle blocks, serial nesting order
+    assert len(units) == 8 * (quad.per_octant // deck.mmi)
+    assert [u.index for u in units] == list(range(len(units)))
+    assert units[0].octant == 0
+    assert units[-1].octant == 7
+    octants = [u.octant for u in units]
+    assert octants == sorted(octants)
+    covered = set()
+    for u in units:
+        for a in u.angles:
+            covered.add((u.octant, a))
+    assert len(covered) == 8 * quad.per_octant

@@ -1,0 +1,80 @@
+"""Per-worker trace buffers merge back into the serial event stream.
+
+The parent re-stamps each unit's captured events onto its own time
+cursor in unit order, so the merged stream must match the serial trace
+-- same events, same order, same per-name counts -- and the DMA-hazard
+sanitizer must stay clean on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.levels import MachineConfig
+from repro.core.solver import CellSweep3D
+from repro.sweep import small_deck
+
+CFG = MachineConfig(
+    aligned_rows=True, structured_loops=True, double_buffer=True,
+    simd=True, dma_lists=True, bank_offsets=True, trace=True,
+)
+
+
+def make_deck():
+    return small_deck(n=6, sn=4, nm=2, iterations=1, mk=3)
+
+
+@pytest.fixture(scope="module")
+def streams():
+    serial = CellSweep3D(make_deck(), CFG)
+    serial_result = serial.solve()
+    with CellSweep3D(make_deck(), CFG, workers=2) as parallel:
+        parallel_result = parallel.solve()
+        parallel_events = list(parallel.trace.events)
+        parallel_now = parallel.trace.now
+    return (serial_result, list(serial.trace.events), serial.trace.now,
+            parallel_result, parallel_events, parallel_now)
+
+
+def test_flux_identical_under_tracing(streams):
+    serial_result, _, _, parallel_result, _, _ = streams
+    np.testing.assert_array_equal(serial_result.flux, parallel_result.flux)
+
+
+def test_event_streams_equivalent(streams):
+    """Sorted streams match on everything except the exact timestamp
+    (re-stamping can differ in the last ULP)."""
+    _, serial_events, _, _, parallel_events, _ = streams
+    assert len(serial_events) == len(parallel_events)
+
+    def key(ev):
+        return (ev.track, ev.name, ev.dur, sorted((ev.args or {}).items()))
+
+    assert sorted(map(key, serial_events)) == sorted(map(key, parallel_events))
+
+
+def test_event_order_preserved(streams):
+    """Unit-order merging reconstructs the serial ordering exactly."""
+    _, serial_events, _, _, parallel_events, _ = streams
+    assert [(e.track, e.name) for e in serial_events] == \
+        [(e.track, e.name) for e in parallel_events]
+
+
+def test_simulated_clock_preserved(streams):
+    _, _, serial_now, _, _, parallel_now = streams
+    assert parallel_now == pytest.approx(serial_now, rel=1e-12)
+
+
+def test_sequence_numbers_dense(streams):
+    _, _, _, _, parallel_events, _ = streams
+    assert [e.seq for e in parallel_events] == list(range(len(parallel_events)))
+
+
+def test_sanitizer_clean_on_merged_stream():
+    from repro.trace.sanitizer import sanitize
+
+    with CellSweep3D(make_deck(), CFG, workers=2) as solver:
+        solver.solve()
+        hazards = sanitize(solver.trace)
+    assert hazards == []

@@ -60,6 +60,40 @@ class TestSolve:
                      str(tmp_path / "x.json")]) == 2
         assert "requires --engine cell" in capsys.readouterr().err
 
+    def test_json_reports_host_perf(self, capsys):
+        import json
+
+        doc = json.loads(run(capsys, "solve", "--cube", "6", "--sn", "4",
+                             "--nm", "1", "--iterations", "1", "--json"))
+        perf = doc["perf"]
+        assert perf["host_wall_seconds"] > 0
+        assert perf["workers"] == 1
+        assert perf["host_cpus"] >= 1
+
+    def test_workers_flag_runs_parallel_cell_solve(self, capsys):
+        import json
+
+        serial = json.loads(run(capsys, "solve", "--cube", "6", "--sn", "4",
+                                "--nm", "1", "--iterations", "1",
+                                "--engine", "cell", "--json"))
+        parallel = json.loads(run(capsys, "solve", "--cube", "6", "--sn", "4",
+                                  "--nm", "1", "--iterations", "1",
+                                  "--engine", "cell", "--workers", "2",
+                                  "--json"))
+        assert parallel["perf"]["workers"] == 2
+        assert serial["rows"] == parallel["rows"]
+
+    def test_workers_flag_requires_cell_engine(self, capsys):
+        assert main(["solve", "--cube", "6", "--workers", "2"]) == 2
+        assert "requires --engine cell" in capsys.readouterr().err
+
+    def test_cluster_workers_runs_functional_solve(self, capsys):
+        out = run(capsys, "cluster", "--cube", "6", "--sn", "4", "--nm", "1",
+                  "--iterations", "1", "-p", "2", "-q", "1",
+                  "--workers", "2")
+        assert "cluster 2x1" in out
+        assert "scalar flux" in out
+
 
 class TestFigures:
     def test_ladder(self, capsys):
