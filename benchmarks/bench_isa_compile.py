@@ -1,0 +1,195 @@
+"""Host wall-clock effect of the ISA trace-compiler.
+
+Three records, written to ``BENCH_isa.json`` at the repository root:
+
+1. **16^3 executor duel** -- one tile-method sweep per executor, timing
+   only the line-executor calls: the per-instruction interpreter
+   (``simd_line_executor``) vs the trace-compiled batched replay
+   (``compiled_line_executor``).  The compiled path must be >= 10x
+   faster and its flux bit-identical.
+2. **16^3 cell-engine solve** -- the full staged machine with
+   ``isa_kernel`` on (diagonal-batched compiled dispatch) vs the fused
+   reference kernel, with bit-identity verified.
+3. **50^3 cell-engine ISA solve** -- the paper's benchmark cube through
+   the compiled ISA path, single iteration.  Gated behind
+   ``BENCH_ISA_FULL=1`` (it takes minutes; the default row records the
+   skip), so CI smoke stays fast while the committed artifact carries
+   the measured number.
+
+Host CPU counts and compile-cache statistics ride along like
+``BENCH_parallel.json``.  Run directly
+(``PYTHONPATH=src python benchmarks/bench_isa_compile.py``) or through
+pytest (``python -m pytest benchmarks/bench_isa_compile.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.cell import isa_compile
+from repro.core.levels import MachineConfig
+from repro.core.solver import CellSweep3D
+from repro.core.spe_kernel import compiled_line_executor, simd_line_executor
+from repro.perf.processors import measured_cell_config
+from repro.sweep.input import cube_deck
+from repro.sweep.serial import SerialSweep3D
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+def _affinity_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def _deck(n: int):
+    return dataclasses.replace(cube_deck(n), iterations=1)
+
+
+def _timed_executor(executor):
+    acc = {"wall": 0.0, "blocks": 0}
+
+    def wrapped(block):
+        t0 = time.perf_counter()
+        out = executor(block)
+        acc["wall"] += time.perf_counter() - t0
+        acc["blocks"] += 1
+        return out
+
+    return wrapped, acc
+
+
+def bench_executor_duel(n: int = 16) -> dict:
+    """Interpreted vs compiled line executors over one tile sweep."""
+    deck = _deck(n)
+    interp, interp_acc = _timed_executor(simd_line_executor)
+    compiled, compiled_acc = _timed_executor(compiled_line_executor)
+    ref = SerialSweep3D(deck, method="tile", executor=interp).solve()
+    fast = SerialSweep3D(deck, method="tile", executor=compiled).solve()
+    speedup = interp_acc["wall"] / compiled_acc["wall"]
+    return {
+        "record": "executor duel (kernel wall only)",
+        "deck": f"{n}^3 x 1 iter",
+        "interpreted_seconds": round(interp_acc["wall"], 4),
+        "compiled_seconds": round(compiled_acc["wall"], 4),
+        "blocks": interp_acc["blocks"],
+        "speedup": round(speedup, 2),
+        "bit_identical": bool(np.array_equal(ref.flux, fast.flux)),
+    }
+
+
+def _cell_config(**over) -> MachineConfig:
+    return measured_cell_config().with_(**over)
+
+
+def bench_cell_solve(n: int = 16) -> dict:
+    """Full staged cell solve: compiled ISA kernel vs fused reference."""
+    deck = _deck(n)
+    t0 = time.perf_counter()
+    ref = CellSweep3D(deck, _cell_config()).solve()
+    ref_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    isa = CellSweep3D(deck, _cell_config(isa_kernel=True)).solve()
+    isa_wall = time.perf_counter() - t0
+    return {
+        "record": "cell-engine solve",
+        "deck": f"{n}^3 x 1 iter",
+        "reference_seconds": round(ref_wall, 4),
+        "isa_compiled_seconds": round(isa_wall, 4),
+        "bit_identical": bool(
+            np.array_equal(ref.flux, isa.flux)
+            and ref.tally.fixups == isa.tally.fixups
+        ),
+    }
+
+
+def bench_full_cube(n: int = 50) -> dict:
+    """The paper's benchmark cube through the compiled ISA path."""
+    if os.environ.get("BENCH_ISA_FULL") != "1":
+        return {
+            "record": "50^3 ISA solve",
+            "deck": f"{n}^3 x 1 iter",
+            "skipped": True,
+            "reason": "set BENCH_ISA_FULL=1 to run (takes minutes)",
+        }
+    deck = _deck(n)
+    t0 = time.perf_counter()
+    result = CellSweep3D(deck, _cell_config(isa_kernel=True)).solve()
+    wall = time.perf_counter() - t0
+    return {
+        "record": "50^3 ISA solve",
+        "deck": f"{n}^3 x 1 iter",
+        "skipped": False,
+        "isa_compiled_seconds": round(wall, 2),
+        "flux_total": float(result.scalar_flux.sum()),
+        "fixups": int(result.tally.fixups),
+    }
+
+
+def run_benchmarks() -> dict:
+    before = isa_compile.STATS.snapshot()
+    records = [bench_executor_duel(), bench_cell_solve(), bench_full_cube()]
+    return {
+        "bench": "ISA trace compilation",
+        "host_cpus": os.cpu_count(),
+        "affinity_cpus": _affinity_cpus(),
+        "compile": {
+            **isa_compile.stats_delta(before),
+            "cached_programs": isa_compile.cache_size(),
+        },
+        "records": records,
+    }
+
+
+def write_json(payload: dict) -> pathlib.Path:
+    path = REPO_ROOT / "BENCH_isa.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def _report(payload: dict) -> None:
+    for rec in payload["records"]:
+        if rec.get("skipped"):
+            print(f"{rec['record']}: SKIPPED ({rec['reason']})")
+            continue
+        keys = [k for k in rec if k.endswith("_seconds")]
+        timings = " ".join(f"{k}={rec[k]}" for k in keys)
+        extra = f" speedup={rec['speedup']}x" if "speedup" in rec else ""
+        print(f"{rec['record']}: {timings}{extra} "
+              f"identical={rec.get('bit_identical', 'n/a')}")
+    print(f"compile: {payload['compile']}")
+
+
+def test_isa_compile_bench():
+    payload = run_benchmarks()
+    path = write_json(payload)
+    _report(payload)
+    print(f"[written to {path}]")
+    duel = payload["records"][0]
+    assert duel["bit_identical"], "compiled tile solve diverged"
+    assert duel["speedup"] >= 10.0, (
+        f"compiled executor is only {duel['speedup']:.1f}x the interpreter "
+        "(>= 10x required)"
+    )
+    solve = payload["records"][1]
+    assert solve["bit_identical"], "ISA cell solve diverged from reference"
+    full = payload["records"][2]
+    if not full.get("skipped"):
+        assert full["isa_compiled_seconds"] < 600, (
+            "50^3 single-iteration ISA solve must complete in minutes"
+        )
+
+
+if __name__ == "__main__":
+    payload = run_benchmarks()
+    out = write_json(payload)
+    _report(payload)
+    print(f"[written to {out}]")

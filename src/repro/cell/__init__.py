@@ -26,7 +26,8 @@ from .local_store import LocalStore, LSBuffer
 from .mailbox import Mailbox, MailboxPair
 from .mfc import MFC
 from .mic import MemoryTimingModel, TransferCost, bank_spread_factor
-from .pipeline import PipelineReport, simulate
+from .isa_compile import CompiledProgram, TraceContext, compiled_program
+from .pipeline import PipelineReport, simulate, simulate_cached
 from .ppe import PPE
 from .registers import PressureReport, analyze_pressure, kernel_code_bytes, kernel_pressure
 from .schedule_view import format_schedule, occupancy_histogram
@@ -38,6 +39,7 @@ __all__ = [
     "AtomicDomain",
     "CellBE",
     "ChipTraffic",
+    "CompiledProgram",
     "CycleBudget",
     "CycleClock",
     "DMACommand",
@@ -69,11 +71,14 @@ __all__ = [
     "SPE",
     "SPU",
     "SPUContext",
+    "TraceContext",
     "TransferCost",
     "Vec",
     "bank_of",
     "bank_spread_factor",
+    "compiled_program",
     "constants",
     "is_peak_rate",
     "simulate",
+    "simulate_cached",
 ]

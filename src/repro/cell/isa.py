@@ -152,6 +152,18 @@ class InstructionStream:
         """Number of instructions of a given class."""
         return sum(1 for i in self.instructions if i.opclass is opclass)
 
+    def signature(self) -> tuple:
+        """A hashable identity of the recorded stream.
+
+        Two streams with equal signatures schedule identically on the
+        pipeline model (its output is a pure function of the instruction
+        sequence), which is what lets :mod:`repro.cell.pipeline` memoize
+        :class:`PipelineReport` per signature and
+        :mod:`repro.cell.isa_compile` key compiled programs on it.
+        :class:`Instruction` is frozen, so the tuple is hashable.
+        """
+        return (self.name, tuple(self.instructions))
+
     def __len__(self) -> int:
         return len(self.instructions)
 

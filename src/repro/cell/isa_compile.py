@@ -1,0 +1,397 @@
+"""Trace-compilation of the functional SPU ISA into batched programs.
+
+Interpreting the SIMDized kernel of :mod:`repro.core.spe_kernel` costs a
+Python-level :class:`~repro.cell.isa.Instruction` record plus a 2-lane
+NumPy operation *per intrinsic per vector*, which makes the ISA-validated
+solve orders of magnitude slower than the fused reference kernel.  But
+the kernel's instruction stream is a pure function of its shape
+``(it, fixup, precision)`` -- the values flowing through it change per
+chunk, the *operations* never do.  This module exploits that the same way
+the DMA-program cache of :mod:`repro.core.streaming` exploits recurring
+working sets: record the stream once, lower it once into a *compiled
+program* of whole-array NumPy operations carrying a leading batch axis,
+and replay that program for every line of every :class:`LineBlock` staged
+on a jkm diagonal in one call.
+
+Why replay is bit-identical to interpretation: every ISA operation is
+elementwise per lane (:class:`~repro.cell.isa.SPUContext` computes
+``a.data * b.data + c.data`` and friends on 2- or 4-lane vectors), and
+IEEE-754 arithmetic is deterministic per element -- stacking independent
+lanes along a batch axis evaluates exactly the same scalar expression per
+lane.  The lowering emits divisions as the exact quotient (the documented
+``spu_div`` substitution), keeps every ``madd``/``msub`` grouped as the
+two-operation ``a*b + c`` the interpreter computes (NumPy has no FMA
+contraction), and reproduces the branch-free compare+select fixup as
+``where(mask != 0, b, a)`` -- the very expression :meth:`SPUContext.spu_sel`
+evaluates.  ``tests/core/test_isa_compile.py`` enforces the equality with
+``assert_array_equal``.
+
+Nothing here is machine-visible: the recorded
+:class:`~repro.cell.isa.InstructionStream` (what the pipeline model
+times) is emitted identically, and compilation only changes how the host
+evaluates the functional values.  See docs/PERFORMANCE.md section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Sequence
+
+import numpy as np
+
+from ..errors import PipelineError
+from .isa import InstructionStream, OpClass, SPUContext
+
+# Lowered opcode tags (ints for dispatch speed in CompiledProgram.run).
+(
+    OP_INPUT,
+    OP_CONST,
+    OP_ADD,
+    OP_SUB,
+    OP_MUL,
+    OP_MADD,
+    OP_MSUB,
+    OP_NMSUB,
+    OP_DIV,
+    OP_CMPGT,
+    OP_OR,
+    OP_AND,
+    OP_SEL,
+) = range(13)
+
+#: Entry cap of the compiled-program cache (cleared wholesale on
+#: overflow, like the DMA-program cache; a miss only costs a re-trace).
+PROGRAM_CACHE_MAX_ENTRIES: int = 256
+
+
+@dataclass(frozen=True)
+class TraceVec:
+    """A symbolic vector value: a program slot plus the virtual register
+    recorded for it (dependency tracking in the instruction stream)."""
+
+    slot: int
+    reg: str
+
+
+@dataclass
+class CompileStats:
+    """Counters for the ``compile`` blocks of ``solve --json`` and
+    ``kernel --json`` (module-global, like the MFC traffic stats)."""
+
+    streams_compiled: int = 0
+    cache_hits: int = 0
+    batched_calls: int = 0
+    batched_blocks: int = 0
+    batched_lines: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "streams_compiled": self.streams_compiled,
+            "cache_hits": self.cache_hits,
+            "batched_calls": self.batched_calls,
+            "batched_blocks": self.batched_blocks,
+            "batched_lines": self.batched_lines,
+        }
+
+
+STATS = CompileStats()
+
+
+def stats_delta(before: dict[str, int]) -> dict[str, int]:
+    """Counter movement since a :meth:`CompileStats.snapshot`."""
+    now = STATS.snapshot()
+    return {k: now[k] - before[k] for k in now}
+
+
+class TraceContext(SPUContext):
+    """An :class:`SPUContext` that records the instruction stream while
+    lowering each executed intrinsic into a batched-program operation.
+
+    The kernel emission code of :class:`repro.core.spe_kernel.SimdKernel`
+    runs against this context unchanged: vectors become :class:`TraceVec`
+    slots, loads/stores become named input/output bindings, and every
+    arithmetic intrinsic appends both its stream instruction (same
+    opcode, operation class, register operands and flop count as the
+    interpreting context) and its lowered operation.
+    """
+
+    def __init__(self, name: str = "compiled-kernel", double: bool = True) -> None:
+        super().__init__(name, double)
+        self.ops: list[tuple[int, int, int, int, int]] = []
+        self.consts: list[float] = []
+        self.inputs: list[Hashable] = []
+        self.outputs: list[tuple[Hashable, int]] = []
+        self._nslots = 0
+
+    # -- slot / op bookkeeping -------------------------------------------
+
+    def _slot(self) -> int:
+        s = self._nslots
+        self._nslots += 1
+        return s
+
+    def _emit_op(self, kind: int, a: int, b: int = 0, c: int = 0) -> int:
+        slot = self._slot()
+        self.ops.append((kind, slot, a, b, c))
+        return slot
+
+    # -- bindings (what the interpreter's lqd/stqd/splats carry) ---------
+
+    def input_vec(self, key: Hashable, label: str = "mem") -> TraceVec:
+        """A batched input bound at run time (the interpreter's ``lqd``)."""
+        reg = self.stream.new_reg()
+        self.stream.emit("lqd", OpClass.LOAD, reg, (label,))
+        slot = self._emit_op(OP_INPUT, len(self.inputs))
+        self.inputs.append(key)
+        return TraceVec(slot, reg)
+
+    def splats_input(self, key: Hashable) -> TraceVec:
+        """A batched per-element scalar input the interpreter would splat
+        (e.g. the hoisted cross section, constant per block but not per
+        batch)."""
+        reg = self.stream.new_reg()
+        self.stream.emit("splats", OpClass.SHUFFLE, reg)
+        slot = self._emit_op(OP_INPUT, len(self.inputs))
+        self.inputs.append(key)
+        return TraceVec(slot, reg)
+
+    def output(self, value: TraceVec, key: Hashable, label: str = "mem") -> None:
+        """Bind a value as a program output (the interpreter's ``stqd``)."""
+        self.stream.emit("stqd", OpClass.STORE, None, (value.reg,))
+        self.outputs.append((key, value.slot))
+
+    def lqd(self, source, label: str = "mem"):
+        raise PipelineError(
+            "TraceContext has no memory to load from; bind a batched "
+            "input with input_vec()"
+        )
+
+    def stqd(self, value, target, label: str = "mem") -> None:
+        raise PipelineError(
+            "TraceContext has no memory to store to; bind a batched "
+            "output with output()"
+        )
+
+    # -- constants --------------------------------------------------------
+
+    def spu_splats(self, scalar: float) -> TraceVec:
+        reg = self.stream.new_reg()
+        self.stream.emit("splats", OpClass.SHUFFLE, reg)
+        slot = self._emit_op(OP_CONST, len(self.consts))
+        self.consts.append(float(scalar))
+        return TraceVec(slot, reg)
+
+    # -- arithmetic (stream emission mirrors SPUContext exactly) ----------
+
+    def _binary(self, opcode: str, a: TraceVec, b: TraceVec, op, flops: int) -> TraceVec:
+        reg = self.stream.new_reg()
+        self.stream.emit(opcode, self._float_class(), reg, (a.reg, b.reg), flops)
+        return TraceVec(self._emit_op(op, a.slot, b.slot), reg)
+
+    def spu_add(self, a: TraceVec, b: TraceVec) -> TraceVec:
+        return self._binary("fa", a, b, OP_ADD, self.lanes)
+
+    def spu_sub(self, a: TraceVec, b: TraceVec) -> TraceVec:
+        return self._binary("fs", a, b, OP_SUB, self.lanes)
+
+    def spu_mul(self, a: TraceVec, b: TraceVec) -> TraceVec:
+        return self._binary("fm", a, b, OP_MUL, self.lanes)
+
+    def _fused(self, opcode: str, kind: int, a: TraceVec, b: TraceVec, c: TraceVec) -> TraceVec:
+        reg = self.stream.new_reg()
+        self.stream.emit(
+            opcode, self._float_class(), reg, (a.reg, b.reg, c.reg), self._fma_flops()
+        )
+        return TraceVec(self._emit_op(kind, a.slot, b.slot, c.slot), reg)
+
+    def spu_madd(self, a: TraceVec, b: TraceVec, c: TraceVec) -> TraceVec:
+        return self._fused("fma", OP_MADD, a, b, c)
+
+    def spu_msub(self, a: TraceVec, b: TraceVec, c: TraceVec) -> TraceVec:
+        return self._fused("fms", OP_MSUB, a, b, c)
+
+    def spu_nmsub(self, a: TraceVec, b: TraceVec, c: TraceVec) -> TraceVec:
+        return self._fused("fnms", OP_NMSUB, a, b, c)
+
+    # -- comparison / select ----------------------------------------------
+
+    def spu_cmpgt(self, a: TraceVec, b: TraceVec) -> TraceVec:
+        reg = self.stream.new_reg()
+        self.stream.emit("fcgt", self._float_class(), reg, (a.reg, b.reg))
+        return TraceVec(self._emit_op(OP_CMPGT, a.slot, b.slot), reg)
+
+    def spu_or(self, a: TraceVec, b: TraceVec) -> TraceVec:
+        reg = self.stream.new_reg()
+        self.stream.emit("or", OpClass.BYTE, reg, (a.reg, b.reg))
+        return TraceVec(self._emit_op(OP_OR, a.slot, b.slot), reg)
+
+    def spu_and(self, a: TraceVec, b: TraceVec) -> TraceVec:
+        reg = self.stream.new_reg()
+        self.stream.emit("and", OpClass.BYTE, reg, (a.reg, b.reg))
+        return TraceVec(self._emit_op(OP_AND, a.slot, b.slot), reg)
+
+    def spu_sel(self, a: TraceVec, b: TraceVec, mask: TraceVec) -> TraceVec:
+        reg = self.stream.new_reg()
+        self.stream.emit("selb", OpClass.BYTE, reg, (a.reg, b.reg, mask.reg))
+        return TraceVec(self._emit_op(OP_SEL, a.slot, b.slot, mask.slot), reg)
+
+    # -- division ----------------------------------------------------------
+
+    def spu_div(self, num: TraceVec, den: TraceVec) -> TraceVec:
+        # record the frest/fi + Newton-Raphson sequence exactly as the
+        # interpreting context does; lower to the exact IEEE quotient,
+        # which is what the interpreter computes.
+        est = self.stream.new_reg()
+        self.stream.emit("frest", OpClass.SHUFFLE, est, (den.reg,))
+        self.stream.emit("fi", OpClass.SP_FLOAT, est, (den.reg, est), self.lanes)
+        refinements = 2 if self.double else 1
+        cur = est
+        for _ in range(refinements):
+            t = self.stream.new_reg()
+            self.stream.emit(
+                "fnms", self._float_class(), t, (den.reg, cur), self._fma_flops()
+            )
+            nxt = self.stream.new_reg()
+            self.stream.emit(
+                "fma", self._float_class(), nxt, (cur, t, cur), self._fma_flops()
+            )
+            cur = nxt
+        out = self.stream.new_reg()
+        self.stream.emit(
+            "fm", self._float_class(), out, (num.reg, cur), self.lanes
+        )
+        return TraceVec(self._emit_op(OP_DIV, num.slot, den.slot), out)
+
+    # ``ai``, ``branch`` and ``nop`` are inherited: they only touch the
+    # stream and lower to nothing.
+
+    def finish(self) -> "CompiledProgram":
+        """Freeze the lowering into an executable program."""
+        return CompiledProgram(
+            name=self.stream.name,
+            double=self.double,
+            ops=tuple(self.ops),
+            consts=tuple(self.consts),
+            inputs=tuple(self.inputs),
+            outputs=tuple(self.outputs),
+            nslots=self._nslots,
+            stream=self.stream,
+        )
+
+
+class CompiledProgram:
+    """A lowered instruction stream, executable over a leading batch axis.
+
+    ``run(inputs)`` takes one ``(N,)`` array per input binding (in
+    :attr:`inputs` order) and returns one ``(N,)`` array per output
+    binding (in :attr:`outputs` order); every element of the batch sees
+    exactly the scalar dataflow the interpreter evaluates lane by lane.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        double: bool,
+        ops: tuple,
+        consts: tuple,
+        inputs: tuple,
+        outputs: tuple,
+        nslots: int,
+        stream: InstructionStream,
+    ) -> None:
+        self.name = name
+        self.double = double
+        self.ops = ops
+        self.consts = consts
+        self.inputs = inputs
+        self.outputs = outputs
+        self.nslots = nslots
+        #: the recorded stream the lowering came from -- the pipeline
+        #: model can time it; its signature keys the program cache.
+        self.stream = stream
+        self._dtype = np.float64 if double else np.float32
+        # dtype-typed scalars so broadcasting never promotes: a float32
+        # op with a float32 scalar rounds exactly like the interpreter's
+        # splatted constant vector.
+        self._typed_consts = tuple(self._dtype(c) for c in consts)
+
+    @property
+    def instructions(self) -> int:
+        return len(self.stream)
+
+    def run(self, inputs: Sequence[np.ndarray]) -> list[np.ndarray]:
+        if len(inputs) != len(self.inputs):
+            raise PipelineError(
+                f"program {self.name!r} expects {len(self.inputs)} inputs, "
+                f"got {len(inputs)}"
+            )
+        dtype = self._dtype
+        vals: list = [None] * self.nslots
+        consts = self._typed_consts
+        for kind, d, a, b, c in self.ops:
+            if kind == OP_MADD:
+                vals[d] = vals[a] * vals[b] + vals[c]
+            elif kind == OP_MUL:
+                vals[d] = vals[a] * vals[b]
+            elif kind == OP_ADD:
+                vals[d] = vals[a] + vals[b]
+            elif kind == OP_SEL:
+                vals[d] = np.where(vals[c] != 0, vals[b], vals[a])
+            elif kind == OP_MSUB:
+                vals[d] = vals[a] * vals[b] - vals[c]
+            elif kind == OP_CMPGT:
+                vals[d] = (vals[a] > vals[b]).astype(dtype)
+            elif kind == OP_OR:
+                vals[d] = ((vals[a] != 0) | (vals[b] != 0)).astype(dtype)
+            elif kind == OP_DIV:
+                vals[d] = vals[a] / vals[b]
+            elif kind == OP_INPUT:
+                vals[d] = inputs[a]
+            elif kind == OP_CONST:
+                vals[d] = consts[a]
+            elif kind == OP_SUB:
+                vals[d] = vals[a] - vals[b]
+            elif kind == OP_NMSUB:
+                vals[d] = vals[c] - vals[a] * vals[b]
+            elif kind == OP_AND:
+                vals[d] = ((vals[a] != 0) & (vals[b] != 0)).astype(dtype)
+            else:  # pragma: no cover - lowering emits only the tags above
+                raise PipelineError(f"unknown lowered op tag {kind}")
+        return [vals[slot] for _, slot in self.outputs]
+
+
+# -- the program cache -------------------------------------------------------
+
+_PROGRAM_CACHE: dict[Hashable, CompiledProgram] = {}
+
+
+def compiled_program(
+    key: Hashable, builder: Callable[[], TraceContext]
+) -> CompiledProgram:
+    """Memoized compile: trace ``builder()`` once per ``key``.
+
+    ``key`` must determine the emitted stream completely (for the line
+    kernel: ``(it, fixup, double)`` -- the only inputs the emission code
+    branches on), exactly as the DMA-program cache keys on everything
+    ``rows_for_chunk`` reads.  The cached program embeds no run-time
+    data, so unlike DMA programs it never needs host invalidation.
+    """
+    program = _PROGRAM_CACHE.get(key)
+    if program is not None:
+        STATS.cache_hits += 1
+        return program
+    program = builder().finish()
+    STATS.streams_compiled += 1
+    if len(_PROGRAM_CACHE) >= PROGRAM_CACHE_MAX_ENTRIES:
+        _PROGRAM_CACHE.clear()
+    _PROGRAM_CACHE[key] = program
+    return program
+
+
+def cache_size() -> int:
+    return len(_PROGRAM_CACHE)
+
+
+def clear_cache() -> None:
+    """Drop all compiled programs (tests; never needed for correctness)."""
+    _PROGRAM_CACHE.clear()

@@ -150,6 +150,51 @@ def simulate(stream: InstructionStream) -> PipelineReport:
     )
 
 
+#: PipelineReport memo, keyed by stream signature.  Kernel cycle reports
+#: re-emit byte-identical streams for every (nm, fixup, precision,
+#: threads) combination they are asked about -- across CLI calls, ladder
+#: rungs, perf-model queries and tests -- and scheduling them is a pure
+#: function of the instruction sequence, so re-simulating is pure waste.
+_REPORT_CACHE: dict[tuple, PipelineReport] = {}
+
+#: Entry cap (cleared wholesale on overflow; a miss only re-simulates).
+REPORT_CACHE_MAX_ENTRIES: int = 128
+
+
+@dataclass
+class SimulateStats:
+    """Hit/miss counters for the ``compile`` block of the CLI reports."""
+
+    simulated: int = 0
+    cache_hits: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {"simulated": self.simulated, "cache_hits": self.cache_hits}
+
+
+SIMULATE_STATS = SimulateStats()
+
+
+def simulate_cached(stream: InstructionStream) -> PipelineReport:
+    """Memoized :func:`simulate`, keyed by the stream's signature.
+
+    The returned report is shared between callers with equal streams;
+    treat it as read-only (every consumer already does: reports are
+    summary statistics).  Bounded like the DMA-program cache.
+    """
+    key = stream.signature()
+    report = _REPORT_CACHE.get(key)
+    if report is not None:
+        SIMULATE_STATS.cache_hits += 1
+        return report
+    report = simulate(stream)
+    SIMULATE_STATS.simulated += 1
+    if len(_REPORT_CACHE) >= REPORT_CACHE_MAX_ENTRIES:
+        _REPORT_CACHE.clear()
+    _REPORT_CACHE[key] = report
+    return report
+
+
 def drain_cycles(report: PipelineReport) -> int:
     """Cycles until the last result is architecturally visible.
 

@@ -81,6 +81,10 @@ def cmd_solve(args) -> int:
         print("error: --workers requires --engine cell (the host-parallel "
               "engine runs the functional Cell solver)", file=sys.stderr)
         return 2
+    if args.isa and args.engine != "cell":
+        print("error: --isa requires --engine cell (the functional SPU "
+              "ISA kernel runs on the simulated machine)", file=sys.stderr)
+        return 2
     if deck.grid.num_cells > 30**3 and args.engine != "serial":
         print("note: functional engines other than 'serial' are slow above "
               "~30^3; consider --cube 16", file=sys.stderr)
@@ -93,14 +97,28 @@ def cmd_solve(args) -> int:
     elif args.engine == "kba":
         result = KBASweep3D(deck, P=args.p, Q=args.q).solve()
     elif args.engine == "cell":
+        from .cell.isa_compile import STATS, stats_delta
+        from .cell.pipeline import SIMULATE_STATS
+
         config = measured_cell_config()
         if args.trace:
             config = config.with_(trace=True)
+        if args.isa:
+            config = config.with_(isa_kernel=True)
+        compile_before = STATS.snapshot()
+        sim_before = SIMULATE_STATS.snapshot()
         solver = CellSweep3D(deck, config, workers=args.workers)
         try:
             result = solver.solve()
         finally:
             solver.close()
+        compile_stats = stats_delta(compile_before)
+        sim_after = SIMULATE_STATS.snapshot()
+        compile_stats["pipeline_reports"] = {
+            k: sim_after[k] - sim_before[k] for k in sim_after
+        }
+        compile_stats["isa_kernel"] = config.isa_kernel
+        compile_stats["compile_isa"] = config.compile_isa
     else:  # pragma: no cover - argparse enforces choices
         raise ValueError(args.engine)
     wall = time.perf_counter() - start
@@ -127,6 +145,8 @@ def cmd_solve(args) -> int:
                 "host_cpus": os.cpu_count(),
             },
         }
+        if args.engine == "cell":
+            extra["compile"] = compile_stats
         print(format_json("solve", rows, extra))
     else:
         print(f"engine={args.engine} deck={deck.grid.shape} S{deck.sn} "
@@ -137,6 +157,10 @@ def cmd_solve(args) -> int:
         if result.history:
             print(f"last flux change: {result.history[-1]:.3e}")
         print(f"host wall: {wall:.3f}s (workers={args.workers})")
+        if args.engine == "cell" and args.isa:
+            print(f"isa: streams_compiled={compile_stats['streams_compiled']} "
+                  f"cache_hits={compile_stats['cache_hits']} "
+                  f"batched_blocks={compile_stats['batched_blocks']}")
     if args.trace and solver is not None:
         from .trace.export import write_chrome_trace
 
@@ -190,8 +214,12 @@ def cmd_ladder(args) -> int:
 
 
 def cmd_kernel(args) -> int:
+    from .cell.isa_compile import STATS, stats_delta
+    from .cell.pipeline import SIMULATE_STATS
     from .core.spe_kernel import cells_per_invocation, kernel_cycle_report
 
+    compile_before = STATS.snapshot()
+    sim_before = SIMULATE_STATS.snapshot()
     variants = []
     for name, fixup, double in (
         ("DP", False, True), ("DP+fixup", True, True), ("SP", False, False),
@@ -206,6 +234,11 @@ def cmd_kernel(args) -> int:
             Row(f"{name} cycles/invocation", float(r.cycles), unit="cy")
             for name, _, r, _ in variants
         ]
+        sim_after = SIMULATE_STATS.snapshot()
+        compile_stats = stats_delta(compile_before)
+        compile_stats["pipeline_reports"] = {
+            k: sim_after[k] - sim_before[k] for k in sim_after
+        }
         extra = {
             "nm": args.nm,
             "variants": [
@@ -214,6 +247,7 @@ def cmd_kernel(args) -> int:
                  "efficiency": eff}
                 for name, cells, r, eff in variants
             ],
+            "compile": compile_stats,
         }
         print(format_json("Sec. 5.1 kernel statistics", rows, extra))
         return 0
@@ -377,6 +411,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-q", type=int, default=2, help="KBA process rows")
     p.add_argument("--trace", metavar="PATH", default=None,
                    help="export a Chrome-trace/Perfetto JSON of the run "
+                        "(requires --engine cell)")
+    p.add_argument("--isa", action="store_true",
+                   help="run the SPE kernel through the functional SPU "
+                        "ISA, trace-compiled to batched numpy programs "
                         "(requires --engine cell)")
     p.add_argument("--workers", type=int, default=1, metavar="N",
                    help="host worker processes for the cell engine "

@@ -21,9 +21,11 @@ from .spe_kernel import (
     LOGICAL_THREADS,
     SimdKernel,
     cells_per_invocation,
+    compiled_line_executor,
     cycles_per_cell,
     kernel_cycle_report,
     simd_execute_block,
+    simd_execute_blocks,
     simd_line_executor,
 )
 from .streaming import ChunkBuffers, StagedLine
@@ -52,6 +54,7 @@ __all__ = [
     "SyncProtocol",
     "assign_cyclic",
     "cells_per_invocation",
+    "compiled_line_executor",
     "cycles_per_cell",
     "imbalance",
     "kernel_cycle_report",
@@ -63,6 +66,7 @@ __all__ = [
     "project",
     "projection_series",
     "simd_execute_block",
+    "simd_execute_blocks",
     "simd_line_executor",
     "stage",
 ]

@@ -97,6 +97,21 @@ class MachineConfig:
     #: enqueues the very same commands, so DMA traffic, MIC costs and
     #: queue back-pressure are indistinguishable from a cold build.
     cache_dma_programs: bool = True
+    #: run the SPE kernel through the functional SPU ISA interpreter
+    #: (:mod:`repro.cell.isa`) instead of the fused numpy reference: every
+    #: line block is computed by executing the recorded instruction
+    #: stream, so the arithmetic the solver performs *is* the arithmetic
+    #: the pipeline model times.  Requires ``simd`` (the ISA kernel is
+    #: the SIMDized kernel) and double precision.
+    isa_kernel: bool = False
+    #: host-simulator optimization (no simulated-machine effect): lower
+    #: each recorded instruction stream once into a compiled program of
+    #: whole-array numpy ops with a leading batch axis, and run every
+    #: line block staged on a jkm diagonal through one compiled call
+    #: (:mod:`repro.cell.isa_compile`).  Replay performs the exact
+    #: per-lane operation sequence of the interpreter, so results are
+    #: bit-identical and simulated time is untouched.
+    compile_isa: bool = True
     #: machine-wide event tracing (:mod:`repro.trace`): the solver builds
     #: a TraceBus and installs it chip-wide, and every instrumented unit
     #: (MFC, MIC, mailboxes, sync, schedulers, kernel) emits typed,
@@ -115,6 +130,10 @@ class MachineConfig:
         if self.num_spes == 0 and (self.simd or self.double_buffer):
             raise ConfigurationError(
                 "PPE-only configuration cannot enable SPE-side levels"
+            )
+        if self.isa_kernel and not self.simd:
+            raise ConfigurationError(
+                "isa_kernel replays the SIMDized kernel and requires simd=True"
             )
 
     @property

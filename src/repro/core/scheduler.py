@@ -68,9 +68,18 @@ class CentralizedScheduler:
         lines: Sequence,
         chunk_lines: int,
         execute: ExecuteFn,
+        prepare: Callable[[list[Chunk]], None] | None = None,
     ) -> list[Chunk]:
-        """Dispatch one jkm diagonal's lines cyclically across the SPEs."""
+        """Dispatch one jkm diagonal's lines cyclically across the SPEs.
+
+        ``prepare`` sees the full chunk list before any dispatch --- the
+        hook the solver uses to batch-compute a diagonal's independent
+        line blocks in one compiled ISA call.  It runs on the host clock
+        only; the per-chunk dispatch protocol below is unchanged.
+        """
         chunks = assign_cyclic(lines, chunk_lines, len(self.chip.spes))
+        if prepare is not None:
+            prepare(chunks)
         for chunk in chunks:
             self.run_chunk(chunk, execute)
         return chunks
@@ -97,8 +106,13 @@ class DistributedScheduler:
         lines: Sequence,
         chunk_lines: int,
         execute: ExecuteFn,
+        prepare: Callable[[list[Chunk]], None] | None = None,
     ) -> list[Chunk]:
         chunks = assign_cyclic(lines, chunk_lines, len(self.chip.spes))
+        if prepare is not None:
+            # Chunk indices survive the re-wrapping below, so results
+            # keyed by index reach the claiming SPE's execution.
+            prepare(chunks)
         self.chip.atomics.plain_store("ppe", "work_head", 0)
         claimed = 0
         spe_cycle = 0

@@ -28,11 +28,12 @@ from ..sweep.flux import SolveResult, SweepTally, relative_change
 from ..sweep.input import InputDeck
 from ..sweep.kernel import dd_line_block_solve
 from ..sweep.moments import MomentBasis
-from ..sweep.pipelining import angle_blocks, k_blocks, num_diagonals
+from ..sweep.pipelining import LineBlock, angle_blocks, k_blocks, num_diagonals
 from ..sweep.quadrature import OCTANT_SIGNS
 from ..trace.bus import NULL_BUS, spe_track
-from .levels import MachineConfig, SchedulerKind, SyncProtocol
+from .levels import MachineConfig, Precision, SchedulerKind, SyncProtocol
 from .porting import HostState
+from .spe_kernel import simd_execute_block, simd_execute_blocks
 from .scheduler import CentralizedScheduler, DistributedScheduler
 from .streaming import ChunkBuffers, staged_lines_for_diagonal
 from .sync import LSPokeSync, MailboxSync
@@ -71,6 +72,17 @@ class CellSweep3D:
                 "reflective boundaries are supported by the hyperplane "
                 "reference solver only (the paper's benchmark is vacuum)"
             )
+        if self.config.isa_kernel:
+            if deck.material_box is not None:
+                raise ConfigurationError(
+                    "isa_kernel supports single-material decks only (the "
+                    "ISA kernel splats one sigma_t per line block)"
+                )
+            if self.config.precision is not Precision.DOUBLE:
+                raise ConfigurationError(
+                    "isa_kernel requires double precision: the reference "
+                    "flux it must match bit for bit is float64"
+                )
         self.workers = int(workers)
         if self.workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -120,6 +132,12 @@ class CellSweep3D:
         #: ``(octant, a0, na, k0, d)``, published for the host-parallel
         #: lane scheduler (repro.parallel) to rebuild the work remotely.
         self._diag_ctx: tuple[int, int, int, int, int] | None = None
+        #: per-diagonal batched ISA results, keyed by chunk index:
+        #: ``{index: (psi_c, phi_i_out, fixups, phi_j, phi_k)}``.  Filled
+        #: by :meth:`_prepare_diagonal` before dispatch when
+        #: ``isa_kernel`` and ``compile_isa`` are both on; consumed (and
+        #: popped) by :meth:`_execute_chunk` after staging.
+        self._diag_solution: dict | None = None
         if self.workers > 1:
             from ..parallel.engine import ParallelEngine
 
@@ -202,9 +220,16 @@ class CellSweep3D:
                     )
 
                 self._diag_ctx = (octant, angles[0], na, k0, d)
+                prepare = None
+                if self.config.isa_kernel and self.config.compile_isa:
+                    prepare = lambda chunks: self._prepare_diagonal(
+                        chunks, cxs, cys, czs
+                    )
                 self.scheduler.run_diagonal(
-                    lines, self.config.chunk_lines, execute
+                    lines, self.config.chunk_lines, execute,
+                    prepare=prepare,
                 )
+                self._diag_solution = None
                 self._diag_ctx = None
                 tally.fixups += fixups[0]
             # SEND W/E and N/S
@@ -218,6 +243,69 @@ class CellSweep3D:
             )
         boundary.finish_octant(
             octant, angles, self.host.phik[:na, :, :it].copy()
+        )
+
+    # -- diagonal-batched ISA execution -------------------------------------------
+
+    def _prepare_diagonal(
+        self, chunks: list[Chunk],
+        cxs: np.ndarray, cys: np.ndarray, czs: np.ndarray,
+    ) -> None:
+        """Batch-solve every chunk of one jkm diagonal in one compiled call.
+
+        A diagonal's lines are mutually independent and their working
+        sets never alias (distinct ``(mm, kk)`` phij rows, ``(mm, j_o)``
+        phik rows and ``(mm, kk, j_o)`` phii cells), so the host arrays
+        read here hold exactly the bytes each chunk's ``stage_in`` will
+        stage -- and no chunk's ``stage_out`` lands before this hook
+        returns.  Host-clock work only: DMA, sync and trace still run
+        per chunk in :meth:`_execute_chunk`.
+        """
+        if not chunks:
+            return
+        blocks = [
+            self._host_line_block(list(ch.lines), cxs, cys, czs)
+            for ch in chunks
+        ]
+        results = simd_execute_blocks(blocks)
+        self._diag_solution = {
+            ch.index: (psi, phii_out, fx, blk.phi_j, blk.phi_k)
+            for ch, blk, (psi, phii_out, fx) in zip(chunks, blocks, results)
+        }
+
+    def _host_line_block(
+        self, lines: list, cxs: np.ndarray, cys: np.ndarray, czs: np.ndarray,
+    ) -> LineBlock:
+        """Gather one chunk's working set from the host arrays into a
+        :class:`LineBlock` (value-identical to the post-``stage_in``
+        local-store views)."""
+        deck = self.deck
+        it = deck.grid.nx
+        host = self.host
+        angles = np.array([ln.angle for ln in lines], dtype=np.intp)
+        mms = np.array([ln.mm for ln in lines], dtype=np.intp)
+        msrc = np.stack([
+            np.stack([host.msrc_storage[n][ln.k_g, ln.j_g, :it]
+                      for ln in lines])
+            for n in range(deck.nm)
+        ])
+        if lines[0].reverse_i:
+            msrc = msrc[:, :, ::-1]
+        coeffs = self.basis.src_pn[:, angles]
+        src = self.basis.combine(coeffs[..., None], msrc)
+        octant, _a0, _na, _k0, d = self._diag_ctx
+        return LineBlock(
+            octant=octant, diagonal=d,
+            lines=[(ln.j_o, ln.kk, ln.mm) for ln in lines],
+            angles=[int(a) for a in angles],
+            source=src,
+            sigma_t=deck.sigma_t,
+            phi_i=np.array([host.phii[ln.mm, ln.kk, ln.j_o]
+                            for ln in lines]),
+            phi_j=np.stack([host.phij[ln.mm, ln.kk, :it] for ln in lines]),
+            phi_k=np.stack([host.phik[ln.mm, ln.j_o, :it] for ln in lines]),
+            cx=cxs[mms], cy=cys[mms], cz=czs[mms],
+            fixup=deck.fixup,
         )
 
     # -- one chunk on one SPE -----------------------------------------------------
@@ -242,14 +330,6 @@ class CellSweep3D:
         angles = np.array([ln.angle for ln in lines], dtype=np.intp)
         mms = np.array([ln.mm for ln in lines], dtype=np.intp)
 
-        # combine the angular source from the streamed moment rows, with
-        # the reference's exact accumulation order (MomentBasis.combine).
-        msrc = views["msrc"][:, :L, :it]
-        if lines[0].reverse_i:
-            msrc = msrc[:, :, ::-1]
-        coeffs = self.basis.src_pn[:, angles]  # (nm, L)
-        src = self.basis.combine(coeffs[..., None], msrc)
-
         phij = views["phij"][:L, :it]   # oriented scratch: no flip
         phik = views["phik"][:L, :it]
         phii = views["phii"][:L]
@@ -257,18 +337,55 @@ class CellSweep3D:
         cy = cys[mms]
         cz = czs[mms]
 
-        # pass the scalar when the material is uniform so the arithmetic
-        # matches the reference executor's scalar path bit for bit.
-        if deck.material_box is not None:
-            sigma = views["sigt"][:L, :it]
-            if lines[0].reverse_i:
-                sigma = sigma[:, ::-1]
+        sol = None
+        if self._diag_solution is not None:
+            sol = self._diag_solution.pop(chunk.index, None)
+        if sol is not None:
+            # diagonal-batched compiled ISA execution: results were
+            # computed from the same bytes this chunk just staged in;
+            # write the face outflows into the LS views so stage_out
+            # streams the identical PUT payload.
+            psi_c, phi_i_out, fixups, pj_new, pk_new = sol
+            phij[...] = pj_new
+            phik[...] = pk_new
         else:
-            sigma = deck.sigma_t
-        psi_c, phi_i_out, fixups = dd_line_block_solve(
-            src, sigma, phii.copy(), phij, phik, cx, cy, cz,
-            fixup=deck.fixup,
-        )
+            # combine the angular source from the streamed moment rows,
+            # with the reference's exact accumulation order
+            # (MomentBasis.combine).
+            msrc = views["msrc"][:, :L, :it]
+            if lines[0].reverse_i:
+                msrc = msrc[:, :, ::-1]
+            coeffs = self.basis.src_pn[:, angles]  # (nm, L)
+            src = self.basis.combine(coeffs[..., None], msrc)
+
+            # pass the scalar when the material is uniform so the
+            # arithmetic matches the reference executor's scalar path
+            # bit for bit.
+            if deck.material_box is not None:
+                sigma = views["sigt"][:L, :it]
+                if lines[0].reverse_i:
+                    sigma = sigma[:, ::-1]
+            else:
+                sigma = deck.sigma_t
+            if self.config.isa_kernel:
+                ctx = self._diag_ctx or (0, 0, 0, 0, 0)
+                block = LineBlock(
+                    octant=ctx[0], diagonal=ctx[4],
+                    lines=[(ln.j_o, ln.kk, ln.mm) for ln in lines],
+                    angles=[ln.angle for ln in lines],
+                    source=src, sigma_t=sigma,
+                    phi_i=phii.copy(), phi_j=phij, phi_k=phik,
+                    cx=cx, cy=cy, cz=cz, fixup=deck.fixup,
+                )
+                if self.config.compile_isa:
+                    psi_c, phi_i_out, fixups = simd_execute_blocks([block])[0]
+                else:
+                    psi_c, phi_i_out, fixups = simd_execute_block(block)
+            else:
+                psi_c, phi_i_out, fixups = dd_line_block_solve(
+                    src, sigma, phii.copy(), phij, phik, cx, cy, cz,
+                    fixup=deck.fixup,
+                )
         if self.trace.enabled:
             self.trace.span(
                 spe_track(chunk.spe), "KernelExec",

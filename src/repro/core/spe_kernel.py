@@ -42,7 +42,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..cell.isa import InstructionStream, SPUContext, Vec
-from ..cell.pipeline import PipelineReport, simulate
+from ..cell.pipeline import PipelineReport, simulate_cached
 from ..errors import ConfigurationError
 from ..sweep.pipelining import LineBlock
 
@@ -227,16 +227,7 @@ def simd_execute_block(
     vector; partial groups are padded with benign vacuum lines that
     cannot trigger fixups.
     """
-    sigma_t = block.sigma_t
-    if isinstance(sigma_t, np.ndarray):
-        if np.all(sigma_t == sigma_t.flat[0]):
-            sigma_t = float(sigma_t.flat[0])
-        else:
-            raise ConfigurationError(
-                "the SIMD executor hoists the cross section per chunk and "
-                "therefore supports single-material blocks only; "
-                "heterogeneous decks use the reference line executor"
-            )
+    sigma_t = _uniform_sigma(block)
     kernel = SimdKernel(fixup=block.fixup, double=double)
     lanes = 2 if double else 4
     group = LOGICAL_THREADS * lanes
@@ -299,6 +290,168 @@ def simd_execute_block(
 def simd_line_executor(block: LineBlock):
     """LineExecutor adapter so a whole solve can run on the SIMD kernel."""
     return simd_execute_block(block)
+
+
+# ---------------------------------------------------------------------------
+# Trace-compiled batched execution (docs/PERFORMANCE.md section 4)
+# ---------------------------------------------------------------------------
+
+def _uniform_sigma(block: LineBlock) -> float:
+    """The hoisted scalar cross section (same restriction and message as
+    the interpreting executor)."""
+    sigma_t = block.sigma_t
+    if isinstance(sigma_t, np.ndarray):
+        if np.all(sigma_t == sigma_t.flat[0]):
+            return float(sigma_t.flat[0])
+        raise ConfigurationError(
+            "the SIMD executor hoists the cross section per chunk and "
+            "therefore supports single-material blocks only; "
+            "heterogeneous decks use the reference line executor"
+        )
+    return float(sigma_t)
+
+
+def _trace_line_program(it: int, fixup: bool, double: bool):
+    """Emit one line's solve through a TraceContext.
+
+    The batch axis carries *lines*: one logical thread, one symbolic
+    lane.  That is exactly the dataflow each interpreted lane evaluates
+    -- the interpreter's thread/lane packing only groups independent
+    lines into vectors, and every ISA operation is elementwise per lane,
+    so folding threads and lanes into the batch axis changes no value.
+    The stream is recorded by the same :class:`SimdKernel` emission code
+    the interpreter runs, so opcodes, operand grouping (each ``fma``
+    lowers to the interpreter's two-operation ``a*b + c``), divisions
+    and the branch-free compare+select fixup are identical.
+    """
+    from ..cell.isa_compile import TraceContext
+
+    ctx = TraceContext(
+        f"line-program/it{it}{'+fixup' if fixup else ''}"
+        f"{'' if double else '/sp'}",
+        double=double,
+    )
+    kernel = SimdKernel(fixup=fixup, double=double)
+    grp = ThreadGroup(
+        cx=[ctx.input_vec("cx", label="cx0")],
+        cy=[ctx.input_vec("cy", label="cy0")],
+        cz=[ctx.input_vec("cz", label="cz0")],
+        sigma_t=[ctx.splats_input("sigma_t")],
+        phi_i=[ctx.input_vec("phii", label="phii0")],
+    )
+    for i in range(it):
+        src = [ctx.input_vec(("src", i), label="src")]
+        pj = [ctx.input_vec(("phij", i), label="phij")]
+        pk = [ctx.input_vec(("phik", i), label="phik")]
+        psic, out_y, out_z = kernel.solve_step(ctx, grp, src, pj, pk)
+        ctx.output(psic[0], ("psi", i))
+        ctx.output(out_y[0], ("phij_out", i))
+        ctx.output(out_z[0], ("phik_out", i))
+        if fixup:
+            ctx.output(grp.step_touched[0], ("touched", i))
+    ctx.output(grp.phi_i[0], "phii_out")
+    return ctx
+
+
+def simd_execute_blocks(
+    blocks: list[LineBlock], double: bool = True
+) -> list[tuple[np.ndarray, np.ndarray, int]]:
+    """Run several independent LineBlocks through one compiled ISA call.
+
+    The batched sibling of :func:`simd_execute_block`: all blocks'
+    I-lines are stacked on the program's batch axis (typically every
+    chunk of one jkm diagonal -- lines of one diagonal are independent
+    by the paper's Sec. 3 property) and solved by a single replay of the
+    trace-compiled program.  Per block, returns the executor triple
+    ``(psi_c, phi_i_out, fixups)`` and updates ``phi_j``/``phi_k`` in
+    place -- bit-identical to interpreting each block.  Blocks must
+    share ``it`` and ``fixup`` (always true within a diagonal).
+    """
+    from ..cell.isa_compile import STATS, compiled_program
+
+    blocks = list(blocks)
+    if not blocks:
+        return []
+    it, fixup = blocks[0].it, blocks[0].fixup
+    for b in blocks[1:]:
+        if b.it != it or b.fixup != fixup:
+            raise ConfigurationError(
+                "batched blocks must share the line length and fixup mode"
+            )
+    sigmas = [_uniform_sigma(b) for b in blocks]
+    program = compiled_program(
+        ("line", it, fixup, double),
+        lambda: _trace_line_program(it, fixup, double),
+    )
+    dtype = np.float64 if double else np.float32
+    lens = [b.num_lines for b in blocks]
+    N = sum(lens)
+    STATS.batched_calls += 1
+    STATS.batched_blocks += len(blocks)
+    STATS.batched_lines += N
+
+    def cat1(field) -> np.ndarray:
+        return np.concatenate(
+            [np.asarray(field(b), dtype=dtype).ravel() for b in blocks]
+        )
+
+    def cat2(field) -> np.ndarray:
+        return np.concatenate(
+            [np.asarray(field(b), dtype=dtype) for b in blocks], axis=0
+        )
+
+    scalars = {
+        "cx": cat1(lambda b: b.cx),
+        "cy": cat1(lambda b: b.cy),
+        "cz": cat1(lambda b: b.cz),
+        "phii": cat1(lambda b: b.phi_i),
+        "sigma_t": np.concatenate(
+            [np.full(L, s, dtype=dtype) for L, s in zip(lens, sigmas)]
+        ),
+    }
+    columns = {
+        "src": cat2(lambda b: b.source),
+        "phij": cat2(lambda b: b.phi_j),
+        "phik": cat2(lambda b: b.phi_k),
+    }
+    inputs = [
+        np.ascontiguousarray(columns[key[0]][:, key[1]])
+        if isinstance(key, tuple)
+        else scalars[key]
+        for key in program.inputs
+    ]
+    results = dict(zip((k for k, _ in program.outputs), program.run(inputs)))
+
+    # scatter per column; assignment into float64 upcasts single-precision
+    # results exactly like the interpreter's stqd into float64 targets.
+    psi_c = np.empty((N, it))
+    pj_out = np.empty((N, it))
+    pk_out = np.empty((N, it))
+    for i in range(it):
+        psi_c[:, i] = results[("psi", i)]
+        pj_out[:, i] = results[("phij_out", i)]
+        pk_out[:, i] = results[("phik_out", i)]
+    phi_i_out = np.empty(N)
+    phi_i_out[:] = results["phii_out"]
+    if fixup:
+        touched = np.stack([results[("touched", i)] for i in range(it)], axis=1)
+
+    out: list[tuple[np.ndarray, np.ndarray, int]] = []
+    lo = 0
+    for b, L in zip(blocks, lens):
+        hi = lo + L
+        b.phi_j[:] = pj_out[lo:hi]
+        b.phi_k[:] = pk_out[lo:hi]
+        fx = int(np.count_nonzero(touched[lo:hi])) if fixup else 0
+        out.append((psi_c[lo:hi], phi_i_out[lo:hi], fx))
+        lo = hi
+    return out
+
+
+def compiled_line_executor(block: LineBlock):
+    """LineExecutor adapter for the trace-compiled path (one block per
+    call; the Cell solver batches whole diagonals instead)."""
+    return simd_execute_blocks([block])[0]
 
 
 # ---------------------------------------------------------------------------
@@ -386,7 +539,7 @@ def kernel_cycle_report(
         f"x{logical_threads}"
     )
     body.instructions = ctx.stream.instructions[start:]
-    return simulate(body)
+    return simulate_cached(body)
 
 
 def cells_per_invocation(double: bool, logical_threads: int = LOGICAL_THREADS) -> int:

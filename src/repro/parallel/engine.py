@@ -269,7 +269,12 @@ class _LaneScheduler:
     def chunks_dispatched(self) -> int:
         return self.inner.chunks_dispatched
 
-    def run_diagonal(self, lines, chunk_lines, execute):
+    def run_diagonal(self, lines, chunk_lines, execute, prepare=None):
+        # ``prepare`` (the solver's diagonal-batched ISA hook) is
+        # accepted and ignored: lanes rebuild their chunks remotely and
+        # every lane -- including the parent's -- falls back to the
+        # per-chunk compiled path in _execute_chunk, which is
+        # bit-identical to the batched precompute.
         from ..core.worklist import assign_cyclic
 
         engine = self.engine

@@ -1,0 +1,262 @@
+"""Referees for the ISA trace-compiler (:mod:`repro.cell.isa_compile`).
+
+The compiled batched programs must be *bit-identical* to the
+per-instruction interpreter -- ``assert_array_equal``, never a
+tolerance -- and engaging them must leave every machine-visible output
+untouched: flux, fixup counts, the exported trace byte stream, and the
+simulated TimingReport.  Mirrors ``test_dma_program_cache.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cell import isa_compile
+from repro.cell.isa_compile import STATS, cache_size, clear_cache, compiled_program
+from repro.cell.pipeline import SIMULATE_STATS, simulate, simulate_cached
+from repro.core.levels import MachineConfig, SchedulerKind, SyncProtocol
+from repro.core.solver import CellSweep3D
+from repro.core.spe_kernel import (
+    compiled_line_executor,
+    simd_execute_block,
+    simd_execute_blocks,
+)
+from repro.errors import ConfigurationError
+from repro.sweep.input import small_deck
+from repro.sweep.pipelining import LineBlock
+from repro.sweep.serial import SerialSweep3D
+
+
+def make_block(rng, L=11, it=6, fixup=True, thick=False):
+    """Random line block; ``thick`` makes negative-flux fixups frequent."""
+    scale = 0.05 if thick else 1.0
+    return LineBlock(
+        octant=0,
+        diagonal=0,
+        lines=[(l, 0, 0) for l in range(L)],
+        angles=[0] * L,
+        source=rng.random((L, it)) * scale,
+        sigma_t=8.0 if thick else 1.0,
+        phi_i=rng.random(L) * (5.0 if thick else 1.0),
+        phi_j=rng.random((L, it)),
+        phi_k=rng.random((L, it)),
+        cx=rng.random(L) + 0.1,
+        cy=rng.random(L) + 0.1,
+        cz=rng.random(L) + 0.1,
+        fixup=fixup,
+    )
+
+
+def clone(block: LineBlock) -> LineBlock:
+    return LineBlock(
+        **{**block.__dict__, "phi_j": block.phi_j.copy(), "phi_k": block.phi_k.copy()}
+    )
+
+
+def assert_batch_matches_interpreter(blocks, double=True):
+    refs = [clone(b) for b in blocks]
+    batched = simd_execute_blocks(blocks, double=double)
+    total_fx = 0
+    for b, r, (psi, pio, fx) in zip(blocks, refs, batched):
+        psi_ref, pio_ref, fx_ref = simd_execute_block(r, double=double)
+        np.testing.assert_array_equal(psi, psi_ref)
+        np.testing.assert_array_equal(pio, pio_ref)
+        np.testing.assert_array_equal(b.phi_j, r.phi_j)
+        np.testing.assert_array_equal(b.phi_k, r.phi_k)
+        assert fx == fx_ref
+        total_fx += fx
+    return total_fx
+
+
+class TestBatchedBitIdentity:
+    """Compiled replay vs the per-instruction interpreter, bit for bit."""
+
+    @pytest.mark.parametrize("fixup,thick", [(False, False), (True, False), (True, True)])
+    def test_multi_block_batch(self, rng, fixup, thick):
+        blocks = [
+            make_block(rng, L=int(rng.integers(1, 13)), it=6,
+                       fixup=fixup, thick=thick)
+            for _ in range(5)
+        ]
+        assert_batch_matches_interpreter(blocks)
+
+    def test_fixup_heavy_deck_actually_fixes(self, rng):
+        """The referee is vacuous unless the branch-free compare+select
+        path really triggers: thick blocks must report fixups > 0."""
+        blocks = [make_block(rng, fixup=True, thick=True) for _ in range(4)]
+        assert assert_batch_matches_interpreter(blocks) > 0
+
+    def test_single_precision_path(self, rng):
+        blocks = [make_block(rng, L=7, it=4, fixup=True, thick=True)
+                  for _ in range(3)]
+        assert_batch_matches_interpreter(blocks, double=False)
+
+    @given(st.integers(min_value=1, max_value=17), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_any_block_shape(self, L, it):
+        rng = np.random.default_rng(L * 100 + it)
+        blocks = [make_block(rng, L=L, it=it, fixup=True, thick=True),
+                  make_block(rng, L=max(1, L - 1), it=it, fixup=True)]
+        assert_batch_matches_interpreter(blocks)
+
+    def test_compiled_line_executor_adapter(self, rng):
+        block = make_block(rng, fixup=True, thick=True)
+        ref = clone(block)
+        psi, pio, fx = compiled_line_executor(block)
+        psi_ref, pio_ref, fx_ref = simd_execute_block(ref)
+        np.testing.assert_array_equal(psi, psi_ref)
+        np.testing.assert_array_equal(pio, pio_ref)
+        assert fx == fx_ref
+
+    def test_mixed_shapes_rejected(self, rng):
+        a = make_block(rng, L=4, it=6)
+        b = make_block(rng, L=4, it=5)
+        with pytest.raises(ConfigurationError):
+            simd_execute_blocks([a, b])
+
+
+def cell_config(**over) -> MachineConfig:
+    base = dict(
+        aligned_rows=True, double_buffer=True, simd=True,
+        dma_lists=True, bank_offsets=True, sync=SyncProtocol.LS_POKE,
+        num_spes=3,
+    )
+    base.update(over)
+    return MachineConfig(**base)
+
+
+class TestSolverIntegration:
+    """The ISA path through the full staged machine: every octant, both
+    schedulers, compile on and off."""
+
+    @pytest.mark.parametrize("fixup", [False, True])
+    def test_isa_solve_matches_reference(self, fixup):
+        deck = small_deck(n=6, sn=4, nm=2, iterations=2, mk=2, fixup=fixup)
+        ref = CellSweep3D(deck, cell_config()).solve()
+        isa = CellSweep3D(deck, cell_config(isa_kernel=True)).solve()
+        np.testing.assert_array_equal(ref.flux, isa.flux)
+        assert ref.tally.fixups == isa.tally.fixups
+        assert ref.tally.leakage == isa.tally.leakage
+
+    def test_compile_on_off_identical(self):
+        deck = small_deck(n=6, sn=4, nm=2, iterations=2, mk=2)
+        on = CellSweep3D(deck, cell_config(isa_kernel=True)).solve()
+        off = CellSweep3D(
+            deck, cell_config(isa_kernel=True, compile_isa=False)
+        ).solve()
+        np.testing.assert_array_equal(on.flux, off.flux)
+        assert on.tally.fixups == off.tally.fixups
+        assert on.iterations == off.iterations
+
+    def test_distributed_scheduler(self):
+        deck = small_deck(n=6, sn=4, nm=2, iterations=2, mk=2)
+        ref = SerialSweep3D(deck).solve()
+        isa = CellSweep3D(
+            deck,
+            cell_config(isa_kernel=True, scheduler=SchedulerKind.DISTRIBUTED),
+        ).solve()
+        np.testing.assert_array_equal(ref.flux, isa.flux)
+
+    def test_isa_requires_simd(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(isa_kernel=True, simd=False)
+
+    def test_timing_report_unaffected(self):
+        deck = small_deck(n=6, sn=4, nm=2, iterations=2, mk=2)
+        t_off = CellSweep3D(deck, cell_config(isa_kernel=True,
+                                              compile_isa=False)).timing()
+        t_on = CellSweep3D(deck, cell_config(isa_kernel=True)).timing()
+        assert t_on.seconds == t_off.seconds
+
+
+class TestTraceTransparency:
+    """Compilation is a host-clock optimization: the exported event
+    stream must be byte-identical with ``compile_isa`` on vs off."""
+
+    def test_trace_streams_byte_identical(self):
+        from repro.trace.export import to_chrome_trace
+        from repro.trace.sanitizer import sanitize
+
+        deck = small_deck(n=6, sn=4, nm=2, iterations=2, mk=2)
+
+        def traced_stream(compile_isa: bool) -> tuple[str, list]:
+            solver = CellSweep3D(
+                deck,
+                cell_config(isa_kernel=True, compile_isa=compile_isa,
+                            trace=True),
+            )
+            solver.solve()
+            blob = json.dumps(to_chrome_trace(solver.trace), sort_keys=True)
+            return blob, sanitize(solver.trace)
+
+        blob_off, hazards_off = traced_stream(False)
+        blob_on, hazards_on = traced_stream(True)
+        assert blob_on == blob_off
+        assert hazards_on == hazards_off == []
+
+
+class TestProgramCache:
+    def test_program_reused_across_batches(self, rng):
+        clear_cache()
+        before = STATS.snapshot()
+        blocks = [make_block(rng, L=5, it=4) for _ in range(3)]
+        simd_execute_blocks(blocks[:2])
+        simd_execute_blocks(blocks[2:])
+        delta = isa_compile.stats_delta(before)
+        assert delta["streams_compiled"] == 1
+        assert delta["cache_hits"] == 1
+        assert delta["batched_calls"] == 2
+        assert delta["batched_blocks"] == 3
+        assert cache_size() >= 1
+
+    def test_cache_key_covers_shape_and_mode(self, rng):
+        clear_cache()
+        before = STATS.snapshot()
+        simd_execute_blocks([make_block(rng, L=3, it=4, fixup=False)])
+        simd_execute_blocks([make_block(rng, L=3, it=4, fixup=True)])
+        simd_execute_blocks([make_block(rng, L=3, it=5, fixup=True)])
+        delta = isa_compile.stats_delta(before)
+        assert delta["streams_compiled"] == 3
+        assert delta["cache_hits"] == 0
+
+    def test_compiled_program_is_cached_with_its_stream(self, rng):
+        """A second lookup of the same key must return the memoized
+        program (builder never invoked), and the program carries the
+        recorded instruction stream for inspection."""
+        clear_cache()
+        block = make_block(rng, L=2, it=3, fixup=True)
+        simd_execute_blocks([clone(block)])
+        key = ("line", 3, True, True)
+        program = compiled_program(key, lambda: pytest.fail("must be cached"))
+        assert len(program.stream) > 0
+        assert program.stream.flops > 0
+
+
+def tiny_stream():
+    from repro.cell.isa import SPUContext
+
+    ctx = SPUContext("memo-referee", double=True)
+    a = ctx.lqd(np.array([1.0, 2.0]), label="a")
+    b = ctx.lqd(np.array([3.0, 4.0]), label="b")
+    ctx.stqd(ctx.spu_madd(a, b, b), np.zeros(2))
+    return ctx.stream
+
+
+class TestSimulateCache:
+    def test_memoized_report_equals_fresh(self):
+        stream = tiny_stream()
+        before = SIMULATE_STATS.snapshot()
+        fresh = simulate(stream)
+        first = simulate_cached(stream)
+        again = simulate_cached(stream)
+        assert again is first
+        assert (first.cycles, first.flops, first.dual_issues) == (
+            fresh.cycles, fresh.flops, fresh.dual_issues,
+        )
+        after = SIMULATE_STATS.snapshot()
+        assert after["cache_hits"] - before["cache_hits"] >= 1

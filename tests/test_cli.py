@@ -87,6 +87,29 @@ class TestSolve:
         assert main(["solve", "--cube", "6", "--workers", "2"]) == 2
         assert "requires --engine cell" in capsys.readouterr().err
 
+    def test_isa_flag_matches_plain_cell_solve(self, capsys):
+        import json
+
+        plain = json.loads(run(capsys, "solve", "--cube", "6", "--sn", "4",
+                               "--nm", "1", "--iterations", "1",
+                               "--engine", "cell", "--json"))
+        isa = json.loads(run(capsys, "solve", "--cube", "6", "--sn", "4",
+                             "--nm", "1", "--iterations", "1",
+                             "--engine", "cell", "--isa", "--json"))
+        assert isa["rows"] == plain["rows"]
+        compile_ = isa["compile"]
+        assert compile_["isa_kernel"] is True
+        assert compile_["compile_isa"] is True
+        assert compile_["batched_blocks"] > 0
+        assert compile_["streams_compiled"] + compile_["cache_hits"] > 0
+        # the plain cell solve reports the block too, just disengaged
+        assert plain["compile"]["isa_kernel"] is False
+        assert plain["compile"]["batched_blocks"] == 0
+
+    def test_isa_flag_requires_cell_engine(self, capsys):
+        assert main(["solve", "--cube", "6", "--isa"]) == 2
+        assert "requires --engine cell" in capsys.readouterr().err
+
     def test_cluster_workers_runs_functional_solve(self, capsys):
         out = run(capsys, "cluster", "--cube", "6", "--sn", "4", "--nm", "1",
                   "--iterations", "1", "-p", "2", "-q", "1",
@@ -115,6 +138,8 @@ class TestFigures:
         names = [v["name"] for v in doc["variants"]]
         assert names == ["DP", "DP+fixup", "SP"]
         assert all(0 < v["efficiency"] <= 1 for v in doc["variants"])
+        reports = doc["compile"]["pipeline_reports"]
+        assert reports["simulated"] + reports["cache_hits"] == 3
 
     def test_trace_command(self, capsys, tmp_path):
         import json
