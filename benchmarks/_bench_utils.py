@@ -1,11 +1,40 @@
-"""Helpers shared by the figure-regeneration benchmarks."""
+"""Helpers shared by the figure-regeneration benchmarks.
+
+Output convention (see also ``docs/PERFORMANCE.md``): every benchmark
+that produces a machine-readable ``BENCH_*.json`` writes it to **two**
+places through :func:`write_bench_json` --
+
+* ``benchmarks/out/<name>`` -- the scratch artifact of the latest local
+  run (lives alongside the text artifacts; CI uploads it);
+* ``<repo root>/<name>`` -- the canonical location.  Committing this
+  copy *blesses* the numbers as the baseline that
+  ``repro bench --check`` (:mod:`repro.perf.baseline`) gates against.
+
+Regenerating a baseline is therefore: run the bench, inspect the root
+file's diff, commit it.
+"""
 
 from __future__ import annotations
 
+import json
 import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_DIR = pathlib.Path(__file__).resolve().parent / "out"
 
 
 def write_artifact(out_dir: pathlib.Path, name: str, text: str) -> None:
     path = out_dir / name
     path.write_text(text + "\n")
     print(f"\n{text}\n[written to {path}]")
+
+
+def write_bench_json(name: str, payload) -> pathlib.Path:
+    """Write a ``BENCH_*.json`` payload to both canonical locations;
+    returns the repo-root (baseline) path."""
+    text = json.dumps(payload, indent=2) + "\n"
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / name).write_text(text)
+    root_path = REPO_ROOT / name
+    root_path.write_text(text)
+    return root_path

@@ -26,15 +26,12 @@ or through pytest (``python -m pytest benchmarks/bench_functional_wall.py``).
 from __future__ import annotations
 
 import dataclasses
-import json
 import os
 import pathlib
 import time
 
 from repro.core.solver import CellSweep3D
 from repro.sweep.input import benchmark_deck, cube_deck
-
-OUT_DIR = pathlib.Path(__file__).parent / "out"
 
 #: seconds the 16^3 single-iteration solve may take before the smoke
 #: test fails.  Deliberately ~30x above the measured time so only real
@@ -81,18 +78,17 @@ def run_benchmarks(full: bool = False) -> list[dict]:
     return records
 
 
-def write_json(records: list[dict], out_dir: pathlib.Path) -> pathlib.Path:
-    out_dir.mkdir(exist_ok=True)
-    path = out_dir / "BENCH_functional.json"
-    path.write_text(json.dumps(records, indent=2) + "\n")
-    return path
+def write_json(records: list[dict]) -> pathlib.Path:
+    from _bench_utils import write_bench_json
+
+    return write_bench_json("BENCH_functional.json", records)
 
 
 def test_functional_wall(out_dir):
     ceiling = float(os.environ.get("BENCH_WALL_CEILING", DEFAULT_WALL_CEILING))
     full = os.environ.get("BENCH_FULL", "") not in ("", "0")
     records = run_benchmarks(full=full)
-    path = write_json(records, out_dir)
+    path = write_json(records)
     for rec in records:
         print(
             f"{rec['deck']}: {rec['wall_seconds']:.2f}s host wall, "
@@ -109,7 +105,7 @@ def test_functional_wall(out_dir):
 if __name__ == "__main__":
     full = os.environ.get("BENCH_FULL", "") not in ("", "0")
     recs = run_benchmarks(full=full)
-    out = write_json(recs, OUT_DIR)
+    out = write_json(recs)
     for rec in recs:
         print(
             f"{rec['deck']}: {rec['wall_seconds']:.2f}s host wall, "

@@ -25,7 +25,6 @@ pytest (``python -m pytest benchmarks/bench_isa_compile.py``).
 from __future__ import annotations
 
 import dataclasses
-import json
 import os
 import pathlib
 import time
@@ -39,8 +38,6 @@ from repro.core.spe_kernel import compiled_line_executor, simd_line_executor
 from repro.perf.processors import measured_cell_config
 from repro.sweep.input import cube_deck
 from repro.sweep.serial import SerialSweep3D
-
-REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 
 def _affinity_cpus() -> int:
@@ -150,9 +147,9 @@ def run_benchmarks() -> dict:
 
 
 def write_json(payload: dict) -> pathlib.Path:
-    path = REPO_ROOT / "BENCH_isa.json"
-    path.write_text(json.dumps(payload, indent=2) + "\n")
-    return path
+    from _bench_utils import write_bench_json
+
+    return write_bench_json("BENCH_isa.json", payload)
 
 
 def _report(payload: dict) -> None:

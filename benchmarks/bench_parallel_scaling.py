@@ -23,7 +23,6 @@ or through pytest (``python -m pytest benchmarks/bench_parallel_scaling.py``).
 from __future__ import annotations
 
 import dataclasses
-import json
 import os
 import pathlib
 import sys
@@ -35,7 +34,6 @@ from repro.core.solver import CellSweep3D
 from repro.perf.processors import measured_cell_config
 from repro.sweep.input import cube_deck
 
-REPO_ROOT = pathlib.Path(__file__).parent.parent
 WORKER_COUNTS = (1, 2, 4)
 
 
@@ -113,9 +111,9 @@ def run_benchmarks(force: bool | None = None) -> dict:
 
 
 def write_json(payload: dict) -> pathlib.Path:
-    path = REPO_ROOT / "BENCH_parallel.json"
-    path.write_text(json.dumps(payload, indent=2) + "\n")
-    return path
+    from _bench_utils import write_bench_json
+
+    return write_bench_json("BENCH_parallel.json", payload)
 
 
 def _report(payload: dict) -> None:

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..metrics.registry import NULL_REGISTRY
 from ..trace.bus import NULL_BUS
 from .atomic import AtomicDomain
 from .clock import CycleClock
@@ -64,6 +65,9 @@ class CellBE:
         self.clock = CycleClock()
         #: chip-wide trace bus; the null bus until ``install_trace``
         self.trace = NULL_BUS
+        #: chip-wide metrics registry; the null registry until
+        #: ``install_metrics``
+        self.metrics = NULL_REGISTRY
         #: optional allocator override for :meth:`host_alloc`:
         #: ``callable(name, shape, dtype) -> ndarray`` (or None to use
         #: plain ``np.zeros``).  :mod:`repro.parallel` installs a
@@ -101,6 +105,24 @@ class CellBE:
                 "ls_capacity": self.spes[0].local_store.capacity,
                 "ls_code_bytes": self.spes[0].local_store.reserved_code_bytes,
             }
+
+    def install_metrics(self, registry) -> None:
+        """Point every instrumented unit of the chip at ``registry``.
+
+        The metrics twin of :meth:`install_trace`: one registry collects
+        the whole machine's counters -- per-SPE MFCs and mailbox pairs,
+        the shared memory-timing model, plus everything that reads
+        ``chip.metrics`` dynamically (sync protocols, schedulers, the
+        streaming layer, the solver).  Install
+        :data:`repro.metrics.NULL_REGISTRY` to switch collection back
+        off.
+        """
+        self.metrics = registry
+        self.memory_timing.metrics = registry
+        for spe in self.spes:
+            spe.metrics = registry
+            spe.mfc.metrics = registry
+            spe.mailboxes.metrics = registry
 
     def host_alloc(
         self,

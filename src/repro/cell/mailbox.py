@@ -19,6 +19,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..errors import MailboxError
+from ..metrics.registry import NULL_REGISTRY, spe_metric
 from ..trace.bus import NULL_BUS, PPE_TRACK, spe_track
 from . import constants
 
@@ -96,6 +97,12 @@ class MailboxPair:
         #: protocol layer owns the timeline-advancing spans, so the two
         #: layers never double-charge the same cycles.
         self.trace = NULL_BUS
+        #: metrics registry (see ``CellBE.install_metrics``).  SPU-side
+        #: channel accesses feed the owning SPE's ``mailbox_wait``
+        #: bucket; PPE-side MMIO feeds the PPE counters.  The sync
+        #: protocols charge only what is *not* already counted here, so
+        #: the attribution buckets never double-charge a cycle.
+        self.metrics = NULL_REGISTRY
 
     # Convenience wrappers named for who performs the access, so call
     # sites read like the protocol descriptions in the paper.
@@ -103,6 +110,10 @@ class MailboxPair:
     def ppe_send(self, value: int) -> int:
         """PPE writes the SPU's inbound mailbox over MMIO; returns cycles."""
         self.inbound.write(value)
+        if self.metrics.enabled:
+            self.metrics.add_cycles("ppe.mailbox_mmio_ticks",
+                                    PPE_MAILBOX_MMIO_CYCLES)
+            self.metrics.count("mailbox.ppe_ops")
         if self.trace.enabled:
             self.trace.instant(
                 PPE_TRACK, "MailboxSend", spe=self.spe_id, value=value,
@@ -113,6 +124,12 @@ class MailboxPair:
     def spu_receive(self) -> tuple[int, int]:
         """SPU reads its inbound mailbox; returns (value, cycles)."""
         value = self.inbound.read()
+        if self.metrics.enabled:
+            self.metrics.add_cycles(
+                spe_metric(self.spe_id, "mailbox_wait_ticks"),
+                SPU_MAILBOX_ACCESS_CYCLES,
+            )
+            self.metrics.count("mailbox.spu_ops")
         if self.trace.enabled:
             self.trace.instant(
                 spe_track(self.spe_id), "MailboxRecv", value=value,
@@ -123,6 +140,12 @@ class MailboxPair:
     def spu_send(self, value: int) -> int:
         """SPU writes its outbound mailbox; returns cycles."""
         self.outbound.write(value)
+        if self.metrics.enabled:
+            self.metrics.add_cycles(
+                spe_metric(self.spe_id, "mailbox_wait_ticks"),
+                SPU_MAILBOX_ACCESS_CYCLES,
+            )
+            self.metrics.count("mailbox.spu_ops")
         if self.trace.enabled:
             self.trace.instant(
                 spe_track(self.spe_id), "MailboxSend", value=value,
@@ -134,6 +157,10 @@ class MailboxPair:
         """PPE reads the SPU's outbound mailbox over MMIO; returns
         (value, cycles)."""
         value = self.outbound.read()
+        if self.metrics.enabled:
+            self.metrics.add_cycles("ppe.mailbox_mmio_ticks",
+                                    PPE_MAILBOX_MMIO_CYCLES)
+            self.metrics.count("mailbox.ppe_ops")
         if self.trace.enabled:
             self.trace.instant(
                 PPE_TRACK, "MailboxRecv", spe=self.spe_id, value=value,

@@ -20,6 +20,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from ..errors import MFCError
+from ..metrics.registry import NULL_REGISTRY, spe_metric
 from ..trace.bus import NULL_BUS, spe_track
 from .dma import AnyDMACommand
 from .mic import MemoryTimingModel, TransferCost
@@ -76,6 +77,8 @@ class MFC:
         #: trace bus (chip-wide; see ``CellBE.install_trace``).  The
         #: shared null bus makes every hook a single-branch no-op.
         self.trace = NULL_BUS
+        #: metrics registry (chip-wide; see ``CellBE.install_metrics``)
+        self.metrics = NULL_REGISTRY
         # memo of per-batch traffic-accounting deltas keyed by the batch's
         # address signature: replayed chunk programs (the common case, see
         # repro.core.streaming) skip the per-command accounting loop.  The
@@ -96,6 +99,10 @@ class MFC:
             )
         self._queue.setdefault(command.tag, []).append(command)
         self._pending += 1
+        if self.metrics.enabled:
+            self.metrics.gauge_max(
+                spe_metric(self.spe_id, "mfc_queue_depth"), self._pending
+            )
         if self.trace.enabled:
             self.trace.instant(
                 spe_track(self.spe_id), "DmaEnqueue",
@@ -152,6 +159,15 @@ class MFC:
         self.stats.bytes_put += delta[3]
         self.stats.element_sizes.update(delta[4])
         self.stats.cycles += cost.total_cycles
+        if self.metrics.enabled:
+            m = self.metrics
+            m.add_cycles(spe_metric(self.spe_id, "dma_wait_ticks"), cost.total_cycles)
+            m.count("dma.commands", delta[0])
+            m.count("dma.list_elements", delta[1])
+            m.count("dma.bytes_get", delta[2])
+            m.count("dma.bytes_put", delta[3])
+            for size in sorted(delta[4]):
+                m.observe("dma.element_bytes", size, delta[4][size])
         if self.trace.enabled:
             self.trace.span(
                 spe_track(self.spe_id), "DmaComplete", cost.total_cycles,

@@ -27,6 +27,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from ..metrics.registry import NULL_REGISTRY
 from ..trace.bus import MIC_TRACK, NULL_BUS
 from . import constants
 from .dma import AnyDMACommand, DMACommand, DMAElement, DMAListCommand, LSToLSCommand
@@ -139,6 +140,9 @@ class MemoryTimingModel:
         #: every ``cost`` call -- memo hit or miss -- so the event stream
         #: is independent of cache warmth.
         self.trace = NULL_BUS
+        #: metrics registry (see ``CellBE.install_metrics``); fed on
+        #: every ``cost`` call, memo hit or miss, like the trace hook.
+        self.metrics = NULL_REGISTRY
         # Memo of computed costs keyed by the batch's address signature.
         # The cost is a pure function of the per-command signatures (type,
         # element EAs and sizes), so recurring chunk programs -- the common
@@ -172,6 +176,18 @@ class MemoryTimingModel:
                 if len(self._cost_cache) >= COST_CACHE_MAX_ENTRIES:
                     self._cost_cache.clear()
                 self._cost_cache[key] = result
+        if self.metrics.enabled:
+            m = self.metrics
+            m.count("mic.batches")
+            m.count("mic.payload_bytes", result.payload_bytes)
+            m.count("mic.touched_bytes", result.touched_bytes)
+            # the bank-imbalance penalty alone, so `mic.bank_penalty_ticks
+            # / spe*.dma_wait_ticks` reads off what uneven bank spread
+            # costs -- the quantity the paper's bank offsets tune away.
+            m.add_cycles(
+                "mic.bank_penalty_ticks",
+                result.bandwidth_cycles * (result.bank_factor - 1.0),
+            )
         if self.trace.enabled:
             self.trace.instant(
                 MIC_TRACK, "MicBankAccess",

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..metrics.registry import NULL_REGISTRY
 from ..trace.bus import NULL_BUS
 from .clock import CycleBudget
 from .isa import SPUContext
@@ -85,6 +86,8 @@ class SPE:
         self.sync_budget = CycleBudget()
         #: trace bus shared chip-wide (see ``CellBE.install_trace``)
         self.trace = NULL_BUS
+        #: metrics registry shared chip-wide (see ``CellBE.install_metrics``)
+        self.metrics = NULL_REGISTRY
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -7,6 +7,8 @@ writing code:
 =============  ===========================================================
 ``solve``      run a cubic problem through a chosen engine
 ``trace``      traced Cell solve: Perfetto export + DMA-hazard sanitizer
+``metrics``    metrics-instrumented Cell solve: per-SPE cycle attribution
+``bench``      benchmark baselines: inspect, or regression-gate (--check)
 ``ladder``     Figure 5: the optimization ladder
 ``kernel``     Sec. 5.1: SPE kernel pipeline statistics
 ``grind``      Figure 9: grind time vs cube size
@@ -63,6 +65,23 @@ def _build_deck(args):
     )
 
 
+def _attach_heartbeat(solver, deck, args):
+    """Hook a live ``done/total units`` line to the solver's progress
+    seam: always under ``--progress``, automatically when stderr is an
+    interactive terminal and the output is not machine-readable (long
+    functional solves -- minutes at 50^3 -- otherwise print nothing)."""
+    auto = sys.stderr.isatty() and not getattr(args, "json", False)
+    if not (getattr(args, "progress", False) or auto):
+        return None
+    from .metrics.heartbeat import Heartbeat
+
+    heartbeat = Heartbeat(
+        total=solver.units_per_sweep() * deck.iterations, label="solve"
+    )
+    solver.progress = heartbeat
+    return heartbeat
+
+
 def cmd_solve(args) -> int:
     import os
     import time
@@ -85,6 +104,14 @@ def cmd_solve(args) -> int:
         print("error: --isa requires --engine cell (the functional SPU "
               "ISA kernel runs on the simulated machine)", file=sys.stderr)
         return 2
+    if args.metrics and args.engine != "cell":
+        print("error: --metrics requires --engine cell (only the simulated "
+              "machine feeds the metrics registry)", file=sys.stderr)
+        return 2
+    if args.progress and args.engine != "cell":
+        print("error: --progress requires --engine cell (the progress seam "
+              "counts the Cell solver's work units)", file=sys.stderr)
+        return 2
     if deck.grid.num_cells > 30**3 and args.engine != "serial":
         print("note: functional engines other than 'serial' are slow above "
               "~30^3; consider --cube 16", file=sys.stderr)
@@ -105,12 +132,17 @@ def cmd_solve(args) -> int:
             config = config.with_(trace=True)
         if args.isa:
             config = config.with_(isa_kernel=True)
+        if args.metrics:
+            config = config.with_(metrics=True)
         compile_before = STATS.snapshot()
         sim_before = SIMULATE_STATS.snapshot()
         solver = CellSweep3D(deck, config, workers=args.workers)
+        heartbeat = _attach_heartbeat(solver, deck, args)
         try:
             result = solver.solve()
         finally:
+            if heartbeat is not None:
+                heartbeat.close()
             solver.close()
         compile_stats = stats_delta(compile_before)
         sim_after = SIMULATE_STATS.snapshot()
@@ -147,6 +179,13 @@ def cmd_solve(args) -> int:
         }
         if args.engine == "cell":
             extra["compile"] = compile_stats
+            if args.metrics:
+                attribution = solver.cycle_attribution()
+                attribution.verify()
+                extra["metrics"] = {
+                    "registry": solver.metrics.to_dict(),
+                    "cycle_attribution": attribution.to_dict(),
+                }
         print(format_json("solve", rows, extra))
     else:
         print(f"engine={args.engine} deck={deck.grid.shape} S{deck.sn} "
@@ -161,6 +200,11 @@ def cmd_solve(args) -> int:
             print(f"isa: streams_compiled={compile_stats['streams_compiled']} "
                   f"cache_hits={compile_stats['cache_hits']} "
                   f"batched_blocks={compile_stats['batched_blocks']}")
+        if args.engine == "cell" and args.metrics:
+            attribution = solver.cycle_attribution()
+            attribution.verify()
+            print()
+            print(attribution.table())
     if args.trace and solver is not None:
         from .trace.export import write_chrome_trace
 
@@ -198,6 +242,77 @@ def cmd_trace(args) -> int:
     print()
     print(format_hazards(hazards))
     return 1 if hazards else 0
+
+
+def cmd_metrics(args) -> int:
+    """Metrics-instrumented functional Cell solve: print the per-SPE
+    "where the cycles went" attribution table, the %-of-DP-peak figure
+    and the hot registry counters (``--json`` for the full registry)."""
+    from .core.solver import CellSweep3D
+    from .perf.processors import measured_cell_config
+
+    deck = _build_deck(args)
+    if deck.grid.num_cells > 30**3:
+        print("note: the functional metrics solve is slow above ~30^3; "
+              "consider --cube 16", file=sys.stderr)
+    config = measured_cell_config().with_(metrics=True)
+    solver = CellSweep3D(deck, config, workers=args.workers)
+    heartbeat = _attach_heartbeat(solver, deck, args)
+    try:
+        solver.solve()
+    finally:
+        if heartbeat is not None:
+            heartbeat.close()
+        solver.close()
+    attribution = solver.cycle_attribution()
+    attribution.verify()
+    if args.json:
+        from .perf.report import Row, format_json
+
+        rows = [
+            Row(f"{name} ticks", float(total), unit="tk")
+            for name, total in attribution.bucket_totals.items()
+        ]
+        extra = {
+            "deck": {"shape": list(deck.grid.shape), "sn": deck.sn,
+                     "nm": deck.nm, "iterations": deck.iterations},
+            "workers": args.workers,
+            "registry": solver.metrics.to_dict(),
+            "cycle_attribution": attribution.to_dict(),
+        }
+        print(format_json("metrics", rows, extra))
+        return 0
+    print(attribution.table())
+    print()
+    print("hot counters")
+    for name in sorted(solver.metrics.counters):
+        if name.startswith("spe"):
+            continue  # already in the table above
+        print(f"  {name:28s} {solver.metrics.counters[name]:>16,d}")
+    for name, value in sorted(solver.metrics.gauges.items()):
+        print(f"  {name:28s} {value:>16,d} (max)")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Benchmark baseline inspection and the regression gate."""
+    from .perf import baseline
+
+    tolerance = (baseline.DEFAULT_TOLERANCE if args.tolerance is None
+                 else args.tolerance)
+    if args.check:
+        return baseline.run_check(tolerance=tolerance)
+    baselines = baseline.load_baselines()
+    if not baselines:
+        print("no committed BENCH_*.json baselines at the repository root")
+        print("regenerate them with the scripts in benchmarks/ "
+              "(see docs/PERFORMANCE.md)")
+        return 0
+    for name in sorted(baselines):
+        records = sum(1 for _ in baseline._walk_records(baselines[name]))
+        print(f"{name}: {records} records")
+    print("run `repro bench --check` to gate the current tree against them")
+    return 0
 
 
 def cmd_ladder(args) -> int:
@@ -419,9 +534,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1, metavar="N",
                    help="host worker processes for the cell engine "
                         "(bit-identical to serial for any N; default 1)")
+    p.add_argument("--metrics", action="store_true",
+                   help="collect the machine-wide metrics registry and "
+                        "print the per-SPE cycle attribution "
+                        "(requires --engine cell)")
+    p.add_argument("--progress", action="store_true",
+                   help="live done/total heartbeat on stderr (automatic "
+                        "on a TTY; requires --engine cell)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable JSON output")
     p.set_defaults(fn=cmd_solve)
+
+    p = sub.add_parser(
+        "metrics",
+        help="metrics-instrumented Cell solve: per-SPE cycle attribution",
+    )
+    _deck_args(p)
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="host worker processes (the registry is "
+                        "identical for any N)")
+    p.add_argument("--progress", action="store_true",
+                   help="live done/total heartbeat on stderr")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON output")
+    p.set_defaults(fn=cmd_metrics)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark baselines: inspect, or gate with --check",
+    )
+    p.add_argument("--check", action="store_true",
+                   help="re-measure the functional smoke deck and verify "
+                        "the committed BENCH_*.json baselines; nonzero "
+                        "exit on regression (the CI gate)")
+    p.add_argument("--tolerance", type=float, default=None, metavar="X",
+                   help="allowed measured/baseline wall-clock ratio "
+                        "(default 2.0)")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
         "trace",

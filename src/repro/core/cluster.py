@@ -53,6 +53,9 @@ class CellClusterSweep3D:
         if not self.config.uses_spes:
             raise ConfigurationError("cluster ranks need at least one SPE")
         self._engine = None
+        #: workers == 1: the per-rank solvers the KBA factory built, so
+        #: their metrics registries survive the threaded solve
+        self._rank_sweepers: list[CellSweep3D] = []
         if self.workers > 1:
             from ..parallel.cluster import ClusterEngine
 
@@ -61,10 +64,12 @@ class CellClusterSweep3D:
             )
             self._kba = self._engine._kba
         else:
-            self._kba = KBASweep3D(
-                deck, P=P, Q=Q,
-                sweeper_factory=lambda local: CellSweep3D(local, self.config),
-            )
+            def _factory(local: InputDeck) -> CellSweep3D:
+                sweeper = CellSweep3D(local, self.config)
+                self._rank_sweepers.append(sweeper)
+                return sweeper
+
+            self._kba = KBASweep3D(deck, P=P, Q=Q, sweeper_factory=_factory)
 
     @property
     def cart(self) -> Cart2D:
@@ -82,6 +87,36 @@ class CellClusterSweep3D:
         if self._engine is not None:
             return self._engine.solve()
         return self._kba.solve()
+
+    def aggregate_metrics(self):
+        """Cluster-wide metrics registry, merged across ranks.
+
+        Rank registries merge per SPE slot -- rank 0's SPE3 and rank
+        1's SPE3 land in the same ``spe3.*`` counters -- so the
+        attribution table reads as "the average chip" of the cluster.
+        All aggregates are integer ticks/counts, so the merge is
+        order-free and the result is identical for any worker count.
+        """
+        from ..metrics.registry import NULL_REGISTRY, MetricsRegistry
+
+        if not self.config.metrics:
+            return NULL_REGISTRY
+        if self._engine is not None:
+            return self._engine.metrics
+        merged = MetricsRegistry()
+        for sweeper in self._rank_sweepers:
+            merged.merge(sweeper.metrics)
+        return merged
+
+    def cycle_attribution(self):
+        """Cluster-wide cycle attribution (see :meth:`aggregate_metrics`
+        for the per-SPE-slot merge semantics)."""
+        from ..metrics.attribution import attribution_from_registry
+
+        return attribution_from_registry(
+            self.aggregate_metrics(), self.config.num_spes,
+            self.deck.nm, self.deck.fixup,
+        )
 
     def close(self) -> None:
         """Release the host worker pool (no-op for ``workers == 1``)."""

@@ -119,6 +119,13 @@ class MachineConfig:
     #: path, which stays observable-transparent.  Off by default; the
     #: disabled hooks are single-branch no-ops.
     trace: bool = False
+    #: always-cheap machine metrics (:mod:`repro.metrics`): the solver
+    #: builds a MetricsRegistry and installs it chip-wide through the
+    #: same seams the trace hooks use; counters/gauges/histograms are
+    #: integer-valued so cross-process merges are bit-identical for any
+    #: worker count.  Off by default; the disabled hooks hit the shared
+    #: NULL_REGISTRY and cost one branch.
+    metrics: bool = False
 
     def __post_init__(self) -> None:
         if not 0 <= self.num_spes <= 8:

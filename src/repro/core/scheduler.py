@@ -24,6 +24,7 @@ from typing import Callable, Sequence
 from ..cell.atomic import ATOMIC_OP_CYCLES
 from ..cell.chip import CellBE
 from ..errors import SchedulerError
+from ..metrics.registry import spe_metric
 from ..trace.bus import PPE_TRACK, spe_track
 from .sync import LSPokeSync, MailboxSync
 from .worklist import Chunk, assign_cyclic
@@ -57,6 +58,8 @@ class CentralizedScheduler:
         execute(chunk)
         self.sync.complete(spe, chunk.index)
         self.chunks_dispatched += 1
+        if self.chip.metrics.enabled:
+            self.chip.metrics.count("sched.chunks")
         if trace.enabled:
             trace.instant(
                 PPE_TRACK, "WorkDone", chunk=chunk.index, spe=chunk.spe,
@@ -128,6 +131,14 @@ class DistributedScheduler:
             spe.sync_budget.charge(
                 "atomic_claim", 2 * ATOMIC_OP_CYCLES * attempts
             )
+            if self.chip.metrics.enabled:
+                m = self.chip.metrics
+                m.add_cycles(
+                    spe_metric(spe.spe_id, "sync_wait_ticks"),
+                    2 * ATOMIC_OP_CYCLES * attempts,
+                )
+                m.count("sched.chunks")
+                m.count("sched.atomic_attempts", attempts)
             chunk = chunks[old]
             # the claiming SPE executes it regardless of the cyclic hint
             executed.append(Chunk(chunk.index, spe.spe_id, chunk.lines))

@@ -30,6 +30,7 @@ from ..sweep.kernel import dd_line_block_solve
 from ..sweep.moments import MomentBasis
 from ..sweep.pipelining import LineBlock, angle_blocks, k_blocks, num_diagonals
 from ..sweep.quadrature import OCTANT_SIGNS
+from ..metrics.registry import NULL_REGISTRY, spe_metric
 from ..trace.bus import NULL_BUS, spe_track
 from .levels import MachineConfig, Precision, SchedulerKind, SyncProtocol
 from .porting import HostState
@@ -100,16 +101,30 @@ class CellSweep3D:
 
             self.trace = TraceBus()
             self.chip.install_trace(self.trace)
+        else:
+            self.trace = NULL_BUS
+        if self.config.metrics:
+            from ..metrics.registry import MetricsRegistry
+
+            self.metrics = MetricsRegistry()
+            self.chip.install_metrics(self.metrics)
+        else:
+            self.metrics = NULL_REGISTRY
+        if self.config.trace or self.config.metrics:
             # modelled SPU cycles per cell visit, so KernelExec spans
-            # carry the same cost the performance model charges
+            # and the compute attribution bucket carry the same cost
+            # the performance model charges
             from ..perf.model import _kernel_cycles_per_visit
 
-            self._trace_cycles_per_visit = _kernel_cycles_per_visit(
+            self._cycles_per_visit = _kernel_cycles_per_visit(
                 deck, self.config
             )
         else:
-            self.trace = NULL_BUS
-            self._trace_cycles_per_visit = 0.0
+            self._cycles_per_visit = 0.0
+        #: optional progress sink with a ``tick()`` method (e.g.
+        #: :class:`repro.metrics.heartbeat.Heartbeat`), called once per
+        #: completed (octant, angle-block) unit in every execution mode.
+        self.progress = None
         self.host = HostState(deck, self.config, self.chip)
         self.quad = deck.quadrature()
         self.basis = MomentBasis(self.quad, deck.nm)
@@ -166,6 +181,7 @@ class CellSweep3D:
         a single chip, MPI messages for a multi-chip cluster)."""
         for angles in angle_blocks(self.quad.per_octant, self.deck.mmi):
             self._sweep_block(octant, angles, tally, boundary)
+            self._progress_tick()
 
     def _sweep_block(
         self, octant: int, angles: list[int], tally: SweepTally, boundary,
@@ -243,6 +259,45 @@ class CellSweep3D:
             )
         boundary.finish_octant(
             octant, angles, self.host.phik[:na, :, :it].copy()
+        )
+
+    # -- metrics and progress ------------------------------------------------------
+
+    def _set_metrics(self, registry) -> None:
+        """Swap the active metrics registry, solver and chip together.
+
+        The capture seam of :mod:`repro.parallel`: a worker (or the
+        parent, for inline-executed units) installs a fresh registry
+        around one work unit, ships its ``to_dict()`` delta home, and
+        restores the previous registry -- so per-unit deltas merged in
+        serial unit order reproduce the serial run's registry exactly.
+        """
+        self.metrics = registry
+        self.chip.install_metrics(registry)
+
+    def units_per_sweep(self) -> int:
+        """(octant, angle-block) work units in one full sweep -- the
+        denominator for progress reporting in every execution mode."""
+        blocks = len(list(angle_blocks(self.quad.per_octant, self.deck.mmi)))
+        return 8 * blocks
+
+    def _progress_tick(self) -> None:
+        """One completed work unit, forwarded to the progress sink (the
+        serial sweep calls this per block; the parallel engine per
+        collected unit)."""
+        if self.progress is not None:
+            self.progress.tick()
+
+    def cycle_attribution(self):
+        """The per-SPE "where the cycles went" breakdown of everything
+        this solver's registry has collected (see
+        :mod:`repro.metrics.attribution`).  Flops are derived from the
+        ``kernel.cells`` counter at the deck's per-cell flop cost, so
+        the %-of-DP-peak figure covers exactly the attributed work."""
+        from ..metrics.attribution import attribution_from_registry
+
+        return attribution_from_registry(
+            self.metrics, self.chip.num_spes, self.deck.nm, self.deck.fixup
         )
 
     # -- diagonal-batched ISA execution -------------------------------------------
@@ -386,10 +441,19 @@ class CellSweep3D:
                     src, sigma, phii.copy(), phij, phik, cx, cy, cz,
                     fixup=deck.fixup,
                 )
+        if self.metrics.enabled:
+            m = self.metrics
+            m.add_cycles(
+                spe_metric(chunk.spe, "compute_ticks"),
+                self._cycles_per_visit * L * it,
+            )
+            m.count("kernel.cells", L * it)
+            m.count("kernel.chunks")
+            m.count("kernel.fixups", int(fixups))
         if self.trace.enabled:
             self.trace.span(
                 spe_track(chunk.spe), "KernelExec",
-                self._trace_cycles_per_visit * L * it,
+                self._cycles_per_visit * L * it,
                 chunk=chunk.index, set=s, lines=L, cells=L * it,
                 fixups=int(fixups),
                 regions=[list(r) for r in bufs.ls_regions(s)],

@@ -27,6 +27,7 @@ from ..cell.dma import DMACommand, DMAKind, DMAListCommand
 from ..cell.local_store import LSBuffer
 from ..cell.spe import SPE
 from ..errors import ConfigurationError
+from ..metrics.registry import spe_metric
 from ..sweep.input import InputDeck
 from ..trace.bus import spe_track
 from .levels import MachineConfig
@@ -310,6 +311,12 @@ class ChunkBuffers:
                 f"chunk of {len(lines)} lines exceeds buffer capacity {self.L}"
             )
         tag = GET_TAGS[s]
+        if self.spe.metrics.enabled:
+            self.spe.metrics.count("stream.chunks_staged")
+            self.spe.metrics.gauge_max(
+                spe_metric(self.spe.spe_id, "ls_used_bytes"),
+                self.spe.local_store.used_bytes,
+            )
         if self.spe.trace.enabled:
             self.spe.trace.instant(
                 spe_track(self.spe.spe_id), "BufferSwap", set=s, tag=tag,

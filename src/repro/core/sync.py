@@ -24,6 +24,7 @@ from ..cell.mailbox import PPE_MAILBOX_MMIO_CYCLES, SPU_MAILBOX_ACCESS_CYCLES
 from ..cell.ppe import PPE_LS_POKE_CYCLES
 from ..cell.spe import SPE
 from ..errors import SchedulerError
+from ..metrics.registry import spe_metric
 from ..trace.bus import PPE_TRACK
 
 #: SPU-side poll of its own local store (a plain load).
@@ -116,6 +117,12 @@ class LSPokeSync:
         if got != work_id:  # pragma: no cover - protocol invariant
             raise SchedulerError(f"LS doorbell held {got}, expected {work_id}")
         spe.sync_budget.charge("ls_poll", SPU_LS_POLL_CYCLES)
+        if self.chip.metrics.enabled:
+            m = self.chip.metrics
+            m.add_cycles(
+                spe_metric(spe.spe_id, "sync_wait_ticks"), SPU_LS_POLL_CYCLES
+            )
+            m.add_cycles("ppe.sync_ticks", ppe_cycles)
         if self.chip.trace.enabled:
             self.chip.trace.span(
                 PPE_TRACK, "SyncDispatch", ppe_cycles, spe=spe.spe_id,
@@ -129,6 +136,13 @@ class LSPokeSync:
         self._completion[spe.spe_id, 0] = work_id
         spe.sync_budget.charge("completion_dma", SPE_COMPLETION_DMA_CYCLES)
         self.chip.ppe.sync_budget.charge("completion_poll", PPE_CACHED_POLL_CYCLES)
+        if self.chip.metrics.enabled:
+            m = self.chip.metrics
+            m.add_cycles(
+                spe_metric(spe.spe_id, "sync_wait_ticks"),
+                SPE_COMPLETION_DMA_CYCLES,
+            )
+            m.add_cycles("ppe.sync_ticks", PPE_CACHED_POLL_CYCLES)
         if self.chip.trace.enabled:
             self.chip.trace.span(
                 PPE_TRACK, "SyncComplete", PPE_CACHED_POLL_CYCLES,

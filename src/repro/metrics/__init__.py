@@ -1,0 +1,46 @@
+"""Always-on machine metrics: registry, per-SPE cycle attribution, heartbeat.
+
+The cheap sibling of :mod:`repro.trace`: integer-tick counters, gauges
+and histograms fed from the same instrumentation seams the trace bus
+hooks, merged bit-identically across worker processes and cluster
+ranks, and summarized as the paper-style "where the cycles went" table
+with a %-of-DP-peak figure.  See ``docs/METRICS.md``.
+"""
+
+from repro.metrics.attribution import (
+    ALL_BUCKETS,
+    BUSY_BUCKETS,
+    CycleAttribution,
+    SPECycles,
+    attribute_cycles,
+)
+from repro.metrics.heartbeat import Heartbeat
+from repro.metrics.registry import (
+    BYTE_BUCKETS,
+    NULL_REGISTRY,
+    TICKS_PER_CYCLE,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    spe_metric,
+    ticks,
+    ticks_to_cycles,
+)
+
+__all__ = [
+    "ALL_BUCKETS",
+    "BUSY_BUCKETS",
+    "BYTE_BUCKETS",
+    "CycleAttribution",
+    "Heartbeat",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullMetricsRegistry",
+    "SPECycles",
+    "TICKS_PER_CYCLE",
+    "attribute_cycles",
+    "spe_metric",
+    "ticks",
+    "ticks_to_cycles",
+]

@@ -1,0 +1,212 @@
+"""Per-SPE cycle attribution: the "where the cycles went" table.
+
+The paper's whole optimization ladder (22.3 s down to 1.33 s, 64 % of
+double-precision peak) came from repeatedly asking where each SPE's
+cycles went -- kernel arithmetic, DMA wait, synchronization with the
+PPE, mailbox traffic, or plain idling behind the slowest lane.  This
+module turns the integer-tick counters the instrumented machine feeds
+into :class:`repro.metrics.registry.MetricsRegistry` into exactly that
+breakdown, with an exactness guarantee the float domain could not give:
+
+* each SPE's **busy** ticks are the sum of its four busy buckets;
+* the machine **span** is the max busy over SPEs (the wavefront ends
+  when the slowest lane does);
+* **idle** per SPE is ``span - busy`` -- exact, because everything is
+  an integer;
+* the **total** is ``num_spes * span``, and the sum of all buckets over
+  all SPEs equals it bit-for-bit.  ``verify()`` asserts this.
+
+The %-of-DP-peak figure mirrors the paper's headline: achieved flops
+(kernel cell visits x flops per cell) over the span converted to wall
+seconds at the 3.2 GHz SPU clock, divided by the 14.63 Gflop/s
+double-precision peak of one Cell chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.cell.constants import CLOCK_HZ, DP_PEAK_FLOPS
+from repro.metrics.registry import TICKS_PER_CYCLE, spe_metric, ticks_to_cycles
+
+#: Busy buckets, in report order.  ``idle`` is derived, not fed.
+BUSY_BUCKETS: tuple[str, ...] = ("compute", "dma_wait", "sync_wait", "mailbox_wait")
+ALL_BUCKETS: tuple[str, ...] = BUSY_BUCKETS + ("idle",)
+
+
+@dataclass(frozen=True)
+class SPECycles:
+    """One SPE's attributed ticks (all integers; see module docstring)."""
+
+    spe: int
+    compute: int
+    dma_wait: int
+    sync_wait: int
+    mailbox_wait: int
+    idle: int
+
+    @property
+    def busy(self) -> int:
+        return self.compute + self.dma_wait + self.sync_wait + self.mailbox_wait
+
+    @property
+    def total(self) -> int:
+        return self.busy + self.idle
+
+    def bucket(self, name: str) -> int:
+        return int(getattr(self, name))
+
+
+@dataclass(frozen=True)
+class CycleAttribution:
+    """The machine-wide attribution derived from one registry snapshot."""
+
+    per_spe: tuple[SPECycles, ...]
+    span_ticks: int
+    flops: float
+
+    @property
+    def num_spes(self) -> int:
+        return len(self.per_spe)
+
+    @property
+    def total_ticks(self) -> int:
+        """Modelled machine total: every SPE accounted for over the span."""
+        return self.num_spes * self.span_ticks
+
+    @property
+    def bucket_totals(self) -> dict[str, int]:
+        return {
+            name: sum(s.bucket(name) for s in self.per_spe) for name in ALL_BUCKETS
+        }
+
+    @property
+    def seconds(self) -> float:
+        """Modelled wall time of the span at the SPU clock."""
+        return self.span_ticks / TICKS_PER_CYCLE / CLOCK_HZ
+
+    @property
+    def achieved_flops(self) -> float:
+        seconds = self.seconds
+        return self.flops / seconds if seconds > 0 else 0.0
+
+    @property
+    def dp_peak_fraction(self) -> float:
+        return self.achieved_flops / DP_PEAK_FLOPS
+
+    def verify(self) -> None:
+        """Assert the exactness contract: buckets sum to the total, per
+        SPE and machine-wide, in integer arithmetic."""
+        for s in self.per_spe:
+            if s.total != self.span_ticks:
+                raise AssertionError(
+                    f"SPE{s.spe}: buckets sum to {s.total} ticks, span is "
+                    f"{self.span_ticks}"
+                )
+        summed = sum(self.bucket_totals.values())
+        if summed != self.total_ticks:
+            raise AssertionError(
+                f"bucket grand total {summed} != num_spes * span = {self.total_ticks}"
+            )
+
+    # -- reporting ----------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON block: integer ticks (the exact domain) plus derived
+        cycle/throughput figures for humans."""
+        return {
+            "ticks_per_cycle": TICKS_PER_CYCLE,
+            "num_spes": self.num_spes,
+            "span_ticks": self.span_ticks,
+            "total_ticks": self.total_ticks,
+            "span_cycles": ticks_to_cycles(self.span_ticks),
+            "modelled_seconds": self.seconds,
+            "per_spe": [
+                {
+                    "spe": s.spe,
+                    **{f"{name}_ticks": s.bucket(name) for name in ALL_BUCKETS},
+                    "busy_ticks": s.busy,
+                }
+                for s in self.per_spe
+            ],
+            "bucket_totals_ticks": self.bucket_totals,
+            "flops": self.flops,
+            "achieved_gflops": self.achieved_flops / 1e9,
+            "dp_peak_fraction": self.dp_peak_fraction,
+        }
+
+    def table(self) -> str:
+        """The "where the cycles went" table, in cycles and % of span."""
+        lines = ["where the cycles went (modelled SPU cycles)"]
+        header = f"{'unit':<6}" + "".join(f"{name:>16}" for name in ALL_BUCKETS)
+        lines.append(header + f"{'busy%':>8}")
+        span = self.span_ticks
+
+        def fmt(t: int) -> str:
+            pct = 100.0 * t / span if span else 0.0
+            return f"{ticks_to_cycles(t):>10.0f} {pct:4.0f}%"
+
+        for s in self.per_spe:
+            busy_pct = 100.0 * s.busy / span if span else 0.0
+            cells = "".join(fmt(s.bucket(name)) for name in ALL_BUCKETS)
+            lines.append(f"SPE{s.spe:<3}" + cells + f"{busy_pct:>7.1f}%")
+        totals = self.bucket_totals
+        total = self.total_ticks
+        total_cells = "".join(
+            f"{ticks_to_cycles(totals[name]):>10.0f} "
+            f"{100.0 * totals[name] / total if total else 0.0:4.0f}%"
+            for name in ALL_BUCKETS
+        )
+        lines.append(f"{'total':<6}" + total_cells)
+        lines.append(
+            f"span {ticks_to_cycles(span):,.0f} cycles = "
+            f"{self.seconds * 1e6:,.1f} us modelled; "
+            f"{self.num_spes} SPEs x span = "
+            f"{ticks_to_cycles(total):,.0f} cycles accounted"
+        )
+        if self.flops:
+            lines.append(
+                f"{self.flops / 1e6:,.1f} Mflop @ "
+                f"{self.achieved_flops / 1e9:.2f} Gflop/s = "
+                f"{100.0 * self.dp_peak_fraction:.1f}% of DP peak "
+                f"({DP_PEAK_FLOPS / 1e9:.2f} Gflop/s)"
+            )
+        return "\n".join(lines)
+
+
+def attribute_cycles(
+    counters: Mapping[str, int], num_spes: int, flops: float = 0.0
+) -> CycleAttribution:
+    """Build the attribution from registry counters.
+
+    ``counters`` maps metric names to tick counts; the per-SPE busy
+    buckets are read from the canonical ``spe{i}.{bucket}_ticks`` names
+    (missing counters read as zero, so an SPE the schedule never touched
+    shows up as pure idle).
+    """
+    busy: list[dict[str, int]] = []
+    for i in range(num_spes):
+        busy.append(
+            {
+                name: int(counters.get(spe_metric(i, f"{name}_ticks"), 0))
+                for name in BUSY_BUCKETS
+            }
+        )
+    span = max((sum(b.values()) for b in busy), default=0)
+    per_spe = tuple(
+        SPECycles(spe=i, idle=span - sum(b.values()), **b) for i, b in enumerate(busy)
+    )
+    return CycleAttribution(per_spe=per_spe, span_ticks=span, flops=flops)
+
+
+def attribution_from_registry(
+    registry, num_spes: int, nm: int, fixup: bool
+) -> CycleAttribution:
+    """Attribution straight from a registry: flops follow from the
+    ``kernel.cells`` counter and the per-cell flop count of the deck's
+    kernel shape (moment count + fixup handling)."""
+    from ..sweep.kernel import flops_per_cell
+
+    flops = float(registry.get("kernel.cells")) * flops_per_cell(nm, fixup)
+    return attribute_cycles(registry.counters, num_spes, flops)

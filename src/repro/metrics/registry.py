@@ -1,0 +1,267 @@
+"""The machine-wide metrics registry: counters, gauges, histograms.
+
+The trace bus (:mod:`repro.trace`) answers "where did the cycles go"
+with a full event stream -- rich, but per-run, opt-in and too heavy to
+leave on.  This registry is its always-cheap sibling: every instrumented
+unit of the simulated machine (MFC drains, mailbox accesses, sync
+protocols, schedulers, the kernel dispatch) feeds a handful of named
+aggregates through the *same* code seams the trace hooks use, and the
+disabled path is a shared :data:`NULL_REGISTRY` singleton whose only
+cost -- exactly like :data:`repro.trace.bus.NULL_BUS` -- is one
+attribute read and one branch.
+
+Determinism is a design constraint, not an afterthought: the
+host-parallel engine (:mod:`repro.parallel`) executes work units in
+arbitrary processes and merges their registries back, and the merged
+result must be *bit-identical* to a serial run for any worker count --
+the same promise the flux reduction makes.  Floating-point addition is
+not associative, so cycle quantities are converted to integer **ticks**
+at the point of ingestion (:func:`ticks`: cycles x 1024, rounded once,
+deterministically) and every aggregate is integer-valued from then on:
+
+* **counters** -- monotonic integer sums (commutative, associative);
+* **gauges** -- integer high-water marks merged with ``max``;
+* **histograms** -- fixed-bucket integer count vectors merged
+  elementwise.
+
+Any merge order of any partition of the same observations therefore
+produces the same bits.  The per-SPE cycle attribution built on top
+(:mod:`repro.metrics.attribution`) inherits the exactness: its buckets
+sum to the modelled total *exactly*, in integer arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Integer ticks per simulated SPU cycle.  A power of two, so the
+#: ``cycles * TICKS_PER_CYCLE`` scaling is exact in binary floating
+#: point and the single rounding in :func:`ticks` is the only one.
+TICKS_PER_CYCLE: int = 1024
+
+
+def ticks(cycles: float) -> int:
+    """Convert a (possibly fractional) cycle quantity to integer ticks.
+
+    One deterministic rounding; everything downstream is exact integer
+    arithmetic, which is what makes cross-process merges bit-identical.
+    """
+    return round(cycles * TICKS_PER_CYCLE)
+
+
+def ticks_to_cycles(t: int) -> float:
+    """Ticks back to cycles (exact for any plausible magnitude: the
+    division by a power of two only shifts the exponent)."""
+    return t / TICKS_PER_CYCLE
+
+
+#: Default histogram bucket upper bounds for byte-sized observations
+#: (the DMA transfer-size distribution Sec. 6 characterizes as "lists
+#: of 512-byte DMAs").
+BYTE_BUCKETS: tuple[int, ...] = (128, 512, 2048, 8192, 32768, 131072)
+
+
+@dataclass
+class Histogram:
+    """A fixed-bucket integer histogram.
+
+    ``bounds`` are inclusive upper bounds; observations greater than the
+    last bound land in the overflow bucket, so ``counts`` has
+    ``len(bounds) + 1`` entries.  ``total``/``sum_value`` ride along for
+    cheap means.
+    """
+
+    bounds: tuple[int, ...]
+    counts: list[int] = field(default_factory=list)
+    total: int = 0
+    sum_value: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: int, count: int = 1) -> None:
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += count
+                break
+        else:
+            self.counts[-1] += count
+        self.total += count
+        self.sum_value += int(value) * count
+
+    def merge(self, other: "Histogram") -> None:
+        if tuple(other.bounds) != tuple(self.bounds):
+            raise ValueError(
+                f"histogram bucket bounds differ: {self.bounds} vs {other.bounds}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.total += other.total
+        self.sum_value += other.sum_value
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum_value,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Histogram":
+        return cls(
+            bounds=tuple(payload["bounds"]),
+            counts=list(payload["counts"]),
+            total=int(payload["total"]),
+            sum_value=int(payload["sum"]),
+        )
+
+
+class MetricsRegistry:
+    """Collects integer-valued metrics from the whole simulated machine."""
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, int] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- ingestion ----------------------------------------------------------
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Add ``value`` (an integer) to counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + int(value)
+
+    def add_cycles(self, name: str, cycles: float) -> None:
+        """Add a cycle quantity to counter ``name`` in integer ticks."""
+        self.counters[name] = self.counters.get(name, 0) + ticks(cycles)
+
+    def gauge_max(self, name: str, value: int) -> None:
+        """Raise gauge ``name`` to ``value`` if it is a new high-water mark."""
+        current = self.gauges.get(name)
+        if current is None or value > current:
+            self.gauges[name] = int(value)
+
+    def observe(
+        self,
+        name: str,
+        value: int,
+        count: int = 1,
+        bounds: tuple[int, ...] = BYTE_BUCKETS,
+    ) -> None:
+        """Record ``value`` (``count`` times) into fixed-bucket histogram
+        ``name`` (bucket bounds are fixed by the first observation)."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(bounds=tuple(bounds))
+        hist.observe(value, count)
+
+    # -- reading ------------------------------------------------------------
+
+    def get(self, name: str, default: int = 0) -> int:
+        """Counter value (0 for a counter never touched)."""
+        return self.counters.get(name, default)
+
+    def counters_with_prefix(self, prefix: str) -> dict[str, int]:
+        return {k: v for k, v in self.counters.items() if k.startswith(prefix)}
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges) + len(self.histograms)
+
+    # -- serialization + deterministic merge --------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot (sorted keys, so identical
+        registries serialize identically)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                k: v.to_dict() for k, v in sorted(self.histograms.items())
+            },
+        }
+
+    def merge(self, payload: "MetricsRegistry | dict[str, Any]") -> None:
+        """Fold another registry (or its :meth:`to_dict` snapshot) into
+        this one.
+
+        Counters and histogram buckets add, gauges take the max -- all
+        integer operations, so the merged result is independent of merge
+        order and of how the observations were partitioned across
+        processes.  Callers still merge in serial unit order by
+        convention, mirroring the flux reduction.
+        """
+        if isinstance(payload, MetricsRegistry):
+            payload = payload.to_dict()
+        for name, value in payload.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + int(value)
+        for name, value in payload.get("gauges", {}).items():
+            current = self.gauges.get(name)
+            if current is None or value > current:
+                self.gauges[name] = int(value)
+        for name, hist_payload in payload.get("histograms", {}).items():
+            incoming = Histogram.from_dict(hist_payload)
+            existing = self.histograms.get(name)
+            if existing is None:
+                self.histograms[name] = incoming
+            else:
+                existing.merge(incoming)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "MetricsRegistry":
+        reg = cls()
+        reg.merge(payload)
+        return reg
+
+
+class NullMetricsRegistry:
+    """The disabled registry: every feed is a no-op and ``enabled`` is
+    False, so instrumented hot paths pay one attribute read and one
+    branch -- the same contract as :class:`repro.trace.bus.NullTraceBus`."""
+
+    enabled: bool = False
+    counters: dict = {}
+    gauges: dict = {}
+    histograms: dict = {}
+
+    def count(self, name: str, value: int = 1) -> None:
+        return None
+
+    def add_cycles(self, name: str, cycles: float) -> None:
+        return None
+
+    def gauge_max(self, name: str, value: int) -> None:
+        return None
+
+    def observe(
+        self, name: str, value: int, count: int = 1, bounds: tuple = BYTE_BUCKETS
+    ) -> None:
+        return None
+
+    def get(self, name: str, default: int = 0) -> int:
+        return default
+
+    def counters_with_prefix(self, prefix: str) -> dict:
+        return {}
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge(self, payload) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: The shared disabled registry every instrumented unit points at by
+#: default (the ``NULL_BUS`` twin).
+NULL_REGISTRY = NullMetricsRegistry()
+
+
+def spe_metric(spe_id: int, name: str) -> str:
+    """Canonical per-SPE metric name (``spe3.dma_wait_ticks``)."""
+    return f"spe{spe_id}.{name}"

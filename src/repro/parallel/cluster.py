@@ -24,7 +24,14 @@ from ..sweep.flux import SolveResult, SweepTally
 from ..sweep.input import InputDeck
 from ..sweep.pipelining import angle_blocks
 from ..sweep.quadrature import OCTANT_SIGNS
-from .engine import ParallelEngine, _block_worker, drive_units
+from ..metrics.registry import NULL_REGISTRY, MetricsRegistry
+from .engine import (
+    ParallelEngine,
+    _block_worker,
+    capture_unit_metrics,
+    drive_units,
+    release_unit_metrics,
+)
 from .workunits import RecordingRankBoundary, UnitComm, UnitResult
 
 
@@ -101,6 +108,13 @@ class ClusterEngine:
         self._seq = 0
         self._indeg: dict[int, int] = {}
         self._inboxes: dict[int, dict] = {}
+        #: cluster-wide aggregate registry: every rank's unit deltas
+        #: merged per SPE slot (rank 0's SPE3 and rank 1's SPE3 share a
+        #: counter).  Per-rank registries live on the rank solvers.
+        self.metrics = MetricsRegistry() if config.metrics else NULL_REGISTRY
+        #: optional progress sink with a ``tick()`` method, called once
+        #: per completed (rank, octant, angle-block) unit
+        self.progress = None
 
     # -- DAG structure ---------------------------------------------------------
 
@@ -162,14 +176,19 @@ class ClusterEngine:
             self.deck.mmi, self.deck.mk,
         )
         tally = SweepTally()
-        solver._sweep_block(
-            octant, list(angles), tally, boundary, psi_sink=self.psi[rank]
-        )
+        prev_metrics = capture_unit_metrics(solver)
+        try:
+            solver._sweep_block(
+                octant, list(angles), tally, boundary, psi_sink=self.psi[rank]
+            )
+        finally:
+            metrics_delta = release_unit_metrics(solver, prev_metrics)
         return UnitResult(
             index=index,
             fixups=tally.fixups,
             leak_records=boundary.records,
             outbox=comm.outbox,
+            metrics=metrics_delta,
         )
 
     def _on_unit_done(self, seq: int, index: int, results: dict) -> None:
@@ -187,6 +206,8 @@ class ClusterEngine:
                     ("unit", seq, downstream,
                      self._inboxes.pop(downstream, {}))
                 )
+        if self.progress is not None:
+            self.progress.tick()
 
     # -- the solve -------------------------------------------------------------
 
@@ -229,6 +250,12 @@ class ClusterEngine:
                 for u in self._rank_units[rank]:
                     r = results[u]
                     total_fixups[rank] += r.fixups
+                    if r.metrics is not None:
+                        # per-rank registry (rank-local attribution) and
+                        # the cluster aggregate, both in serial
+                        # (octant, ablock) unit order within the rank
+                        solver.metrics.merge(r.metrics)
+                        self.metrics.merge(r.metrics)
                     for contribution in r.leak_records:
                         leak += contribution
                 last_leakage[rank] = leak

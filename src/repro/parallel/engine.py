@@ -135,6 +135,12 @@ class ParallelEngine:
                 "parallel-fixups", (self.workers,), dtype=np.int64
             )
             self._barrier = self.ctx.Barrier(self.workers)
+            # lanes ship their per-diagonal registry deltas here; the
+            # parent drains workers-1 items per diagonal and merges them
+            # (all-integer aggregates, so any order is exact)
+            self._metrics_queue = (
+                self.ctx.Queue() if solver.config.metrics else None
+            )
             solver.scheduler = _LaneScheduler(self, solver.scheduler)
 
     # -- process lifecycle -----------------------------------------------------
@@ -228,6 +234,10 @@ class ParallelEngine:
             tally.fixups += r.fixups
             for contribution in r.leak_records:
                 boundary._tally(contribution)
+            if r.metrics is not None:
+                # integer aggregates make any merge order exact; serial
+                # unit order is kept anyway, mirroring the flux replay
+                solver.metrics.merge(r.metrics)
             if bus.enabled and r.events is not None:
                 offset = bus.now - r.start
                 for ev in r.events:
@@ -242,6 +252,7 @@ class ParallelEngine:
 
     def _on_unit_done(self, seq: int, index: int, results: dict) -> None:
         """Completion hook (the cluster engine schedules dependents here)."""
+        self.solver._progress_tick()
 
     # -- diagonal granularity --------------------------------------------------
 
@@ -290,6 +301,18 @@ class _LaneScheduler:
             if chunk.spe % engine.workers == 0:
                 self.inner.run_chunk(chunk, execute)
         engine._barrier.wait(timeout=_RESULT_TIMEOUT)  # diagonal barrier
+        if engine._metrics_queue is not None:
+            # the parent lane fed solver.metrics directly; fold in the
+            # other lanes' deltas (queue order is irrelevant: integer
+            # aggregates merge exactly in any order)
+            for _ in range(engine.workers - 1):
+                try:
+                    delta = engine._metrics_queue.get(timeout=_RESULT_TIMEOUT)
+                except queue.Empty:  # pragma: no cover - dead lane
+                    raise ParallelError(
+                        "missing a lane's metrics delta after the diagonal"
+                    ) from None
+                solver.metrics.merge(delta)
         if ctrl[_CTRL_ERR]:
             raise ParallelError(
                 "a diagonal lane failed; see the worker's stderr"
@@ -308,9 +331,14 @@ def _execute_block_unit(solver, unit: BlockUnit, psi: np.ndarray) -> UnitResult:
     bus = solver.trace
     start_idx = len(bus.events) if bus.enabled else 0
     start_now = bus.now
-    solver._sweep_block(
-        unit.octant, list(unit.angles), tally, boundary, psi_sink=psi
-    )
+    metrics_delta = None
+    prev_metrics = capture_unit_metrics(solver)
+    try:
+        solver._sweep_block(
+            unit.octant, list(unit.angles), tally, boundary, psi_sink=psi
+        )
+    finally:
+        metrics_delta = release_unit_metrics(solver, prev_metrics)
     events = list(bus.events[start_idx:]) if bus.enabled else None
     return UnitResult(
         index=unit.index,
@@ -319,7 +347,32 @@ def _execute_block_unit(solver, unit: BlockUnit, psi: np.ndarray) -> UnitResult:
         events=events,
         start=start_now,
         span=bus.now - start_now,
+        metrics=metrics_delta,
     )
+
+
+def capture_unit_metrics(solver):
+    """Install a fresh registry on ``solver`` for one work unit's
+    execution (parent inline or worker alike) and return the previous
+    one, or ``None`` when metrics are off.  Pair with
+    :func:`release_unit_metrics`."""
+    if not solver.metrics.enabled:
+        return None
+    from ..metrics.registry import MetricsRegistry
+
+    prev = solver.metrics
+    solver._set_metrics(MetricsRegistry())
+    return prev
+
+
+def release_unit_metrics(solver, prev) -> dict | None:
+    """Undo :func:`capture_unit_metrics`: restore ``prev`` and return the
+    unit's registry delta (``None`` when metrics are off)."""
+    if prev is None:
+        return None
+    delta = solver.metrics.to_dict()
+    solver._set_metrics(prev)
+    return delta
 
 
 def drive_units(engine, seq: int, total: int) -> dict[int, UnitResult]:
@@ -394,6 +447,11 @@ def _diagonal_worker(engine: ParallelEngine, lane: int) -> None:
         octant, a0, na, k0, d = (
             int(x) for x in engine._ctrl[_CTRL_OCTANT:_CTRL_D + 1]
         )
+        prev_metrics = (
+            capture_unit_metrics(solver)
+            if engine._metrics_queue is not None
+            else None
+        )
         try:
             base = octant * quad.per_octant
             globals_ = [base + a for a in range(a0, a0 + na)]
@@ -416,6 +474,11 @@ def _diagonal_worker(engine: ParallelEngine, lane: int) -> None:
         except BaseException:  # pragma: no cover - surfaced via ctrl
             traceback.print_exc()
             engine._ctrl[_CTRL_ERR] = 1
+        if engine._metrics_queue is not None:
+            # always ship exactly one delta per lane per diagonal, so
+            # the parent's drain count is fixed even on a lane error
+            delta = release_unit_metrics(solver, prev_metrics)
+            engine._metrics_queue.put(delta if delta is not None else {})
         try:
             engine._barrier.wait(timeout=_RESULT_TIMEOUT)
         except Exception:  # pragma: no cover - parent died

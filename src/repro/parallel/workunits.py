@@ -63,6 +63,11 @@ class UnitResult:
     events: list | None = None
     start: float = 0.0
     span: float = 0.0
+    #: metrics capture (block/cluster units under MachineConfig.metrics):
+    #: the unit's registry delta as a ``MetricsRegistry.to_dict()``
+    #: snapshot.  All-integer aggregates, so the parent's merge in
+    #: serial unit order reproduces the serial registry bit for bit.
+    metrics: dict | None = None
 
 
 class RecordingVacuumBoundary(VacuumBoundary):

@@ -1,0 +1,233 @@
+"""Benchmark regression gating against committed baselines.
+
+The benchmarks write machine-readable ``BENCH_*.json`` files (see
+``benchmarks/README`` convention in ``docs/PERFORMANCE.md``): the copy
+under ``benchmarks/out/`` is the scratch artifact of the latest local
+run, the copy at the repository root is the *committed baseline* -- the
+last blessed numbers.  This module loads the committed baselines and
+checks the current tree against them:
+
+* **functional wall** -- re-measures the cheap ``16^3 x 1 iter``
+  functional solve and compares against the baseline's ``wall_seconds``
+  times a tolerance factor.  Host wall clocks are noisy across
+  machines, so the default tolerance is generous (x2; CI uses x3) --
+  the gate catches the order-of-magnitude regressions that matter
+  (e.g. a fast path silently falling back to per-cell Python loops),
+  not scheduler jitter;
+* **structural invariants** -- every ``bit_identical`` flag recorded in
+  ``BENCH_isa.json`` / ``BENCH_parallel.json`` must be true, and every
+  recorded speedup must be positive.  These are free to check and
+  catch a corrupted or hand-edited baseline.
+
+``repro bench --check`` drives :func:`run_check`; the exit code is the
+CI gate.  Until at least :data:`MIN_BASELINES` baseline files exist at
+the root the gate *soft-fails* (prints warnings, exits zero), so a
+fresh fork is not blocked before it has blessed its own numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import time
+from typing import Any
+
+#: committed baseline files, expected at the repository root
+BASELINE_FILES = (
+    "BENCH_functional.json",
+    "BENCH_isa.json",
+    "BENCH_parallel.json",
+)
+
+#: measured-vs-baseline wall-clock ratio above which the gate fails
+DEFAULT_TOLERANCE = 2.0
+
+#: below this many baseline files the gate warns instead of failing
+MIN_BASELINES = 2
+
+#: the deck label shared by the functional and parallel baselines
+SMOKE_DECK = "16^3 x 1 iter"
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One baseline check: what was compared, and how it went."""
+
+    baseline: str  #: baseline file the check read
+    check: str  #: short identifier, e.g. ``functional-wall``
+    ok: bool
+    detail: str  #: human-readable explanation with the numbers
+
+    def __str__(self) -> str:
+        status = "ok  " if self.ok else "FAIL"
+        return f"[{status}] {self.baseline}: {self.check}: {self.detail}"
+
+
+def repo_root() -> pathlib.Path:
+    """The repository root (two levels above ``src/repro/perf``)."""
+    return pathlib.Path(__file__).resolve().parents[3]
+
+
+def load_baselines(root: pathlib.Path | None = None) -> dict[str, Any]:
+    """The committed baseline payloads present at ``root``, by name."""
+    root = root or repo_root()
+    found: dict[str, Any] = {}
+    for name in BASELINE_FILES:
+        path = root / name
+        if path.is_file():
+            found[name] = json.loads(path.read_text())
+    return found
+
+
+def measure_functional_smoke() -> float:
+    """Host wall seconds of the ``16^3 x 1 iter`` functional solve --
+    the same measurement ``benchmarks/bench_functional_wall.py``
+    records as its first row."""
+    from ..core.solver import CellSweep3D
+    from ..sweep.input import cube_deck
+
+    deck = dataclasses.replace(cube_deck(16), iterations=1)
+    solver = CellSweep3D(deck)
+    t0 = time.perf_counter()
+    solver.solve()
+    return time.perf_counter() - t0
+
+
+def _functional_record(payload: Any) -> dict | None:
+    """The smoke-deck record of a ``BENCH_functional.json`` payload
+    (a list of records, or a dict with a ``records`` list)."""
+    records = payload.get("records", []) if isinstance(payload, dict) else payload
+    for rec in records:
+        if isinstance(rec, dict) and rec.get("deck") == SMOKE_DECK:
+            return rec
+    return None
+
+
+def check_functional(
+    payload: Any, tolerance: float, measured: float | None = None
+) -> list[Finding]:
+    """Wall-clock gate: current 16^3 solve vs the committed baseline."""
+    name = "BENCH_functional.json"
+    rec = _functional_record(payload)
+    if rec is None or "wall_seconds" not in rec:
+        return [Finding(name, "functional-wall", False,
+                        f"no '{SMOKE_DECK}' record with wall_seconds")]
+    base = float(rec["wall_seconds"])
+    if base <= 0:
+        return [Finding(name, "functional-wall", False,
+                        f"baseline wall_seconds={base} is not positive")]
+    if measured is None:
+        measured = measure_functional_smoke()
+    ceiling = base * tolerance
+    ok = measured <= ceiling
+    return [Finding(
+        name, "functional-wall", ok,
+        f"measured {measured:.3f}s vs baseline {base:.3f}s "
+        f"(x{tolerance:.1f} ceiling {ceiling:.3f}s)",
+    )]
+
+
+def _walk_records(payload: Any):
+    """Every dict record in a baseline payload, at any nesting level
+    the benches use (top-level list, ``records`` list, per-deck
+    ``runs`` lists)."""
+    records = payload.get("records", []) if isinstance(payload, dict) else payload
+    for rec in records:
+        if not isinstance(rec, dict):
+            continue
+        yield rec
+        for run in rec.get("runs", []):
+            if isinstance(run, dict):
+                yield run
+
+
+def check_structural(name: str, payload: Any) -> list[Finding]:
+    """Invariant gate: recorded bit-identity must hold, recorded
+    speedups and wall clocks must be positive."""
+    findings: list[Finding] = []
+    n_bits = n_speed = 0
+    for rec in _walk_records(payload):
+        if rec.get("skipped"):
+            continue
+        label = rec.get("record") or rec.get("deck") or "record"
+        if "bit_identical" in rec:
+            n_bits += 1
+            if rec["bit_identical"] is not True:
+                findings.append(Finding(
+                    name, "bit-identical", False,
+                    f"{label}: bit_identical={rec['bit_identical']!r}",
+                ))
+        if "speedup" in rec:
+            n_speed += 1
+            if not rec["speedup"] > 0:
+                findings.append(Finding(
+                    name, "speedup-positive", False,
+                    f"{label}: speedup={rec['speedup']!r}",
+                ))
+        for key in ("wall_seconds", "interpreted_seconds",
+                    "compiled_seconds", "isa_compiled_seconds"):
+            if key in rec and not rec[key] > 0:
+                findings.append(Finding(
+                    name, "wall-positive", False,
+                    f"{label}: {key}={rec[key]!r}",
+                ))
+    if not findings:
+        findings.append(Finding(
+            name, "structural", True,
+            f"{n_bits} bit-identity flags, {n_speed} speedups verified",
+        ))
+    return findings
+
+
+def check_baselines(
+    root: pathlib.Path | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    measured: float | None = None,
+) -> tuple[list[Finding], int]:
+    """All baseline checks plus the count of baseline files found.
+
+    ``measured`` injects a pre-measured functional wall time (tests);
+    ``None`` re-runs the 16^3 smoke solve.
+    """
+    baselines = load_baselines(root)
+    findings: list[Finding] = []
+    for name, payload in sorted(baselines.items()):
+        if name == "BENCH_functional.json":
+            findings.extend(check_functional(payload, tolerance, measured))
+        else:
+            findings.extend(check_structural(name, payload))
+    return findings, len(baselines)
+
+
+def run_check(
+    root: pathlib.Path | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    measured: float | None = None,
+) -> int:
+    """Print every finding and return the gate's exit code.
+
+    Zero when all checks pass -- or when fewer than
+    :data:`MIN_BASELINES` baseline files exist yet (soft-fail: warn
+    only).  Nonzero on any failed check once the gate is armed.
+    """
+    findings, n_baselines = check_baselines(root, tolerance, measured)
+    for f in findings:
+        print(f)
+    failed = [f for f in findings if not f.ok]
+    if n_baselines < MIN_BASELINES:
+        missing = [n for n in BASELINE_FILES
+                   if n not in load_baselines(root)]
+        print(
+            f"warning: only {n_baselines} of {len(BASELINE_FILES)} committed "
+            f"baselines present (missing: {', '.join(missing) or 'none'}); "
+            f"gate is soft -- regenerate with the benchmarks in "
+            f"benchmarks/ and commit the BENCH_*.json files to arm it"
+        )
+        return 0
+    if failed:
+        print(f"{len(failed)} baseline check(s) failed")
+        return 1
+    print(f"all {len(findings)} baseline check(s) passed "
+          f"({n_baselines} baselines)")
+    return 0

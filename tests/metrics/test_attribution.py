@@ -1,0 +1,129 @@
+"""Per-SPE cycle attribution: exactness, idle accounting, reporting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cell.constants import CLOCK_HZ, DP_PEAK_FLOPS
+from repro.metrics.attribution import (
+    ALL_BUCKETS,
+    BUSY_BUCKETS,
+    attribute_cycles,
+    attribution_from_registry,
+)
+from repro.metrics.registry import MetricsRegistry, TICKS_PER_CYCLE, spe_metric
+
+
+def feed(reg: MetricsRegistry, spe: int, **cycles: float) -> None:
+    for bucket, cy in cycles.items():
+        reg.add_cycles(spe_metric(spe, f"{bucket}_ticks"), cy)
+
+
+class TestExactness:
+    def test_buckets_sum_exactly_to_total(self):
+        reg = MetricsRegistry()
+        feed(reg, 0, compute=100, dma_wait=50, sync_wait=10, mailbox_wait=5)
+        feed(reg, 1, compute=30, dma_wait=20)
+        att = attribute_cycles(reg.counters, num_spes=2)
+        att.verify()
+        assert att.span_ticks == 165 * TICKS_PER_CYCLE
+        assert att.total_ticks == 2 * att.span_ticks
+        assert sum(att.bucket_totals.values()) == att.total_ticks
+        # SPE1 idles for the difference between its busy time and span
+        assert att.per_spe[1].idle == (165 - 50) * TICKS_PER_CYCLE
+
+    def test_untouched_spe_is_pure_idle(self):
+        reg = MetricsRegistry()
+        feed(reg, 0, compute=100)
+        att = attribute_cycles(reg.counters, num_spes=3)
+        att.verify()
+        for spe in (1, 2):
+            assert att.per_spe[spe].busy == 0
+            assert att.per_spe[spe].idle == att.span_ticks
+
+    def test_empty_registry_attribution(self):
+        att = attribute_cycles({}, num_spes=8)
+        att.verify()
+        assert att.span_ticks == 0
+        assert att.total_ticks == 0
+        assert att.seconds == 0.0
+        assert att.dp_peak_fraction == 0.0
+        assert "where the cycles went" in att.table()
+
+    def test_bucket_names(self):
+        assert BUSY_BUCKETS == (
+            "compute", "dma_wait", "sync_wait", "mailbox_wait",
+        )
+        assert ALL_BUCKETS == BUSY_BUCKETS + ("idle",)
+
+
+class TestDpPeak:
+    def test_peak_fraction_from_flops_and_span(self):
+        reg = MetricsRegistry()
+        feed(reg, 0, compute=CLOCK_HZ)  # span = one second of cycles
+        att = attribute_cycles(reg.counters, num_spes=1, flops=DP_PEAK_FLOPS)
+        assert att.seconds == pytest.approx(1.0)
+        assert att.achieved_flops == pytest.approx(DP_PEAK_FLOPS)
+        assert att.dp_peak_fraction == pytest.approx(1.0)
+
+    def test_table_mentions_peak(self):
+        reg = MetricsRegistry()
+        feed(reg, 0, compute=1000)
+        att = attribute_cycles(reg.counters, num_spes=1, flops=1e6)
+        text = att.table()
+        assert "% of DP peak" in text
+        assert "SPE0" in text
+
+
+class TestFromRegistry:
+    def test_flops_follow_kernel_cells(self):
+        from repro.sweep.kernel import flops_per_cell
+
+        reg = MetricsRegistry()
+        feed(reg, 0, compute=10)
+        reg.count("kernel.cells", 1000)
+        att = attribution_from_registry(reg, num_spes=1, nm=4, fixup=False)
+        assert att.flops == 1000 * flops_per_cell(4, False)
+
+    def test_to_dict_is_json_serializable_and_consistent(self):
+        reg = MetricsRegistry()
+        feed(reg, 0, compute=100, dma_wait=25)
+        feed(reg, 1, compute=60)
+        att = attribution_from_registry(reg, num_spes=2, nm=2, fixup=True)
+        d = json.loads(json.dumps(att.to_dict()))
+        assert d["ticks_per_cycle"] == TICKS_PER_CYCLE
+        assert d["num_spes"] == 2
+        assert sum(d["bucket_totals_ticks"].values()) == d["total_ticks"]
+        per_spe_total = sum(
+            row["busy_ticks"] + row["idle_ticks"] for row in d["per_spe"]
+        )
+        assert per_spe_total == d["total_ticks"]
+
+
+class TestSolverIntegration:
+    def test_solver_attribution_matches_registry(self):
+        """End to end on a tiny deck: the solver's attribution buckets
+        sum to num_spes x span and the compute bucket matches the
+        kernel counters it was derived from."""
+        from repro.core.levels import MachineConfig
+        from repro.core.solver import CellSweep3D
+        from repro.sweep import small_deck
+
+        cfg = MachineConfig(
+            aligned_rows=True, structured_loops=True, double_buffer=True,
+            simd=True, dma_lists=True, bank_offsets=True, metrics=True,
+        )
+        solver = CellSweep3D(small_deck(n=6, sn=4, nm=2, iterations=1, mk=3), cfg)
+        solver.solve()
+        att = solver.cycle_attribution()
+        att.verify()
+        assert att.span_ticks > 0
+        assert sum(att.bucket_totals.values()) == att.total_ticks
+        compute = sum(
+            solver.metrics.get(spe_metric(i, "compute_ticks"))
+            for i in range(solver.chip.num_spes)
+        )
+        assert att.bucket_totals["compute"] == compute
+        assert solver.metrics.get("kernel.cells") > 0

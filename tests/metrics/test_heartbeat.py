@@ -1,0 +1,77 @@
+"""The progress heartbeat: throttled repaints, clean erase."""
+
+from __future__ import annotations
+
+import io
+
+from repro.metrics.heartbeat import Heartbeat
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def test_paints_progress_and_erases():
+    buf = io.StringIO()
+    hb = Heartbeat(total=4, label="solve", stream=buf, min_interval=0.0)
+    for _ in range(4):
+        hb.tick()
+    hb.close()
+    out = buf.getvalue()
+    assert "solve: 4/4 units (100.0%)" in out
+    # close() erases the line: the output ends with blanks + carriage return
+    assert out.endswith("\r")
+
+
+def test_min_interval_throttles_repaints():
+    buf = io.StringIO()
+    clock = FakeClock()
+    hb = Heartbeat(
+        total=100, stream=buf, min_interval=10.0, clock=clock
+    )
+    for _ in range(50):
+        hb.tick()  # clock never advances: only the first paint lands
+    first = buf.getvalue().count("units")
+    clock.t = 11.0
+    hb.tick()
+    assert buf.getvalue().count("units") == first + 1
+    # reaching the total always repaints, throttle or not
+    hb.tick(done=100)
+    assert "100/100" in buf.getvalue()
+
+
+def test_explicit_done_and_context_manager():
+    buf = io.StringIO()
+    with Heartbeat(total=10, stream=buf, min_interval=0.0) as hb:
+        hb.tick(done=7)
+    assert "7/10" in buf.getvalue()
+
+
+def test_solver_progress_seam_counts_units():
+    """units_per_sweep x iterations ticks arrive through the serial
+    solver's progress seam."""
+    from repro.core.levels import MachineConfig
+    from repro.core.solver import CellSweep3D
+    from repro.sweep import small_deck
+
+    class Counter:
+        def __init__(self) -> None:
+            self.n = 0
+
+        def tick(self, done=None) -> None:
+            self.n += 1
+
+    deck = small_deck(n=6, sn=4, nm=2, iterations=2, mk=3)
+    cfg = MachineConfig(
+        aligned_rows=True, structured_loops=True, double_buffer=True,
+        simd=True, dma_lists=True, bank_offsets=True,
+    )
+    solver = CellSweep3D(deck, cfg)
+    counter = Counter()
+    solver.progress = counter
+    solver.solve()
+    assert counter.n == solver.units_per_sweep() * deck.iterations

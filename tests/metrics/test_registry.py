@@ -1,0 +1,138 @@
+"""The metrics registry: integer aggregates, exact merges, null twin."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.metrics.registry import (
+    BYTE_BUCKETS,
+    NULL_REGISTRY,
+    TICKS_PER_CYCLE,
+    Histogram,
+    MetricsRegistry,
+    spe_metric,
+    ticks,
+    ticks_to_cycles,
+)
+
+
+class TestTicks:
+    def test_power_of_two_scaling_is_exact(self):
+        assert TICKS_PER_CYCLE == 1024
+        assert ticks(1) == 1024
+        assert ticks_to_cycles(ticks(123456789)) == 123456789.0
+
+    def test_fractional_cycles_round_once(self):
+        # 0.5 cycles = 512 ticks exactly; thirds round deterministically
+        assert ticks(0.5) == 512
+        assert ticks(1 / 3) == round(1024 / 3)
+
+    def test_spe_metric_names(self):
+        assert spe_metric(3, "compute_ticks") == "spe3.compute_ticks"
+
+
+class TestCountersAndGauges:
+    def test_count_accumulates_integers(self):
+        reg = MetricsRegistry()
+        reg.count("kernel.cells", 10)
+        reg.count("kernel.cells", 5)
+        assert reg.get("kernel.cells") == 15
+        assert reg.get("missing") == 0
+        assert reg.get("missing", 7) == 7
+
+    def test_add_cycles_stores_ticks(self):
+        reg = MetricsRegistry()
+        reg.add_cycles("spe0.compute_ticks", 2.5)
+        assert reg.get("spe0.compute_ticks") == 2560
+
+    def test_gauge_max(self):
+        reg = MetricsRegistry()
+        reg.gauge_max("spe0.ls_used_bytes", 100)
+        reg.gauge_max("spe0.ls_used_bytes", 50)
+        assert reg.gauges["spe0.ls_used_bytes"] == 100
+
+    def test_counters_with_prefix(self):
+        reg = MetricsRegistry()
+        reg.count("dma.commands")
+        reg.count("dma.bytes_get", 128)
+        reg.count("kernel.cells")
+        assert set(reg.counters_with_prefix("dma.")) == {
+            "dma.commands", "dma.bytes_get",
+        }
+
+
+class TestHistogram:
+    def test_observe_buckets(self):
+        h = Histogram(bounds=(10, 100))
+        h.observe(5)
+        h.observe(10)  # on the bound -> first bucket (<=)
+        h.observe(50, count=2)
+        h.observe(1000)
+        assert h.counts == [2, 2, 1]
+        assert h.total == 5
+        assert h.sum_value == 5 + 10 + 50 * 2 + 1000
+
+    def test_merge_requires_matching_bounds(self):
+        a = Histogram(bounds=(10, 100))
+        b = Histogram(bounds=(10, 200))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_roundtrip(self):
+        h = Histogram(bounds=BYTE_BUCKETS)
+        h.observe(512, count=3)
+        again = Histogram.from_dict(h.to_dict())
+        assert again == h
+
+
+class TestMergeExactness:
+    def test_merge_is_commutative_and_exact(self):
+        """Integer adds commute bit for bit -- the property the whole
+        cross-engine aggregation design rests on."""
+        parts = []
+        for seed in range(4):
+            reg = MetricsRegistry()
+            reg.count("kernel.cells", 7 * (seed + 1))
+            reg.add_cycles("spe0.compute_ticks", 1.25 * (seed + 1))
+            reg.gauge_max("spe0.mfc_queue_depth", seed + 3)
+            reg.observe("dma.element_bytes", 128 * (seed + 1))
+            parts.append(reg)
+        forward = MetricsRegistry()
+        for p in parts:
+            forward.merge(p)
+        backward = MetricsRegistry()
+        for p in reversed(parts):
+            backward.merge(p.to_dict())  # dict payloads merge too
+        assert forward.to_dict() == backward.to_dict()
+
+    def test_to_dict_json_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.count("a", 1)
+        reg.gauge_max("g", 9)
+        reg.observe("h", 300)
+        payload = json.loads(json.dumps(reg.to_dict()))
+        again = MetricsRegistry.from_dict(payload)
+        assert again.to_dict() == reg.to_dict()
+
+    def test_len_counts_all_series(self):
+        reg = MetricsRegistry()
+        assert len(reg) == 0
+        reg.count("a")
+        reg.gauge_max("g", 1)
+        reg.observe("h", 1)
+        assert len(reg) == 3
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        assert NULL_REGISTRY.enabled is False
+        NULL_REGISTRY.count("a", 5)
+        NULL_REGISTRY.add_cycles("b", 5.0)
+        NULL_REGISTRY.gauge_max("c", 5)
+        NULL_REGISTRY.observe("d", 5)
+        assert NULL_REGISTRY.get("a") == 0
+        assert NULL_REGISTRY.counters == {}
+        d = NULL_REGISTRY.to_dict()
+        assert d["counters"] == {} and d["gauges"] == {}

@@ -112,3 +112,64 @@ def test_diagonal_granularity_rejects_trace():
             make_deck(), CFG.with_(trace=True), workers=2,
             granularity="diagonal",
         )
+
+
+# -- metrics determinism ------------------------------------------------------
+
+MCFG = CFG.with_(metrics=True)
+
+
+@pytest.fixture(scope="module")
+def serial_metrics():
+    solver = CellSweep3D(make_deck(), MCFG)
+    solver.solve()
+    return solver.metrics.to_dict()
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_metrics_registry_identical_across_workers(serial_metrics, workers):
+    """The acceptance bar of the metrics subsystem: the merged registry
+    -- every counter, gauge and histogram bucket -- is bit-identical to
+    the serial registry for any worker count, exactly like flux."""
+    with CellSweep3D(make_deck(), MCFG, workers=workers) as solver:
+        solver.solve()
+        assert solver.metrics.to_dict() == serial_metrics
+
+
+def test_metrics_registry_identical_diagonal(serial_metrics):
+    """Diagonal granularity ships per-lane registry deltas through its
+    own queue; the merged result must still match the serial registry."""
+    with CellSweep3D(
+        make_deck(), MCFG, workers=2, granularity="diagonal"
+    ) as solver:
+        solver.solve()
+        assert solver.metrics.to_dict() == serial_metrics
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_metrics_attribution_exact_across_workers(workers):
+    """Cycle attribution buckets sum exactly -- in integer ticks -- to
+    num_spes x span, whatever process executed the work."""
+    with CellSweep3D(make_deck(), MCFG, workers=workers) as solver:
+        solver.solve()
+        att = solver.cycle_attribution()
+    att.verify()
+    assert sum(att.bucket_totals.values()) == att.total_ticks
+    assert att.total_ticks == att.num_spes * att.span_ticks
+
+
+def test_cluster_metrics_identical_across_workers():
+    """The cluster aggregate (per-SPE-slot merge across ranks) matches
+    between the threaded KBA runtime and the process-pool engine."""
+    from repro.core.cluster import CellClusterSweep3D
+
+    snaps = []
+    for workers in (1, 2):
+        with CellClusterSweep3D(
+            make_deck(), P=2, Q=1, config=MCFG, workers=workers
+        ) as cluster:
+            cluster.solve()
+            snaps.append(cluster.aggregate_metrics().to_dict())
+            att = cluster.cycle_attribution()
+            att.verify()
+    assert snaps[0] == snaps[1]

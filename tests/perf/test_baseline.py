@@ -1,0 +1,127 @@
+"""The benchmark regression gate (`repro bench --check`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import baseline
+from repro.perf.baseline import (
+    BASELINE_FILES,
+    Finding,
+    check_baselines,
+    check_functional,
+    check_structural,
+    load_baselines,
+    run_check,
+)
+
+FUNCTIONAL = [
+    {"deck": "16^3 x 1 iter", "wall_seconds": 1.5, "converged": True},
+    {"deck": "24^3 x 1 iter", "wall_seconds": 4.2, "converged": True},
+]
+
+ISA = {
+    "bench": "ISA trace compilation",
+    "records": [
+        {"record": "duel", "interpreted_seconds": 90.0,
+         "compiled_seconds": 1.6, "speedup": 56.0, "bit_identical": True},
+        {"record": "full", "skipped": True, "reason": "BENCH_ISA_FULL"},
+    ],
+}
+
+PARALLEL = {
+    "bench": "parallel host scaling",
+    "records": [
+        {"deck": "16^3 x 1 iter", "runs": [
+            {"workers": 1, "skipped": False, "wall_seconds": 1.6,
+             "bit_identical": True, "speedup": 1.0},
+            {"workers": 2, "skipped": True, "reason": "affinity"},
+        ]},
+    ],
+}
+
+
+@pytest.fixture
+def root(tmp_path):
+    (tmp_path / "BENCH_functional.json").write_text(json.dumps(FUNCTIONAL))
+    (tmp_path / "BENCH_isa.json").write_text(json.dumps(ISA))
+    (tmp_path / "BENCH_parallel.json").write_text(json.dumps(PARALLEL))
+    return tmp_path
+
+
+class TestLoading:
+    def test_loads_present_files(self, root):
+        assert set(load_baselines(root)) == set(BASELINE_FILES)
+
+    def test_missing_files_skipped(self, tmp_path):
+        assert load_baselines(tmp_path) == {}
+
+    def test_repo_root_has_committed_baselines(self):
+        """The real repo must keep the gate armed: at least two
+        committed baselines."""
+        found = load_baselines()
+        assert len(found) >= baseline.MIN_BASELINES
+
+
+class TestFunctionalGate:
+    def test_within_tolerance_passes(self):
+        findings = check_functional(FUNCTIONAL, tolerance=2.0, measured=2.9)
+        assert [f.ok for f in findings] == [True]
+
+    def test_regression_fails(self):
+        findings = check_functional(FUNCTIONAL, tolerance=2.0, measured=3.1)
+        assert [f.ok for f in findings] == [False]
+        assert "3.100s" in findings[0].detail
+
+    def test_missing_record_fails(self):
+        findings = check_functional([{"deck": "other"}], tolerance=2.0,
+                                    measured=0.1)
+        assert not findings[0].ok
+
+
+class TestStructuralGate:
+    def test_clean_baselines_pass(self):
+        for payload in (ISA, PARALLEL):
+            findings = check_structural("x.json", payload)
+            assert all(f.ok for f in findings)
+
+    def test_broken_bit_identity_fails(self):
+        bad = {"records": [{"record": "r", "bit_identical": False}]}
+        findings = check_structural("x.json", bad)
+        assert any(not f.ok and f.check == "bit-identical" for f in findings)
+
+    def test_nonpositive_wall_fails(self):
+        bad = {"records": [{"record": "r", "wall_seconds": 0.0}]}
+        findings = check_structural("x.json", bad)
+        assert any(not f.ok and f.check == "wall-positive" for f in findings)
+
+    def test_skipped_records_ignored(self):
+        payload = {"records": [{"record": "r", "skipped": True,
+                                "bit_identical": False}]}
+        findings = check_structural("x.json", payload)
+        assert all(f.ok for f in findings)
+
+
+class TestGateExitCodes:
+    def test_all_pass_exits_zero(self, root, capsys):
+        assert run_check(root, tolerance=2.0, measured=1.0) == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, root, capsys):
+        assert run_check(root, tolerance=2.0, measured=100.0) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "failed" in out
+
+    def test_soft_fail_below_min_baselines(self, tmp_path, capsys):
+        (tmp_path / "BENCH_functional.json").write_text(json.dumps(FUNCTIONAL))
+        # one baseline only, and it regresses -- still exit 0, with warning
+        assert run_check(tmp_path, tolerance=2.0, measured=100.0) == 0
+        assert "warning" in capsys.readouterr().out
+
+    def test_findings_and_count(self, root):
+        findings, n = check_baselines(root, tolerance=2.0, measured=1.0)
+        assert n == 3
+        assert all(isinstance(f, Finding) for f in findings)
+        assert {f.baseline for f in findings} == set(BASELINE_FILES)

@@ -117,6 +117,75 @@ class TestSolve:
         assert "cluster 2x1" in out
         assert "scalar flux" in out
 
+    def test_metrics_flag_prints_attribution_table(self, capsys):
+        out = run(capsys, "solve", "--cube", "6", "--sn", "4", "--nm", "2",
+                  "--iterations", "1", "--engine", "cell", "--metrics")
+        assert "where the cycles went" in out
+        assert "SPE0" in out and "compute" in out and "idle" in out
+
+    def test_metrics_flag_json_block_sums_exactly(self, capsys):
+        import json
+
+        out = run(capsys, "solve", "--cube", "6", "--sn", "4", "--nm", "2",
+                  "--iterations", "1", "--engine", "cell", "--metrics",
+                  "--json")
+        doc = json.loads(out)
+        att = doc["metrics"]["cycle_attribution"]
+        assert sum(att["bucket_totals_ticks"].values()) == att["total_ticks"]
+        assert att["total_ticks"] == att["num_spes"] * att["span_ticks"]
+        assert doc["metrics"]["registry"]["counters"]["kernel.cells"] > 0
+
+    def test_metrics_flag_requires_cell_engine(self, capsys):
+        assert main(["solve", "--cube", "6", "--metrics"]) == 2
+        assert "requires --engine cell" in capsys.readouterr().err
+
+    def test_progress_flag_requires_cell_engine(self, capsys):
+        assert main(["solve", "--cube", "6", "--progress"]) == 2
+        assert "requires --engine cell" in capsys.readouterr().err
+
+    def test_progress_flag_emits_heartbeat(self, capsys):
+        assert main(["solve", "--cube", "6", "--sn", "4", "--nm", "2",
+                     "--iterations", "1", "--engine", "cell",
+                     "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "units" in err and "100.0%" in err
+
+
+class TestMetricsCommand:
+    def test_table_and_hot_counters(self, capsys):
+        out = run(capsys, "metrics", "--cube", "6", "--sn", "4", "--nm", "2",
+                  "--iterations", "1")
+        assert "where the cycles went" in out
+        assert "hot counters" in out
+        assert "dma.commands" in out
+
+    def test_json_identical_across_workers(self, capsys):
+        import json
+
+        docs = []
+        for workers in ("1", "2"):
+            out = run(capsys, "metrics", "--cube", "6", "--sn", "4",
+                      "--nm", "2", "--iterations", "1",
+                      "--workers", workers, "--json")
+            docs.append(json.loads(out))
+        assert docs[0]["registry"] == docs[1]["registry"]
+        assert docs[0]["cycle_attribution"] == docs[1]["cycle_attribution"]
+
+
+class TestBenchCommand:
+    def test_lists_committed_baselines(self, capsys):
+        out = run(capsys, "bench")
+        assert "BENCH_" in out
+        assert "--check" in out
+
+    def test_check_gates_against_baselines(self, capsys):
+        # the committed baselines must pass on the tree they bless
+        # (generous x4 tolerance: CI runners are slower than the
+        # machine that blessed them)
+        assert main(["bench", "--check", "--tolerance", "4.0"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline check(s) passed" in out
+
 
 class TestFigures:
     def test_ladder(self, capsys):

@@ -115,3 +115,64 @@ class TestAggregates:
         assert "SPE0" in text and "PPE" in text and "MIC" in text
         assert "overlap potential 100.0%" in text
         assert "queue depth max 2" in text
+
+
+class TestDegenerateBuses:
+    """Zero-event and instant-only traces must produce well-formed
+    output from every aggregate -- no ZeroDivisionError on
+    ``total_cycles == 0``, no max()-on-empty, no KeyError on tracks
+    that never saw a span."""
+
+    def test_empty_bus_aggregate_shape(self):
+        stats = aggregate_stats(TraceBus())
+        assert stats == {
+            "total_cycles": 0.0,
+            "total_events": 0,
+            "tracks": {},
+            "per_spe": {},
+        }
+
+    def test_empty_bus_timeline_summary(self):
+        text = timeline_summary(TraceBus())
+        assert "0 events" in text
+        assert "0.0 us simulated" in text
+
+    def test_empty_bus_queue_depth_series(self):
+        assert queue_depth_series(TraceBus(), "SPE0") == []
+
+    def test_empty_bus_chrome_trace_roundtrip(self, tmp_path):
+        bus = TraceBus()
+        doc = to_chrome_trace(bus)
+        assert doc["traceEvents"] == [] or all(
+            e["ph"] == "M" for e in doc["traceEvents"]
+        )
+        path = write_chrome_trace(tmp_path / "empty.json", bus)
+        assert json.loads(path.read_text()) == doc
+
+    @pytest.fixture
+    def instant_only_bus(self) -> TraceBus:
+        """A track that only ever emitted zero-duration instants --
+        e.g. an SPE whose chunks all hit the DMA program cache."""
+        b = TraceBus()
+        t = spe_track(0)
+        b.instant(t, "DmaEnqueue", tag=1, kind="get", depth=1)
+        b.instant(t, "DmaEnqueue", tag=1, kind="get", depth=2)
+        return b
+
+    def test_instant_only_track_aggregates(self, instant_only_bus):
+        stats = aggregate_stats(instant_only_bus)
+        spe = stats["tracks"]["SPE0"]
+        assert spe["events"] == 2
+        assert spe["busy_cycles"] == 0.0
+        assert spe["utilization"] == 0.0
+        per_spe = stats["per_spe"]["SPE0"]
+        assert per_spe["overlap_fraction"] == 0.0
+        assert per_spe["queue_depth_max"] == 2
+        assert per_spe["queue_depth_mean"] == 1.5
+
+    def test_instant_only_track_series_and_summary(self, instant_only_bus):
+        series = queue_depth_series(instant_only_bus, "SPE0")
+        assert [d for _, d in series] == [1, 2]
+        text = timeline_summary(instant_only_bus)
+        assert "2 events" in text
+        assert "queue depth max 2" in text
