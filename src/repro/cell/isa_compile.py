@@ -392,6 +392,15 @@ def cache_size() -> int:
     return len(_PROGRAM_CACHE)
 
 
+def cache_info() -> dict[str, int]:
+    """Occupancy of this process's program cache -- the warm state a
+    persistent pool worker carries across solver rebinds."""
+    return {
+        "entries": len(_PROGRAM_CACHE),
+        "capacity": PROGRAM_CACHE_MAX_ENTRIES,
+    }
+
+
 def clear_cache() -> None:
     """Drop all compiled programs (tests; never needed for correctness)."""
     _PROGRAM_CACHE.clear()

@@ -136,7 +136,9 @@ def cmd_solve(args) -> int:
             config = config.with_(metrics=True)
         compile_before = STATS.snapshot()
         sim_before = SIMULATE_STATS.snapshot()
-        solver = CellSweep3D(deck, config, workers=args.workers)
+        solver = CellSweep3D(
+            deck, config, workers=args.workers, pool=args.pool
+        )
         heartbeat = _attach_heartbeat(solver, deck, args)
         try:
             result = solver.solve()
@@ -179,6 +181,12 @@ def cmd_solve(args) -> int:
         }
         if args.engine == "cell":
             extra["compile"] = compile_stats
+            if args.workers > 1 and solver._pool is not None:
+                extra["pool"] = {
+                    "mode": args.pool,
+                    "compile_hit_rate": solver._pool.compile_hit_rate(),
+                    "counters": solver._pool.metrics.to_dict()["counters"],
+                }
             if args.metrics:
                 attribution = solver.cycle_attribution()
                 attribution.verify()
@@ -200,6 +208,16 @@ def cmd_solve(args) -> int:
             print(f"isa: streams_compiled={compile_stats['streams_compiled']} "
                   f"cache_hits={compile_stats['cache_hits']} "
                   f"batched_blocks={compile_stats['batched_blocks']}")
+        if args.engine == "cell" and args.workers > 1 and solver._pool is not None:
+            pm = solver._pool.metrics
+            hit = solver._pool.compile_hit_rate()
+            print(f"pool: mode={args.pool} "
+                  f"workers_forked={pm.get('parallel.pool.workers.forked')} "
+                  f"workers_reused={pm.get('parallel.pool.workers.reused')} "
+                  f"shm_created={pm.get('parallel.shm.created')} "
+                  f"shm_reused={pm.get('parallel.shm.reused')} "
+                  f"isa_hit_rate="
+                  f"{'n/a' if hit is None else f'{hit:.3f}'}")
         if args.engine == "cell" and args.metrics:
             attribution = solver.cycle_attribution()
             attribution.verify()
@@ -534,6 +552,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1, metavar="N",
                    help="host worker processes for the cell engine "
                         "(bit-identical to serial for any N; default 1)")
+    p.add_argument("--pool", choices=("keep", "fresh"), default="fresh",
+                   help="worker-pool lifetime with --workers: 'keep' "
+                        "parks workers, their warm compiled-ISA caches "
+                        "and the shared-memory segments in a process-"
+                        "wide pool for the next solve; 'fresh' (default) "
+                        "tears everything down with the solver")
     p.add_argument("--metrics", action="store_true",
                    help="collect the machine-wide metrics registry and "
                         "print the per-SPE cycle attribution "

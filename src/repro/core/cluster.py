@@ -41,6 +41,7 @@ class CellClusterSweep3D:
         Q: int,
         config: MachineConfig | None = None,
         workers: int = 1,
+        pool: "str | object" = "fresh",
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -58,9 +59,11 @@ class CellClusterSweep3D:
         self._rank_sweepers: list[CellSweep3D] = []
         if self.workers > 1:
             from ..parallel.cluster import ClusterEngine
+            from ..parallel.pool import resolve_pool
 
             self._engine = ClusterEngine(
-                deck, P, Q, self.config, self.workers
+                deck, P, Q, self.config, self.workers,
+                pool=resolve_pool(pool),
             )
             self._kba = self._engine._kba
         else:

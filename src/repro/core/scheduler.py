@@ -36,6 +36,12 @@ class CentralizedScheduler:
     """PPE-driven dispatch: one sync round trip per chunk, serialized on
     the PPE."""
 
+    #: honors :meth:`run_diagonal`'s ``prepare=`` hook (the solver's
+    #: diagonal-batched compiled-ISA path).  Schedulers without this
+    #: attribute get the per-chunk fallback -- bit-identical, slower --
+    #: and the solver warns once (``parallel.prepare_fallback``).
+    supports_prepare = True
+
     def __init__(self, chip: CellBE, sync: MailboxSync | LSPokeSync) -> None:
         self.chip = chip
         self.sync = sync
@@ -97,6 +103,9 @@ class DistributedScheduler:
     are independent), so the *assignment* differs from the cyclic
     scheduler but the executed set is identical.
     """
+
+    #: see :attr:`CentralizedScheduler.supports_prepare`
+    supports_prepare = True
 
     def __init__(self, chip: CellBE) -> None:
         self.chip = chip

@@ -20,6 +20,8 @@ configuration.  :meth:`CellSweep3D.timing` is the bridge.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from ..cell.chip import CellBE
@@ -47,7 +49,12 @@ class CellSweep3D:
     ``workers > 1`` attaches a host-parallel execution engine
     (:mod:`repro.parallel`) that spreads independent simulated work
     units over a process pool; the flux it produces is bit-identical to
-    the ``workers=1`` serial execution for any worker count.
+    the ``workers=1`` serial execution for any worker count.  ``pool``
+    selects where the workers come from: ``"fresh"`` (a private
+    :class:`~repro.parallel.pool.PersistentPool` torn down on
+    ``close()``), ``"keep"`` (the process-wide pool -- worker processes,
+    their warm compiled-program caches and the shared-memory segments
+    all survive this solver), or an explicit pool instance.
     """
 
     def __init__(
@@ -57,6 +64,7 @@ class CellSweep3D:
         chip: CellBE | None = None,
         workers: int = 1,
         granularity: str = "block",
+        pool: "str | object" = "fresh",
     ) -> None:
         self.deck = deck
         self.config = config or MachineConfig(
@@ -89,13 +97,18 @@ class CellSweep3D:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self.chip = chip or CellBE(num_spes=self.config.num_spes)
         self._engine = None
+        self._pool = None
         if self.workers > 1:
             # the engine hooks chip.host_array_factory so the host
             # arrays its granularity shares land in shared memory;
             # that must happen before HostState allocates them.
             from ..parallel.engine import ParallelEngine
+            from ..parallel.pool import resolve_pool
 
-            ParallelEngine.prepare_chip(self.chip, self.config, granularity)
+            self._pool = resolve_pool(pool)
+            ParallelEngine.prepare_chip(
+                self.chip, self.config, granularity, pool=self._pool
+            )
         if self.config.trace:
             from ..trace.bus import TraceBus
 
@@ -153,10 +166,15 @@ class CellSweep3D:
         #: ``isa_kernel`` and ``compile_isa`` are both on; consumed (and
         #: popped) by :meth:`_execute_chunk` after staging.
         self._diag_solution: dict | None = None
+        #: one-time latch for the prepare-fallback warning (a scheduler
+        #: that cannot honor the diagonal-batched ISA hook)
+        self._prepare_fallback_warned = False
         if self.workers > 1:
             from ..parallel.engine import ParallelEngine
 
-            self._engine = ParallelEngine(self, self.workers, granularity)
+            self._engine = ParallelEngine(
+                self, self.workers, granularity, pool=self._pool
+            )
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -238,13 +256,32 @@ class CellSweep3D:
                 self._diag_ctx = (octant, angles[0], na, k0, d)
                 prepare = None
                 if self.config.isa_kernel and self.config.compile_isa:
-                    prepare = lambda chunks: self._prepare_diagonal(
-                        chunks, cxs, cys, czs
+                    if getattr(self.scheduler, "supports_prepare", False):
+                        prepare = lambda chunks: self._prepare_diagonal(
+                            chunks, cxs, cys, czs
+                        )
+                    elif not self._prepare_fallback_warned:
+                        # never silently: a dropped hook means every
+                        # chunk pays the per-chunk compiled path instead
+                        # of one batched call per diagonal
+                        self._prepare_fallback_warned = True
+                        self.metrics.count("parallel.prepare_fallback")
+                        warnings.warn(
+                            f"{type(self.scheduler).__name__} does not "
+                            "support the diagonal-batched ISA prepare "
+                            "hook; falling back to per-chunk compiled "
+                            "execution (bit-identical, slower)",
+                            RuntimeWarning, stacklevel=2,
+                        )
+                if prepare is not None:
+                    self.scheduler.run_diagonal(
+                        lines, self.config.chunk_lines, execute,
+                        prepare=prepare,
                     )
-                self.scheduler.run_diagonal(
-                    lines, self.config.chunk_lines, execute,
-                    prepare=prepare,
-                )
+                else:
+                    self.scheduler.run_diagonal(
+                        lines, self.config.chunk_lines, execute
+                    )
                 self._diag_solution = None
                 self._diag_ctx = None
                 tally.fixups += fixups[0]

@@ -13,10 +13,17 @@ Entry points: ``CellSweep3D(..., workers=N)`` for a single chip
 (:class:`ParallelEngine`), ``CellClusterSweep3D(..., workers=N)`` for
 the cluster (:class:`ClusterEngine`), and ``repro solve/cluster
 --workers N`` on the command line.
+
+Worker processes and shared-memory segments can outlive any one solver
+through :class:`PersistentPool` (``pool="keep"`` / ``--pool keep``):
+parked workers keep their warm compiled-ISA program caches, and the
+:class:`SegmentRegistry` reuses segments across solves of the same
+deck shape (:mod:`repro.parallel.pool`).
 """
 
 from .engine import GRANULARITIES, ParallelEngine
-from .shm import SharedArrayPool
+from .pool import PersistentPool, global_pool, resolve_pool
+from .shm import AttachedArrays, SegmentRegistry, SharedArrayPool
 from .workunits import (
     BlockUnit,
     RecordingRankBoundary,
@@ -31,7 +38,12 @@ __all__ = [
     "GRANULARITIES",
     "ParallelEngine",
     "ClusterEngine",
+    "PersistentPool",
+    "global_pool",
+    "resolve_pool",
     "SharedArrayPool",
+    "SegmentRegistry",
+    "AttachedArrays",
     "BlockUnit",
     "RecordingVacuumBoundary",
     "RecordingRankBoundary",

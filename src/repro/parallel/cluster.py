@@ -10,16 +10,21 @@ the bulk arrays never move: each rank's moment source and angular-flux
 capture live in shared memory, and the parent replays flux and refolds
 leakage per rank in the serial order, reproducing
 :meth:`repro.mpi.wavefront.KBASweep3D.solve` bit for bit.
+
+Workers come from the same :class:`~repro.parallel.pool.PersistentPool`
+protocol as the single-chip engine: a ``queue`` worker set is bound to
+the cluster via a payload carrying ``(deck, P, Q, config)`` plus one
+shared-memory manifest per rank, from which each worker rebuilds the
+rank solvers (:class:`_BoundClusterState`) -- the KBA decomposition is
+deterministic, so parent and workers enumerate identical unit tables.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
-
 import numpy as np
 
 from ..cell.chip import CellBE
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ParallelError
 from ..sweep.flux import SolveResult, SweepTally
 from ..sweep.input import InputDeck
 from ..sweep.pipelining import angle_blocks
@@ -27,11 +32,12 @@ from ..sweep.quadrature import OCTANT_SIGNS
 from ..metrics.registry import NULL_REGISTRY, MetricsRegistry
 from .engine import (
     ParallelEngine,
-    _block_worker,
+    _attach_solver,
     capture_unit_metrics,
     drive_units,
     release_unit_metrics,
 )
+from .shm import AttachedArrays
 from .workunits import RecordingRankBoundary, UnitComm, UnitResult
 
 
@@ -46,14 +52,65 @@ def _decode_tag(tag: int) -> tuple[int, int, int, int]:
     return axis, octant, ablock, kblock
 
 
+def _enumerate_cluster_units(quad, mmi: int, size: int):
+    """The cluster's unit table: (rank, octant, local angle tuple) in a
+    deterministic order both the parent and every rebound worker derive
+    identically from (deck, P, Q)."""
+    coords: list[tuple[int, int, tuple[int, ...]]] = []
+    index: dict[tuple[int, int, int], int] = {}
+    rank_units: list[list[int]] = [[] for _ in range(size)]
+    for octant in range(8):
+        for ablock, angles in enumerate(angle_blocks(quad.per_octant, mmi)):
+            for rank in range(size):
+                idx = len(coords)
+                coords.append((rank, octant, tuple(angles)))
+                index[(rank, octant, ablock)] = idx
+                rank_units[rank].append(idx)
+    return coords, index, rank_units
+
+
+def _execute_cluster_unit(state, index: int, inbox) -> UnitResult:
+    """One (rank, octant, angle-block) unit against ``state`` (the
+    parent :class:`ClusterEngine` or a worker's
+    :class:`_BoundClusterState` -- same attribute surface)."""
+    from ..cell.isa_compile import STATS, stats_delta
+
+    rank, octant, angles = state._unit_coords[index]
+    solver = state.solvers[rank]
+    comm = UnitComm(rank, dict(inbox) if inbox else {})
+    boundary = RecordingRankBoundary(
+        state.locals[rank], solver.quad, comm, state.cart,
+        state.deck.mmi, state.deck.mk,
+    )
+    tally = SweepTally()
+    prev_metrics = capture_unit_metrics(solver)
+    compile_before = STATS.snapshot()
+    try:
+        solver._sweep_block(
+            octant, list(angles), tally, boundary, psi_sink=state.psi[rank]
+        )
+    finally:
+        metrics_delta = release_unit_metrics(solver, prev_metrics)
+    return UnitResult(
+        index=index,
+        fixups=tally.fixups,
+        leak_records=boundary.records,
+        outbox=comm.outbox,
+        metrics=metrics_delta,
+        compile=stats_delta(compile_before),
+    )
+
+
 class ClusterEngine:
     """Process-pool executor for a P x Q cluster of simulated chips."""
 
     def __init__(
-        self, deck: InputDeck, P: int, Q: int, config, workers: int
+        self, deck: InputDeck, P: int, Q: int, config, workers: int,
+        pool=None,
     ) -> None:
         from ..core.solver import CellSweep3D
         from ..mpi.wavefront import KBASweep3D
+        from .pool import PersistentPool
 
         if config.trace:
             raise ConfigurationError(
@@ -63,9 +120,10 @@ class ClusterEngine:
         self.deck = deck
         self.config = config
         self.workers = int(workers)
+        self.P, self.Q = int(P), int(Q)
+        self.pool = pool if pool is not None else PersistentPool()
         self._kba = KBASweep3D(deck, P=P, Q=Q)
         self.cart = self._kba.cart
-        self.ctx = mp.get_context("fork")
         self.solvers = []
         self.locals: list[InputDeck] = []
         self.psi: list[np.ndarray] = []
@@ -73,7 +131,7 @@ class ClusterEngine:
             plan = self._kba.plan(rank)
             local = deck.tile((plan.x0, plan.y0, 0), plan.local_grid(deck.grid))
             chip = CellBE(num_spes=config.num_spes)
-            ParallelEngine.prepare_chip(chip, config, "block")
+            ParallelEngine.prepare_chip(chip, config, "block", pool=self.pool)
             solver = CellSweep3D(local, config, chip=chip)
             num_angles = 8 * solver.quad.per_octant
             g = local.grid
@@ -85,27 +143,13 @@ class ClusterEngine:
             )
             self.solvers.append(solver)
             self.locals.append(local)
-        # unit table: (rank, octant, local angle tuple), plus the
-        # per-rank (octant, ablock)-ordered lists the reductions walk
         quad = self.solvers[0].quad
-        self._unit_coords: list[tuple[int, int, tuple[int, ...]]] = []
-        self._unit_index: dict[tuple[int, int, int], int] = {}
-        self._rank_units: list[list[int]] = [[] for _ in range(self.cart.size)]
-        for octant in range(8):
-            for ablock, angles in enumerate(
-                angle_blocks(quad.per_octant, deck.mmi)
-            ):
-                for rank in range(self.cart.size):
-                    index = len(self._unit_coords)
-                    self._unit_coords.append((rank, octant, tuple(angles)))
-                    self._unit_index[(rank, octant, ablock)] = index
-                    self._rank_units[rank].append(index)
-        self._tasks = self.ctx.Queue()
-        self._results = self.ctx.Queue()
-        self._procs: list = []
-        self._started = False
+        self._unit_coords, self._unit_index, self._rank_units = (
+            _enumerate_cluster_units(quad, deck.mmi, self.cart.size)
+        )
+        self._ws = None
         self._closed = False
-        self._seq = 0
+        self._dirty = False
         self._indeg: dict[int, int] = {}
         self._inboxes: dict[int, dict] = {}
         #: cluster-wide aggregate registry: every rank's unit deltas
@@ -137,59 +181,54 @@ class ClusterEngine:
 
     # -- pool lifecycle --------------------------------------------------------
 
+    @property
+    def _tasks(self):
+        return self._ws.tasks
+
+    @property
+    def _results(self):
+        return self._ws.results
+
     def _ensure_started(self) -> None:
-        if self._started:
+        if self._ws is not None:
             return
-        for lane in range(1, self.workers):
-            p = self.ctx.Process(
-                target=_block_worker, args=(self, lane), daemon=True,
-                name=f"repro-cluster-lane{lane}",
-            )
-            p.start()
-            self._procs.append(p)
-        self._started = True
+        if self._closed:
+            raise ParallelError("cluster engine already closed")
+        ws = self.pool.acquire("queue", self.workers)
+        try:
+            ws.bind({
+                "kind": "cluster",
+                "deck": self.deck,
+                "P": self.P,
+                "Q": self.Q,
+                "config": self.config,
+                "manifests": [
+                    s.chip._parallel_pool.manifest() for s in self.solvers
+                ],
+            })
+            self.pool.count_bind()
+        except BaseException:
+            ws.stop()
+            raise
+        self._ws = ws
 
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
-        if self._started:
-            for _ in self._procs:
-                self._tasks.put(("stop",))
-            for p in self._procs:
-                p.join(timeout=5.0)
-                if p.is_alive():  # pragma: no cover - hung worker
-                    p.terminate()
-                    p.join(timeout=5.0)
-            self._procs = []
+        keep = self.pool.persistent and not self._dirty
+        if self._ws is not None:
+            self.pool.release(self._ws, discard=self._dirty)
+            self._ws = None
         for solver in self.solvers:
-            solver.chip._parallel_pool.close()
+            solver.chip._parallel_pool.close(park=keep)
+        if not self.pool.persistent:
+            self.pool.shutdown()
 
     # -- unit execution (parent or worker) -------------------------------------
 
     def _execute_unit(self, index: int, inbox) -> UnitResult:
-        rank, octant, angles = self._unit_coords[index]
-        solver = self.solvers[rank]
-        comm = UnitComm(rank, dict(inbox) if inbox else {})
-        boundary = RecordingRankBoundary(
-            self.locals[rank], solver.quad, comm, self.cart,
-            self.deck.mmi, self.deck.mk,
-        )
-        tally = SweepTally()
-        prev_metrics = capture_unit_metrics(solver)
-        try:
-            solver._sweep_block(
-                octant, list(angles), tally, boundary, psi_sink=self.psi[rank]
-            )
-        finally:
-            metrics_delta = release_unit_metrics(solver, prev_metrics)
-        return UnitResult(
-            index=index,
-            fixups=tally.fixups,
-            leak_records=boundary.records,
-            outbox=comm.outbox,
-            metrics=metrics_delta,
-        )
+        return _execute_cluster_unit(self, index, inbox)
 
     def _on_unit_done(self, seq: int, index: int, results: dict) -> None:
         """Route the finished unit's face messages and dispatch any
@@ -229,8 +268,7 @@ class ClusterEngine:
             for rank in range(size):
                 msrc = build_moment_source(self.locals[rank], flux[rank])
                 self.solvers[rank].host.load_moment_source(msrc)
-            self._seq += 1
-            seq = self._seq
+            seq = self._ws.next_seq()
             self._indeg = {
                 u: len(self._neighbours(u, upstream=True))
                 for u in range(len(self._unit_coords))
@@ -239,7 +277,11 @@ class ClusterEngine:
             for u, deg in self._indeg.items():
                 if deg == 0:
                     self._tasks.put(("unit", seq, u, {}))
-            results = drive_units(self, seq, len(self._unit_coords))
+            try:
+                results = drive_units(self, seq, len(self._unit_coords))
+            except ParallelError:
+                self._dirty = True
+                raise
             # per-rank deterministic reductions, serial (octant, ablock)
             # order within the rank
             diffs = []
@@ -250,6 +292,8 @@ class ClusterEngine:
                 for u in self._rank_units[rank]:
                     r = results[u]
                     total_fixups[rank] += r.fixups
+                    if r.compile is not None:
+                        self.pool.count_compile(r.compile)
                     if r.metrics is not None:
                         # per-rank registry (rank-local attribution) and
                         # the cluster aggregate, both in serial
@@ -297,3 +341,46 @@ class ClusterEngine:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class _BoundClusterState:
+    """A queue worker's execution context for ``cluster`` payloads:
+    the rank solvers rebuilt over the parent's shared arrays.
+
+    The KBA tiling and the unit table are pure functions of
+    ``(deck, P, Q, config)``, so the worker's enumeration matches the
+    parent's index for index."""
+
+    def __init__(self, payload: dict) -> None:
+        from ..mpi.wavefront import KBASweep3D
+
+        deck = payload["deck"]
+        config = payload["config"]
+        self.deck = deck
+        kba = KBASweep3D(deck, P=payload["P"], Q=payload["Q"])
+        self.cart = kba.cart
+        self.attached: list[AttachedArrays] = []
+        self.solvers = []
+        self.locals: list[InputDeck] = []
+        self.psi: list[np.ndarray] = []
+        for rank in range(self.cart.size):
+            plan = kba.plan(rank)
+            local = deck.tile(
+                (plan.x0, plan.y0, 0), plan.local_grid(deck.grid)
+            )
+            att = AttachedArrays(payload["manifests"][rank])
+            solver = _attach_solver(local, config, att)
+            self.attached.append(att)
+            self.solvers.append(solver)
+            self.locals.append(local)
+            self.psi.append(att.get("parallel-psi"))
+        self._unit_coords, self._unit_index, _ = _enumerate_cluster_units(
+            self.solvers[0].quad, deck.mmi, self.cart.size
+        )
+
+    def execute(self, index: int, payload) -> UnitResult:
+        return _execute_cluster_unit(self, index, payload)
+
+    def close(self) -> None:
+        for att in self.attached:
+            att.close()

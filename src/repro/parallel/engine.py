@@ -3,14 +3,14 @@
 Two work-unit granularities, both bit-identical to serial execution:
 
 * ``block`` (default) -- the unit is one ``(octant, angle-block)``
-  slice of the sweep.  Workers inherit the fully-built solver through
-  ``fork`` (chip, local stores, DMA programs: copy-on-write, private),
-  read the moment source from shared memory, execute the unit with the
-  complete staged machinery (scheduler, sync protocol, DMA staging,
-  kernel) against their private face/flux arrays, and capture the
-  unit's angular flux into a shared ``psi`` array.  The parent then
-  *replays* the flux accumulation and refolds leakage in the serial
-  order (see :mod:`.workunits`), so the reduction is deterministic by
+  slice of the sweep.  Workers build their own attached solver from the
+  rebind payload (deck, config, shared-memory manifest), read the
+  moment source from shared memory, execute the unit with the complete
+  staged machinery (scheduler, sync protocol, DMA staging, kernel)
+  against their private face/flux arrays, and capture the unit's
+  angular flux into a shared ``psi`` array.  The parent then *replays*
+  the flux accumulation and refolds leakage in the serial order (see
+  :mod:`.workunits`), so the reduction is deterministic by
   construction.  Per-unit trace-event buffers merge back into the
   parent's :class:`~repro.trace.bus.TraceBus` in unit order, cycle
   cursor and all, so tracing and the DMA-hazard sanitizer keep working.
@@ -19,9 +19,20 @@ Two work-unit granularities, both bit-identical to serial execution:
   parallel ("all the I-lines for each jkm value can be processed in
   parallel").  Every host array is shared; lanes write disjoint rows,
   so no replay is needed; two barrier crossings per diagonal keep the
-  wavefront order.  Finer-grained and allocation-free on the hot path,
-  but the per-diagonal barriers bound its scalability -- it exists as
-  the faithful analogue of the machine's own schedule.
+  wavefront order.  With ``compile_isa`` on, every lane -- the parent
+  included -- batch-solves its share of the diagonal through the
+  compiled executor (:meth:`~repro.core.solver.CellSweep3D.
+  _prepare_diagonal`) before dispatch: the compiled programs are
+  elementwise along the batch axis, so any partition of a diagonal's
+  lines produces the same bits as the serial whole-diagonal batch.
+
+Worker processes come from a :class:`~repro.parallel.pool.
+PersistentPool` and outlive the engine when the pool is kept: the sync
+objects (queues, barriers, control block) belong to the pool's
+:class:`~repro.parallel.pool.WorkerSet`, and each engine *binds* the
+set to its solver on first use.  A rebound worker keeps its warm
+per-process compiled-program cache, which is what makes the second
+solve on a kept pool recompile nothing.
 
 Work distribution is a shared task queue: the parent enqueues every
 unit, workers pull, and the parent itself drains the queue between
@@ -31,17 +42,17 @@ lane may execute any unit").
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import queue
 import traceback
 from dataclasses import replace
 
 import numpy as np
 
+from ..cell.isa_compile import STATS, stats_delta
 from ..errors import ConfigurationError, ParallelError
 from ..sweep.flux import SweepTally
 from ..sweep.pipelining import VacuumBoundary
-from .shm import SharedArrayPool
+from .shm import AttachedArrays, SharedArrayPool
 from .workunits import (
     BlockUnit,
     RecordingVacuumBoundary,
@@ -53,7 +64,7 @@ from .workunits import (
 GRANULARITIES = ("block", "diagonal")
 
 #: host arrays shared under each granularity (name prefixes; everything
-#: else stays process-private and is inherited copy-on-write)
+#: else stays process-private in each worker's attached solver)
 _BLOCK_SHARED_PREFIXES = ("msrc",)
 _DIAGONAL_SHARED_PREFIXES = (
     "flux", "msrc", "sigt", "phij", "phik", "phii",  # phii also matches phii_out
@@ -62,9 +73,10 @@ _DIAGONAL_SHARED_PREFIXES = (
 #: seconds a blocked queue read waits before declaring the pool dead
 _RESULT_TIMEOUT = 600.0
 
-#: control-block slots of the diagonal-granularity protocol
-_CTRL_CMD, _CTRL_OCTANT, _CTRL_A0, _CTRL_NA, _CTRL_K0, _CTRL_D, _CTRL_EPOCH, _CTRL_ERR = range(8)
-_CMD_RUN, _CMD_STOP = 1, 2
+#: control-block slots of the diagonal-granularity protocol (the block
+#: lives on the worker set, so it survives rebinds)
+_CTRL_CMD, _CTRL_OCTANT, _CTRL_A0, _CTRL_NA, _CTRL_K0, _CTRL_D, _CTRL_EPOCH, _CTRL_ERR, _CTRL_METRICS = range(9)
+_CMD_RUN, _CMD_STOP, _CMD_BIND = 1, 2, 3
 
 
 def _shared_name_predicate(granularity: str):
@@ -81,47 +93,59 @@ class ParallelEngine:
     pool of forked worker processes."""
 
     @staticmethod
-    def prepare_chip(chip, config, granularity: str) -> None:
+    def prepare_chip(chip, config, granularity: str, pool=None) -> None:
         """Install the shared-memory allocator on ``chip`` *before* the
         solver builds its :class:`~repro.core.porting.HostState`, so the
-        granularity's shared arrays land in shared memory."""
+        granularity's shared arrays land in shared memory (leased from
+        ``pool``'s segment registry when one is given).  Also the spot
+        where unsupported configurations are rejected, before anything
+        is allocated."""
         if granularity not in GRANULARITIES:
             raise ConfigurationError(
                 f"granularity must be one of {GRANULARITIES}, got {granularity!r}"
             )
-        pool = SharedArrayPool()
-        chip.host_array_factory = pool.factory(
-            _shared_name_predicate(granularity)
-        )
-        chip._parallel_pool = pool
+        if granularity == "diagonal":
+            from ..core.levels import SchedulerKind
 
-    def __init__(self, solver, workers: int, granularity: str) -> None:
-        self.solver = solver
-        self.workers = int(workers)
-        self.granularity = granularity
-        self.pool: SharedArrayPool = solver.chip._parallel_pool
-        self.ctx = mp.get_context("fork")
-        self._procs: list = []
-        self._started = False
-        self._closed = False
-        deck = solver.deck
-        g = deck.grid
-        if granularity == "block":
-            self.units: list[BlockUnit] = enumerate_block_units(deck, solver.quad)
-            num_angles = 8 * solver.quad.per_octant
-            self.psi = self.pool.alloc(
-                "parallel-psi", (num_angles, g.nz, g.ny, solver.host.row_len)
-            )
-            self._tasks = self.ctx.Queue()
-            self._results = self.ctx.Queue()
-            self._sweep_seq = 0
-        else:
-            if solver.config.trace:
+            if config.trace:
                 raise ConfigurationError(
                     "tracing needs granularity='block' (diagonal lanes "
                     "run in processes whose buses cannot interleave "
                     "mid-diagonal)"
                 )
+            if config.scheduler is SchedulerKind.DISTRIBUTED:
+                raise ConfigurationError(
+                    "granularity='diagonal' needs the centralized "
+                    "scheduler (the distributed claim protocol is "
+                    "inherently one sequential stream)"
+                )
+        registry = pool.segments if pool is not None else None
+        shm = SharedArrayPool(registry=registry)
+        chip.host_array_factory = shm.factory(
+            _shared_name_predicate(granularity)
+        )
+        chip._parallel_pool = shm
+
+    def __init__(self, solver, workers: int, granularity: str, pool=None) -> None:
+        from .pool import PersistentPool
+
+        self.solver = solver
+        self.workers = int(workers)
+        self.granularity = granularity
+        self.pool = pool if pool is not None else PersistentPool()
+        self.shm: SharedArrayPool = solver.chip._parallel_pool
+        self._ws = None
+        self._closed = False
+        self._dirty = False  # an aborted sweep poisons queues/segments
+        deck = solver.deck
+        g = deck.grid
+        if granularity == "block":
+            self.units: list[BlockUnit] = enumerate_block_units(deck, solver.quad)
+            num_angles = 8 * solver.quad.per_octant
+            self.psi = self.shm.alloc(
+                "parallel-psi", (num_angles, g.nz, g.ny, solver.host.row_len)
+            )
+        else:
             from ..core.scheduler import CentralizedScheduler
 
             if not isinstance(solver.scheduler, CentralizedScheduler):
@@ -130,66 +154,81 @@ class ParallelEngine:
                     "scheduler (the distributed claim protocol is "
                     "inherently one sequential stream)"
                 )
-            self._ctrl = self.pool.alloc("parallel-ctrl", (8,), dtype=np.int64)
-            self._lane_fixups = self.pool.alloc(
-                "parallel-fixups", (self.workers,), dtype=np.int64
-            )
-            self._barrier = self.ctx.Barrier(self.workers)
-            # lanes ship their per-diagonal registry deltas here; the
-            # parent drains workers-1 items per diagonal and merges them
-            # (all-integer aggregates, so any order is exact)
-            self._metrics_queue = (
-                self.ctx.Queue() if solver.config.metrics else None
-            )
             solver.scheduler = _LaneScheduler(self, solver.scheduler)
 
-    # -- process lifecycle -----------------------------------------------------
+    # -- worker-set plumbing ---------------------------------------------------
+
+    @property
+    def _tasks(self):
+        return self._ws.tasks
+
+    @property
+    def _results(self):
+        return self._ws.results
+
+    @property
+    def _ctrl(self):
+        return self._ws.ctrl
+
+    @property
+    def _barrier(self):
+        return self._ws.barrier
+
+    @property
+    def _lane_fixups(self):
+        return self._ws.fixups
+
+    @property
+    def _metrics_queue(self):
+        return self._ws.metrics_queue if self.solver.config.metrics else None
+
+    def _bind_payload(self) -> dict:
+        return {
+            "kind": "block" if self.granularity == "block" else "diagonal",
+            "deck": self.solver.deck,
+            "config": self.solver.config,
+            "manifest": self.shm.manifest(),
+        }
 
     def _ensure_started(self) -> None:
-        """Fork the worker processes (lazily, on the first sweep, so the
-        children inherit the fully-built solver state)."""
-        if self._started:
+        """Acquire a worker set from the pool and bind it to this
+        solver (lazily, on the first sweep)."""
+        if self._ws is not None:
             return
         if self._closed:
             raise ParallelError("engine already closed")
-        target = (
-            _block_worker if self.granularity == "block" else _diagonal_worker
-        )
-        for lane in range(1, self.workers):
-            p = self.ctx.Process(
-                target=target, args=(self, lane), daemon=True,
-                name=f"repro-lane{lane}",
-            )
-            p.start()
-            self._procs.append(p)
-        self._started = True
+        kind = "queue" if self.granularity == "block" else "diagonal"
+        ws = self.pool.acquire(kind, self.workers)
+        try:
+            if kind == "diagonal":
+                ws.ctrl[_CTRL_ERR] = 0
+                ws.ctrl[_CTRL_METRICS] = 1 if self.solver.config.metrics else 0
+                ws.compile_counts[...] = 0
+            ws.bind(self._bind_payload())
+            self.pool.count_bind()
+        except BaseException:
+            ws.stop()
+            raise
+        self._ws = ws
 
     def close(self) -> None:
-        """Stop the workers and release the shared-memory segments."""
+        """Return the workers to the pool (or stop them) and release
+        the shared-memory segments (parked for reuse when the pool is
+        persistent)."""
         if self._closed:
             return
         self._closed = True
-        if self._started:
-            if self.granularity == "block":
-                for _ in self._procs:
-                    self._tasks.put(("stop",))
-            else:
-                self._ctrl[_CTRL_CMD] = _CMD_STOP
-                try:
-                    self._barrier.wait(timeout=5.0)
-                except Exception:  # pragma: no cover - dead lanes
-                    pass
-            for p in self._procs:
-                p.join(timeout=5.0)
-                if p.is_alive():  # pragma: no cover - hung worker
-                    p.terminate()
-                    p.join(timeout=5.0)
-            self._procs = []
+        keep = self.pool.persistent and not self._dirty
+        if self._ws is not None:
+            self.pool.release(self._ws, discard=self._dirty)
+            self._ws = None
         if self.granularity == "diagonal":
             lane = self.solver.scheduler
             if isinstance(lane, _LaneScheduler):
                 self.solver.scheduler = lane.inner
-        self.pool.close()
+        self.shm.close(park=keep)
+        if not self.pool.persistent:
+            self.pool.shutdown()
 
     # -- sweeping --------------------------------------------------------------
 
@@ -212,14 +251,17 @@ class ParallelEngine:
         solver = self.solver
         self._ensure_started()
         solver.host.load_moment_source(moment_source)
-        self._sweep_seq += 1
-        seq = self._sweep_seq
+        seq = self._ws.next_seq()
         for unit in self.units:
             self._tasks.put(("unit", seq, unit.index, None))
         bus = solver.trace
         base_idx = len(bus.events) if bus.enabled else 0
         base_now = bus.now
-        results = drive_units(self, seq, len(self.units))
+        try:
+            results = drive_units(self, seq, len(self.units))
+        except ParallelError:
+            self._dirty = True
+            raise
 
         # deterministic reduction, strictly in serial unit order
         tally = SweepTally()
@@ -234,6 +276,10 @@ class ParallelEngine:
             tally.fixups += r.fixups
             for contribution in r.leak_records:
                 boundary._tally(contribution)
+            if r.compile is not None:
+                # pool-side observability only -- never the solver's
+                # registry, whose bits must not depend on worker count
+                self.pool.count_compile(r.compile)
             if r.metrics is not None:
                 # integer aggregates make any merge order exact; serial
                 # unit order is kept anyway, mirroring the flux replay
@@ -260,17 +306,40 @@ class ParallelEngine:
         solver = self.solver
         self._ensure_started()
         self._lane_fixups[:] = 0
+        before = STATS.snapshot()
         flux, tally, bnd = solver._sweep_serial(moment_source, boundary)
+        # the parent lane's compile traffic, plus what the other lanes
+        # tallied into the worker set's shared counters
+        self.pool.count_compile(stats_delta(before))
+        self._drain_lane_compile()
         # lanes 1..W-1 tallied their fixup counts in shared memory;
         # integer addition commutes, so the total is exact
         tally.fixups += int(self._lane_fixups.sum())
         return flux, tally, bnd
+
+    def _drain_lane_compile(self) -> None:
+        """Fold the worker lanes' compile-stats tallies (written before
+        the end-of-diagonal barrier, so quiescent here) into the pool
+        registry."""
+        from .pool import COMPILE_KEYS
+
+        counts = self._ws.compile_counts
+        totals = counts[1:].sum(axis=0)
+        if totals.any():
+            self.pool.count_compile(
+                {key: int(v) for key, v in zip(COMPILE_KEYS, totals)}
+            )
+        counts[...] = 0
 
 
 class _LaneScheduler:
     """``run_diagonal`` facade the diagonal granularity installs on the
     solver: publish the diagonal's coordinates, release the lanes,
     execute the parent lane's chunks, wait for the others."""
+
+    #: honors the solver's diagonal-batched ``prepare=`` hook (each
+    #: lane batch-solves its own share; see module docstring)
+    supports_prepare = True
 
     def __init__(self, engine: ParallelEngine, inner) -> None:
         self.engine = engine
@@ -281,11 +350,6 @@ class _LaneScheduler:
         return self.inner.chunks_dispatched
 
     def run_diagonal(self, lines, chunk_lines, execute, prepare=None):
-        # ``prepare`` (the solver's diagonal-batched ISA hook) is
-        # accepted and ignored: lanes rebuild their chunks remotely and
-        # every lane -- including the parent's -- falls back to the
-        # per-chunk compiled path in _execute_chunk, which is
-        # bit-identical to the batched precompute.
         from ..core.worklist import assign_cyclic
 
         engine = self.engine
@@ -295,12 +359,28 @@ class _LaneScheduler:
         ctrl[_CTRL_OCTANT:_CTRL_D + 1] = ctx
         ctrl[_CTRL_EPOCH] += 1
         ctrl[_CTRL_CMD] = _CMD_RUN
-        engine._barrier.wait(timeout=_RESULT_TIMEOUT)  # release the lanes
+        try:
+            engine._barrier.wait(timeout=_RESULT_TIMEOUT)  # release the lanes
+        except Exception:  # pragma: no cover - dead lanes
+            engine._dirty = True
+            raise ParallelError("diagonal lanes did not reach the release "
+                                "barrier") from None
         chunks = assign_cyclic(lines, chunk_lines, len(solver.chip.spes))
-        for chunk in chunks:
-            if chunk.spe % engine.workers == 0:
-                self.inner.run_chunk(chunk, execute)
-        engine._barrier.wait(timeout=_RESULT_TIMEOUT)  # diagonal barrier
+        own = [c for c in chunks if c.spe % engine.workers == 0]
+        if prepare is not None:
+            # batch-solve the parent lane's share of the diagonal in one
+            # compiled call; the other lanes do the same for theirs.
+            # Safe against their concurrent stage_out: a diagonal's
+            # lines never alias, and this reads only its own lines' rows.
+            prepare(own)
+        for chunk in own:
+            self.inner.run_chunk(chunk, execute)
+        try:
+            engine._barrier.wait(timeout=_RESULT_TIMEOUT)  # diagonal barrier
+        except Exception:  # pragma: no cover - dead lanes
+            engine._dirty = True
+            raise ParallelError("diagonal lanes did not reach the diagonal "
+                                "barrier") from None
         if engine._metrics_queue is not None:
             # the parent lane fed solver.metrics directly; fold in the
             # other lanes' deltas (queue order is irrelevant: integer
@@ -309,18 +389,78 @@ class _LaneScheduler:
                 try:
                     delta = engine._metrics_queue.get(timeout=_RESULT_TIMEOUT)
                 except queue.Empty:  # pragma: no cover - dead lane
+                    engine._dirty = True
                     raise ParallelError(
                         "missing a lane's metrics delta after the diagonal"
                     ) from None
                 solver.metrics.merge(delta)
         if ctrl[_CTRL_ERR]:
+            engine._dirty = True
             raise ParallelError(
                 "a diagonal lane failed; see the worker's stderr"
             )
         return chunks
 
 
-# -- worker processes (run in forked children) -------------------------------
+# -- worker-side solver construction (runs in pool worker processes) ----------
+
+
+def _attach_solver(deck, config, attached: AttachedArrays):
+    """A worker's own solver over the parent's shared host arrays."""
+    from ..cell.chip import CellBE
+    from ..core.solver import CellSweep3D
+
+    chip = CellBE(num_spes=config.num_spes)
+    chip.host_array_factory = attached.factory()
+    return CellSweep3D(deck, config, chip=chip)
+
+
+class _BoundBlockState:
+    """A queue worker's execution context for ``block`` payloads."""
+
+    def __init__(self, payload: dict) -> None:
+        self.attached = AttachedArrays(payload["manifest"])
+        self.solver = _attach_solver(
+            payload["deck"], payload["config"], self.attached
+        )
+        self.units = enumerate_block_units(self.solver.deck, self.solver.quad)
+        self.psi = self.attached.get("parallel-psi")
+
+    def execute(self, index: int, payload) -> UnitResult:
+        return _execute_block_unit(self.solver, self.units[index], self.psi)
+
+    def close(self) -> None:
+        self.attached.close()
+
+
+class _BoundDiagonalState:
+    """A diagonal lane's execution context: an attached solver whose
+    host arrays *are* the parent's."""
+
+    def __init__(self, payload: dict) -> None:
+        self.attached = AttachedArrays(payload["manifest"])
+        self.solver = _attach_solver(
+            payload["deck"], payload["config"], self.attached
+        )
+
+    def close(self) -> None:
+        self.attached.close()
+
+
+def _build_bound_state(payload: dict):
+    kind = payload["kind"]
+    if kind == "block":
+        return _BoundBlockState(payload)
+    if kind == "diagonal":
+        return _BoundDiagonalState(payload)
+    if kind == "cluster":
+        from .cluster import _BoundClusterState
+
+        return _BoundClusterState(payload)
+    raise ParallelError(f"unknown bind payload kind {kind!r}")
+
+
+# -- work-unit execution (parent or worker) -----------------------------------
 
 
 def _execute_block_unit(solver, unit: BlockUnit, psi: np.ndarray) -> UnitResult:
@@ -333,6 +473,7 @@ def _execute_block_unit(solver, unit: BlockUnit, psi: np.ndarray) -> UnitResult:
     start_now = bus.now
     metrics_delta = None
     prev_metrics = capture_unit_metrics(solver)
+    compile_before = STATS.snapshot()
     try:
         solver._sweep_block(
             unit.octant, list(unit.angles), tally, boundary, psi_sink=psi
@@ -348,6 +489,7 @@ def _execute_block_unit(solver, unit: BlockUnit, psi: np.ndarray) -> UnitResult:
         start=start_now,
         span=bus.now - start_now,
         metrics=metrics_delta,
+        compile=stats_delta(compile_before),
     )
 
 
@@ -386,6 +528,8 @@ def drive_units(engine, seq: int, total: int) -> dict[int, UnitResult]:
         except queue.Empty:
             pass
         if task is not None:
+            if task[0] != "unit":  # pragma: no cover - stale bind/stop
+                continue
             _, tseq, index, payload = task
             if tseq != seq:  # pragma: no cover - stale after an abort
                 continue
@@ -410,76 +554,141 @@ def drive_units(engine, seq: int, total: int) -> dict[int, UnitResult]:
     return results
 
 
-def _block_worker(engine: ParallelEngine, lane: int) -> None:
-    """Block-granularity worker loop: pull unit indices, run them
-    against the inherited solver, return scalars."""
-    while True:
-        task = engine._tasks.get()
-        if task[0] == "stop":
-            break
-        _, seq, index, payload = task
-        try:
-            result = engine._execute_unit(index, payload)
-            engine._results.put(("ok", seq, index, result))
-        except BaseException:
-            engine._results.put(("err", seq, index, traceback.format_exc()))
+# -- worker processes (pool workers, forked by WorkerSet) ---------------------
 
 
-def _diagonal_worker(engine: ParallelEngine, lane: int) -> None:
-    """Diagonal-granularity lane loop: on each barrier release, rebuild
-    the published diagonal's chunks and execute the cyclically-owned
-    subset against the shared host arrays."""
+def _queue_pool_worker(ws, lane: int) -> None:
+    """Queue-protocol worker loop (block and cluster engines): take
+    bind payloads and unit indices from the shared task queue, execute
+    against the currently bound state, return scalars."""
+    state = None
+    try:
+        while True:
+            task = ws.tasks.get()
+            if task[0] == "stop":
+                break
+            if task[0] == "bind":
+                if state is not None:
+                    state.close()
+                    state = None
+                try:
+                    state = _build_bound_state(task[1])
+                except BaseException:  # pragma: no cover - surfaced per unit
+                    traceback.print_exc()
+                try:
+                    ws.bind_barrier.wait(timeout=_RESULT_TIMEOUT)
+                except Exception:  # pragma: no cover - parent died
+                    break
+                continue
+            _, seq, index, payload = task
+            try:
+                if state is None:
+                    raise ParallelError("worker has no bound solver")
+                result = state.execute(index, payload)
+                ws.results.put(("ok", seq, index, result))
+            except BaseException:
+                ws.results.put(("err", seq, index, traceback.format_exc()))
+    finally:
+        if state is not None:
+            state.close()
+
+
+def _diagonal_pool_worker(ws, lane: int) -> None:
+    """Diagonal-lane worker loop: on each barrier release, rebuild the
+    published diagonal's chunks, batch-solve the cyclically-owned
+    subset through the compiled executor when the config asks for it,
+    and execute it against the shared host arrays."""
     from ..core.streaming import staged_lines_for_diagonal
     from ..core.worklist import assign_cyclic
+    from .pool import COMPILE_KEYS
 
-    solver = engine.solver
-    inner = solver.scheduler.inner
-    deck = solver.deck
-    quad = solver.quad
-    g = deck.grid
-    while True:
-        try:
-            engine._barrier.wait(timeout=_RESULT_TIMEOUT)
-        except Exception:  # pragma: no cover - parent died
-            break
-        if engine._ctrl[_CTRL_CMD] == _CMD_STOP:
-            break
-        octant, a0, na, k0, d = (
-            int(x) for x in engine._ctrl[_CTRL_OCTANT:_CTRL_D + 1]
-        )
-        prev_metrics = (
-            capture_unit_metrics(solver)
-            if engine._metrics_queue is not None
-            else None
-        )
-        try:
-            base = octant * quad.per_octant
-            globals_ = [base + a for a in range(a0, a0 + na)]
-            cxs = np.abs(quad.mu[globals_]) / g.dx
-            cys = np.abs(quad.eta[globals_]) / g.dy
-            czs = np.abs(quad.xi[globals_]) / g.dz
-            lines = staged_lines_for_diagonal(deck, octant, globals_, k0, d)
-            chunks = assign_cyclic(
-                lines, solver.config.chunk_lines, len(solver.chip.spes)
+    state = None
+    try:
+        while True:
+            try:
+                ws.barrier.wait()  # parked here between commands
+            except Exception:  # pragma: no cover - parent died
+                break
+            cmd = int(ws.ctrl[_CTRL_CMD])
+            if cmd == _CMD_STOP:
+                break
+            if cmd == _CMD_BIND:
+                if state is not None:
+                    state.close()
+                    state = None
+                try:
+                    payload = ws.bind_queue.get(timeout=_RESULT_TIMEOUT)
+                    state = _build_bound_state(payload)
+                except BaseException:  # pragma: no cover - surfaced via ctrl
+                    traceback.print_exc()
+                try:
+                    ws.barrier.wait()
+                except Exception:  # pragma: no cover - parent died
+                    break
+                continue
+            # _CMD_RUN: one diagonal
+            solver = state.solver if state is not None else None
+            metrics_on = bool(ws.ctrl[_CTRL_METRICS])
+            prev_metrics = (
+                capture_unit_metrics(solver)
+                if metrics_on and solver is not None
+                else None
             )
-            fixups = [0]
+            compile_before = STATS.snapshot()
+            try:
+                if solver is None:
+                    raise ParallelError("lane has no bound solver")
+                deck = solver.deck
+                quad = solver.quad
+                g = deck.grid
+                octant, a0, na, k0, d = (
+                    int(x) for x in ws.ctrl[_CTRL_OCTANT:_CTRL_D + 1]
+                )
+                base = octant * quad.per_octant
+                globals_ = [base + a for a in range(a0, a0 + na)]
+                cxs = np.abs(quad.mu[globals_]) / g.dx
+                cys = np.abs(quad.eta[globals_]) / g.dy
+                czs = np.abs(quad.xi[globals_]) / g.dz
+                lines = staged_lines_for_diagonal(deck, octant, globals_, k0, d)
+                chunks = assign_cyclic(
+                    lines, solver.config.chunk_lines, len(solver.chip.spes)
+                )
+                own = [c for c in chunks if c.spe % ws.workers == lane]
+                fixups = [0]
 
-            def execute(chunk):
-                fixups[0] += solver._execute_chunk(chunk, cxs, cys, czs)
+                def execute(chunk):
+                    fixups[0] += solver._execute_chunk(chunk, cxs, cys, czs)
 
-            for chunk in chunks:
-                if chunk.spe % engine.workers == lane:
-                    inner.run_chunk(chunk, execute)
-            engine._lane_fixups[lane] += fixups[0]
-        except BaseException:  # pragma: no cover - surfaced via ctrl
-            traceback.print_exc()
-            engine._ctrl[_CTRL_ERR] = 1
-        if engine._metrics_queue is not None:
-            # always ship exactly one delta per lane per diagonal, so
-            # the parent's drain count is fixed even on a lane error
-            delta = release_unit_metrics(solver, prev_metrics)
-            engine._metrics_queue.put(delta if delta is not None else {})
-        try:
-            engine._barrier.wait(timeout=_RESULT_TIMEOUT)
-        except Exception:  # pragma: no cover - parent died
-            break
+                solver._diag_ctx = (octant, a0, na, k0, d)
+                if solver.config.isa_kernel and solver.config.compile_isa and own:
+                    # this lane's share of the diagonal through the
+                    # compiled batch executor -- the fused path.
+                    # Elementwise along the batch axis, so the partition
+                    # never changes bits.
+                    solver._prepare_diagonal(own, cxs, cys, czs)
+                for chunk in own:
+                    solver.scheduler.run_chunk(chunk, execute)
+                solver._diag_solution = None
+                solver._diag_ctx = None
+                ws.fixups[lane] += fixups[0]
+            except BaseException:  # pragma: no cover - surfaced via ctrl
+                traceback.print_exc()
+                ws.ctrl[_CTRL_ERR] = 1
+            delta = stats_delta(compile_before)
+            ws.compile_counts[lane] += [delta[key] for key in COMPILE_KEYS]
+            if metrics_on:
+                # always ship exactly one delta per lane per diagonal, so
+                # the parent's drain count is fixed even on a lane error
+                mdelta = (
+                    release_unit_metrics(solver, prev_metrics)
+                    if solver is not None
+                    else None
+                )
+                ws.metrics_queue.put(mdelta if mdelta is not None else {})
+            try:
+                ws.barrier.wait(timeout=_RESULT_TIMEOUT)
+            except Exception:  # pragma: no cover - parent died
+                break
+    finally:
+        if state is not None:
+            state.close()

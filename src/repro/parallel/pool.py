@@ -1,0 +1,324 @@
+"""Persistent worker pool: processes and shared memory that outlive one solver.
+
+Forking a pool and mapping shared memory per solve is pure overhead
+once the solver is warm -- and worse, every fresh worker process starts
+with a cold :data:`repro.cell.isa_compile._PROGRAM_CACHE`, so a
+compiled-ISA solve re-traces its kernels in every lane of every solve.
+This module keeps both hot:
+
+* :class:`WorkerSet` -- a set of forked worker processes plus the
+  synchronization objects they were born with (queues for the
+  block/cluster unit protocol, barrier + control block for the
+  diagonal lane protocol).  ``multiprocessing`` barriers can only be
+  shared by inheritance, so the set owns them from fork time; solvers
+  come and go via *rebind* messages carrying ``(deck, config, shared-
+  memory manifest)``, from which each worker builds its own attached
+  solver (:func:`repro.parallel.engine._build_bound_state`).  A worker
+  process that survives a rebind keeps its warm per-process
+  ``CompiledProgram`` cache -- that is the whole point.
+* :class:`PersistentPool` -- hands out worker sets keyed by
+  ``(protocol kind, worker count)`` and parks them on release instead
+  of stopping them; owns the :class:`~repro.parallel.shm.SegmentRegistry`
+  shared-memory parking lot; aggregates pool-side observability
+  (worker reuse, segment reuse, ISA compile hits/misses) in its own
+  :class:`~repro.metrics.registry.MetricsRegistry` -- *not* the
+  solver's, whose contents must stay bit-identical to a serial run.
+
+``CellSweep3D(..., pool="keep")`` routes through the process-wide
+:func:`global_pool`; ``pool="fresh"`` (the default) gives the solver a
+private pool torn down on ``close()`` -- the pre-pool semantics.
+Passing a :class:`PersistentPool` instance pins the lifetime explicitly
+(tests do this to keep global state out of the picture).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+
+import numpy as np
+
+from ..errors import ConfigurationError, ParallelError
+from ..metrics.registry import MetricsRegistry
+from .shm import SegmentRegistry, SharedArrayPool
+
+#: worker-set protocol kinds: ``queue`` serves the block and cluster
+#: engines (shared task/result queues), ``diagonal`` the lane protocol
+#: (barrier + shared control block)
+WORKER_KINDS = ("queue", "diagonal")
+
+#: seconds the parent waits for workers to acknowledge a rebind
+_BIND_TIMEOUT = 120.0
+
+#: CompileStats fields folded into the pool registry, in shared-counter
+#: slot order (the diagonal lanes tally deltas into an int64 array)
+COMPILE_KEYS = (
+    "streams_compiled", "cache_hits", "batched_calls",
+    "batched_blocks", "batched_lines",
+)
+
+
+class WorkerSet:
+    """Forked worker processes plus their fork-inherited sync objects."""
+
+    def __init__(self, kind: str, workers: int) -> None:
+        if kind not in WORKER_KINDS:
+            raise ParallelError(f"unknown worker-set kind {kind!r}")
+        self.kind = kind
+        self.workers = int(workers)
+        self.ctx = mp.get_context("fork")
+        self.procs: list = []
+        self._seq = 0
+        self._stopped = False
+        # lazy import: engine.py imports this module for PersistentPool
+        from . import engine as _engine
+
+        if kind == "diagonal":
+            # the lane protocol's shared state is owned here, not by an
+            # engine, so it survives rebinds: a 16-slot control block, a
+            # per-lane fixup tally and a per-lane compile-stats tally
+            self.shm = SharedArrayPool()
+            self.ctrl = self.shm.alloc("pool-ctrl", (16,), dtype=np.int64)
+            self.fixups = self.shm.alloc(
+                "pool-fixups", (self.workers,), dtype=np.int64
+            )
+            self.compile_counts = self.shm.alloc(
+                "pool-compile", (self.workers, len(COMPILE_KEYS)),
+                dtype=np.int64,
+            )
+            self.barrier = self.ctx.Barrier(self.workers)
+            self.bind_queue = self.ctx.Queue()
+            self.metrics_queue = self.ctx.Queue()
+            target = _engine._diagonal_pool_worker
+        else:
+            self.shm = None
+            self.tasks = self.ctx.Queue()
+            self.results = self.ctx.Queue()
+            self.bind_barrier = self.ctx.Barrier(self.workers)
+            target = _engine._queue_pool_worker
+        for lane in range(1, self.workers):
+            p = self.ctx.Process(
+                target=target, args=(self, lane), daemon=True,
+                name=f"repro-pool-{kind}-lane{lane}",
+            )
+            p.start()
+            self.procs.append(p)
+
+    # -- parent-side protocol --------------------------------------------------
+
+    def next_seq(self) -> int:
+        """A fresh work-batch sequence number (monotonic across every
+        engine this set ever serves, so stale queue items are skipped)."""
+        self._seq += 1
+        return self._seq
+
+    def bind(self, payload: dict) -> None:
+        """Point every worker at a new solver.
+
+        ``payload`` carries ``(kind, deck, config, shared-memory
+        manifests)``; each worker builds its own attached solver from
+        it and acknowledges through the bind barrier, so when this
+        returns no worker still touches the previous solver's state.
+        """
+        if self._stopped:
+            raise ParallelError("worker set already stopped")
+        if self.workers == 1:
+            return
+        from . import engine as _engine
+
+        try:
+            if self.kind == "diagonal":
+                for _ in range(self.workers - 1):
+                    self.bind_queue.put(payload)
+                self.ctrl[_engine._CTRL_CMD] = _engine._CMD_BIND
+                self.barrier.wait(timeout=_BIND_TIMEOUT)  # release lanes
+                self.barrier.wait(timeout=_BIND_TIMEOUT)  # lanes rebound
+            else:
+                for _ in range(self.workers - 1):
+                    self.tasks.put(("bind", payload))
+                self.bind_barrier.wait(timeout=_BIND_TIMEOUT)
+        except ParallelError:
+            raise
+        except Exception as exc:  # pragma: no cover - dead/hung worker
+            raise ParallelError(
+                f"worker set failed to acknowledge rebind within "
+                f"{_BIND_TIMEOUT:.0f}s: {exc!r}"
+            ) from None
+
+    def healthy(self) -> bool:
+        """Every worker process is still alive (a parked set that lost a
+        process cannot be reused -- barriers would hang)."""
+        return not self._stopped and all(p.is_alive() for p in self.procs)
+
+    def stop(self) -> None:
+        """Terminate the workers and release the set's own shared state."""
+        if self._stopped:
+            return
+        self._stopped = True
+        from . import engine as _engine
+
+        if self.procs:
+            if self.kind == "diagonal":
+                self.ctrl[_engine._CTRL_CMD] = _engine._CMD_STOP
+                try:
+                    self.barrier.wait(timeout=5.0)
+                except Exception:  # pragma: no cover - dead lanes
+                    pass
+            else:
+                for _ in self.procs:
+                    self.tasks.put(("stop",))
+        for p in self.procs:
+            p.join(timeout=5.0)
+            if p.is_alive():  # pragma: no cover - hung worker
+                p.terminate()
+                p.join(timeout=5.0)
+        self.procs = []
+        if self.shm is not None:
+            self.shm.close()
+
+
+class PersistentPool:
+    """Worker sets and shared-memory segments reused across solvers.
+
+    ``persistent=True`` parks released worker sets and segments for the
+    next acquisition; ``persistent=False`` gives the classic
+    solver-scoped lifetime (everything stops at ``close``).  Either
+    way the pool's :attr:`metrics` registry aggregates what happened:
+
+    * ``parallel.pool.workers.forked`` / ``.reused`` / ``.parked`` /
+      ``.stopped`` -- worker-set lifecycle;
+    * ``parallel.pool.binds`` -- solver rebinds shipped to live sets;
+    * ``parallel.shm.created`` / ``.reused`` / ``.parked`` /
+      ``.unlinked`` -- segment-registry traffic;
+    * ``parallel.isa.*`` -- :data:`~repro.cell.isa_compile.STATS`
+      deltas folded from every process that executed work (the
+      hit-rate counters the warm-pool acceptance check reads).
+
+    These live outside the solver's registry on purpose: per-process
+    compile counts depend on the worker count, and the solver registry
+    must stay bit-identical to a serial run.
+    """
+
+    def __init__(self, persistent: bool = False) -> None:
+        self.persistent = bool(persistent)
+        self.metrics = MetricsRegistry()
+        self.segments = SegmentRegistry(
+            counter=lambda event, n=1: self.metrics.count(
+                f"parallel.shm.{event}", n
+            )
+        )
+        self._parked: dict[tuple[str, int], WorkerSet] = {}
+        self._closed = False
+        atexit.register(self.shutdown)
+
+    # -- worker sets -----------------------------------------------------------
+
+    def acquire(self, kind: str, workers: int) -> WorkerSet:
+        """A worker set for ``(kind, workers)``: a parked healthy one
+        when available, a freshly forked one otherwise."""
+        if self._closed:
+            raise ParallelError("persistent pool already shut down")
+        ws = self._parked.pop((kind, int(workers)), None)
+        if ws is not None:
+            if ws.healthy():
+                self.metrics.count("parallel.pool.workers.reused")
+                return ws
+            ws.stop()  # pragma: no cover - a parked set lost a process
+        self.metrics.count("parallel.pool.workers.forked")
+        return WorkerSet(kind, workers)
+
+    def release(self, ws: WorkerSet, discard: bool = False) -> None:
+        """Park ``ws`` for reuse (persistent pools, healthy sets) or
+        stop it.  ``discard`` forces a stop -- an engine that aborted a
+        sweep may have left stale items in the set's queues, so its
+        workers must not serve another solver."""
+        key = (ws.kind, ws.workers)
+        if (
+            not discard
+            and self.persistent
+            and not self._closed
+            and ws.healthy()
+            and key not in self._parked
+        ):
+            self._parked[key] = ws
+            self.metrics.count("parallel.pool.workers.parked")
+        else:
+            ws.stop()
+            self.metrics.count("parallel.pool.workers.stopped")
+
+    # -- observability ---------------------------------------------------------
+
+    def count_bind(self) -> None:
+        self.metrics.count("parallel.pool.binds")
+
+    def count_compile(self, delta: dict) -> None:
+        """Fold a :func:`repro.cell.isa_compile.stats_delta` (or the
+        equivalent dict) into the ``parallel.isa.*`` counters."""
+        for key in COMPILE_KEYS:
+            value = int(delta.get(key, 0))
+            if value:
+                self.metrics.count(f"parallel.isa.{key}", value)
+
+    def compile_hit_rate(self, since: dict | None = None) -> float | None:
+        """Cache hits / program lookups, or ``None`` before any
+        compiled-ISA work ran.  ``since`` -- an earlier
+        ``metrics.to_dict()["counters"]`` snapshot -- restricts the rate
+        to the work folded after it; ``1.0`` over the window of a
+        rebound solve is the warm-pool acceptance bar: it recompiled
+        nothing."""
+        hits = self.metrics.get("parallel.isa.cache_hits")
+        misses = self.metrics.get("parallel.isa.streams_compiled")
+        if since is not None:
+            hits -= since.get("parallel.isa.cache_hits", 0)
+            misses -= since.get("parallel.isa.streams_compiled", 0)
+        if hits + misses == 0:
+            return None
+        return hits / (hits + misses)
+
+    @property
+    def parked_worker_sets(self) -> int:
+        return len(self._parked)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop every parked worker set and unlink every parked
+        segment.  Idempotent; also runs at interpreter exit."""
+        if self._closed:
+            return
+        self._closed = True
+        for ws in self._parked.values():
+            ws.stop()
+        self._parked = {}
+        self.segments.close()
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+_GLOBAL_POOL: PersistentPool | None = None
+
+
+def global_pool() -> PersistentPool:
+    """The process-wide persistent pool behind ``pool="keep"``."""
+    global _GLOBAL_POOL
+    if _GLOBAL_POOL is None or _GLOBAL_POOL._closed:
+        _GLOBAL_POOL = PersistentPool(persistent=True)
+    return _GLOBAL_POOL
+
+
+def resolve_pool(pool: "str | PersistentPool") -> PersistentPool:
+    """Map a ``pool=`` argument (``"keep"``, ``"fresh"``, or an
+    explicit :class:`PersistentPool`) to the pool instance to use."""
+    if isinstance(pool, PersistentPool):
+        return pool
+    if pool == "keep":
+        return global_pool()
+    if pool == "fresh":
+        return PersistentPool(persistent=False)
+    raise ConfigurationError(
+        f"pool must be 'keep', 'fresh' or a PersistentPool, got {pool!r}"
+    )

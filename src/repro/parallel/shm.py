@@ -8,11 +8,23 @@ allocates every segment *before* spawning workers, so the children
 inherit the open mappings and never exchange anything but a few ints
 per work unit.
 
+Two extensions support the persistent worker pool
+(:mod:`repro.parallel.pool`):
+
+* a :class:`SegmentRegistry` keyed by ``(name, shape, dtype)`` lets a
+  pool *park* its segments instead of unlinking them, so the next
+  solver with the same deck shape reuses the mappings (zero-filled on
+  lease -- reuse changes setup cost, never bytes);
+* :meth:`SharedArrayPool.manifest` exports the OS-level segment names,
+  and :class:`AttachedArrays` re-opens them inside an already-running
+  worker process -- the rebind path that lets pooled workers outlive
+  the solver they were forked for.
+
 Lifecycle: the pool owns its segments.  :meth:`SharedArrayPool.close`
-unlinks them (so ``/dev/shm`` is not leaked) and closes what it can; a
-segment whose numpy views are still referenced stays mapped until the
-process exits, which is exactly the semantics the views need.  An
-``atexit`` hook guarantees the unlink even when callers forget.
+unlinks them (so ``/dev/shm`` is not leaked) or parks them in the
+registry; the registry's own :meth:`~SegmentRegistry.close` unlinks
+whatever is still parked.  ``atexit`` hooks guarantee the unlink even
+when callers forget.
 """
 
 from __future__ import annotations
@@ -26,11 +38,127 @@ import numpy as np
 from ..errors import ParallelError
 
 
-class SharedArrayPool:
-    """Allocates named numpy arrays backed by POSIX shared memory."""
+def _unlink_segment(seg: shared_memory.SharedMemory) -> None:
+    """Unlink and close one segment, tolerating live numpy views."""
+    try:
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover - double unlink
+        pass
+    try:
+        seg.close()
+    except BufferError:
+        # live numpy views still reference the mapping; the OS
+        # reclaims it at process exit.  Neutralize the instance
+        # finalizer so interpreter shutdown doesn't print the
+        # same BufferError as an ignored exception.
+        seg.close = lambda: None
 
-    def __init__(self) -> None:
+
+class SegmentRegistry:
+    """Shape-keyed parking lot for shared-memory segments.
+
+    A :class:`SharedArrayPool` built over a registry *leases* its
+    segments here: an unchanged ``(name, shape, dtype)`` key reuses a
+    parked segment (no ``shm_open``/``ftruncate``/``mmap``), a new key
+    creates one.  Closing the pool with ``park=True`` returns the
+    segments instead of unlinking them.  ``counter``, when given, is
+    called as ``counter(event, n)`` for ``created``/``reused``/
+    ``parked``/``unlinked`` events (the pool metrics hook).
+    """
+
+    def __init__(self, counter: Callable[[str, int], None] | None = None) -> None:
+        self._parked: dict[tuple, list[shared_memory.SharedMemory]] = {}
+        self._leased = 0
+        self._counter = counter
+        self._closed = False
+        self.created = 0
+        self.reused = 0
+        atexit.register(self.close)
+
+    @staticmethod
+    def _key(name: str, shape: tuple[int, ...], dt: np.dtype) -> tuple:
+        return (name, tuple(int(s) for s in shape), dt.str)
+
+    def _count(self, event: str, n: int = 1) -> None:
+        if self._counter is not None:
+            self._counter(event, n)
+
+    @property
+    def leased_count(self) -> int:
+        """Segments currently leased to live pools."""
+        return self._leased
+
+    @property
+    def parked_count(self) -> int:
+        """Segments parked and waiting for a matching lease."""
+        return sum(len(lst) for lst in self._parked.values())
+
+    def lease(
+        self, name: str, shape: tuple[int, ...], dt: np.dtype, size: int
+    ) -> shared_memory.SharedMemory:
+        """A segment for ``(name, shape, dtype)``: a parked one when the
+        key matches (contents stale -- the caller zero-fills), a fresh
+        one otherwise."""
+        if self._closed:
+            raise ParallelError("segment registry already closed")
+        lst = self._parked.get(self._key(name, shape, dt))
+        if lst:
+            seg = lst.pop()
+            self.reused += 1
+            self._count("reused")
+        else:
+            seg = shared_memory.SharedMemory(create=True, size=size)
+            self.created += 1
+            self._count("created")
+        self._leased += 1
+        return seg
+
+    def park(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dt: np.dtype,
+        seg: shared_memory.SharedMemory,
+    ) -> None:
+        """Return a leased segment for later reuse under the same key."""
+        self._leased -= 1
+        if self._closed:
+            _unlink_segment(seg)
+            self._count("unlinked")
+            return
+        self._parked.setdefault(self._key(name, shape, dt), []).append(seg)
+        self._count("parked")
+
+    def discard(self, seg: shared_memory.SharedMemory) -> None:
+        """End a lease without parking: unlink the segment now."""
+        self._leased -= 1
+        _unlink_segment(seg)
+        self._count("unlinked")
+
+    def close(self) -> None:
+        """Unlink every parked segment.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for lst in self._parked.values():
+            for seg in lst:
+                _unlink_segment(seg)
+                self._count("unlinked")
+        self._parked = {}
+
+
+class SharedArrayPool:
+    """Allocates named numpy arrays backed by POSIX shared memory.
+
+    With a :class:`SegmentRegistry`, segments are leased from (and can
+    be parked back into) the registry; standalone pools own their
+    segments outright, exactly as before.
+    """
+
+    def __init__(self, registry: SegmentRegistry | None = None) -> None:
         self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._meta: dict[str, tuple[tuple[int, ...], np.dtype]] = {}
+        self._registry = registry
         self._closed = False
         atexit.register(self.close)
 
@@ -49,12 +177,15 @@ class SharedArrayPool:
             raise ParallelError(f"shared array {name!r} already allocated")
         dt = np.dtype(dtype)
         count = int(np.prod(shape, dtype=np.int64)) if shape else 1
-        seg = shared_memory.SharedMemory(
-            create=True, size=max(count * dt.itemsize, 1)
-        )
+        size = max(count * dt.itemsize, 1)
+        if self._registry is not None:
+            seg = self._registry.lease(name, shape, dt, size)
+        else:
+            seg = shared_memory.SharedMemory(create=True, size=size)
         arr = np.frombuffer(seg.buf, dtype=dt, count=count).reshape(shape)
         arr[...] = 0
         self._segments[name] = seg
+        self._meta[name] = (tuple(int(s) for s in shape), dt)
         return arr
 
     def factory(
@@ -71,6 +202,15 @@ class SharedArrayPool:
 
         return make
 
+    def manifest(self) -> dict[str, tuple[str, tuple[int, ...], str]]:
+        """``{logical name: (OS segment name, shape, dtype str)}`` for
+        every allocated array -- everything a worker process needs to
+        re-attach the pool's views (:class:`AttachedArrays`)."""
+        return {
+            name: (seg.name, self._meta[name][0], self._meta[name][1].str)
+            for name, seg in self._segments.items()
+        }
+
     @property
     def total_bytes(self) -> int:
         return sum(seg.size for seg in self._segments.values())
@@ -78,29 +218,111 @@ class SharedArrayPool:
     def __len__(self) -> int:
         return len(self._segments)
 
-    def close(self) -> None:
-        """Unlink every segment.  Idempotent.  Views handed out earlier
-        stay valid until their mapping is dropped at process exit."""
+    def close(self, park: bool = False) -> None:
+        """Release every segment: park into the registry when asked (and
+        one exists), unlink otherwise.  Idempotent.  Views handed out
+        earlier stay valid until their mapping is dropped."""
         if self._closed:
             return
         self._closed = True
-        for seg in self._segments.values():
-            try:
-                seg.unlink()
-            except FileNotFoundError:  # pragma: no cover - double unlink
-                pass
-            try:
-                seg.close()
-            except BufferError:
-                # live numpy views still reference the mapping; the OS
-                # reclaims it at process exit.  Neutralize the instance
-                # finalizer so interpreter shutdown doesn't print the
-                # same BufferError as an ignored exception.
-                seg.close = lambda: None
+        for name, seg in self._segments.items():
+            if self._registry is not None:
+                shape, dt = self._meta[name]
+                if park:
+                    self._registry.park(name, shape, dt, seg)
+                else:
+                    self._registry.discard(seg)
+            else:
+                _unlink_segment(seg)
         self._segments = {}
+        self._meta = {}
 
     def __enter__(self) -> "SharedArrayPool":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+# -- worker-side attach (the pool rebind path) --------------------------------
+
+
+def _attach_segment(os_name: str) -> shared_memory.SharedMemory:
+    """Open an existing segment by OS name without handing its lifetime
+    to the resource tracker (the parent owns the unlink; double
+    tracking makes Python's tracker unlink live segments and spew
+    "leaked shared_memory" warnings at exit)."""
+    try:
+        return shared_memory.SharedMemory(name=os_name, track=False)
+    except TypeError:  # Python < 3.13: no track= parameter
+        # Suppress the constructor's register() call instead of sending
+        # an unregister afterwards: the tracker daemon is shared with
+        # the parent, so an unregister message would delete the
+        # *parent's* registration of the same segment.
+        from multiprocessing import resource_tracker
+
+        orig = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            return shared_memory.SharedMemory(name=os_name)
+        finally:
+            resource_tracker.register = orig
+
+
+class AttachedArrays:
+    """A :meth:`SharedArrayPool.manifest` re-opened in another process.
+
+    The persistent pool's workers outlive the solver they were forked
+    for; on rebind they receive the new solver's manifest and attach
+    its segments by name.  :meth:`factory` mirrors
+    :meth:`SharedArrayPool.factory`: names in the manifest attach the
+    parent's bytes, everything else is a private array.
+    """
+
+    def __init__(self, manifest: dict[str, tuple[str, tuple[int, ...], str]]) -> None:
+        self._manifest = dict(manifest)
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._closed = False
+
+    def get(self, name: str) -> np.ndarray:
+        """The attached view for logical array ``name``."""
+        if self._closed:
+            raise ParallelError("attached arrays already closed")
+        os_name, shape, dtype = self._manifest[name]
+        seg = self._segments.get(name)
+        if seg is None:
+            seg = self._segments[name] = _attach_segment(os_name)
+        dt = np.dtype(dtype)
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        return np.frombuffer(seg.buf, dtype=dt, count=count).reshape(shape)
+
+    def factory(self) -> Callable[[str, tuple[int, ...], np.dtype], np.ndarray]:
+        """``host_array_factory`` hook: manifest names attach the
+        parent's shared bytes, the rest are private zeros."""
+
+        def make(name: str, shape: tuple[int, ...], dt: np.dtype) -> np.ndarray:
+            if name in self._manifest:
+                arr = self.get(name)
+                if arr.shape != tuple(shape) or arr.dtype != dt:
+                    raise ParallelError(
+                        f"shared array {name!r} is {arr.shape}/{arr.dtype} in "
+                        f"the manifest but {tuple(shape)}/{dt} locally -- "
+                        "deck/config mismatch between parent and worker"
+                    )
+                return arr
+            return np.zeros(shape, dtype=dt)
+
+        return make
+
+    def close(self) -> None:
+        """Drop this process's mappings (never unlinks -- the parent's
+        pool owns the segments)."""
+        if self._closed:
+            return
+        self._closed = True
+        for seg in self._segments.values():
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover - views still live
+                seg.close = lambda: None
+        self._segments = {}

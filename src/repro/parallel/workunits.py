@@ -68,6 +68,10 @@ class UnitResult:
     #: snapshot.  All-integer aggregates, so the parent's merge in
     #: serial unit order reproduces the serial registry bit for bit.
     metrics: dict | None = None
+    #: compile-stats delta (:func:`repro.cell.isa_compile.stats_delta`)
+    #: of the unit's execution, folded into the *pool* registry -- never
+    #: the solver's, whose bits must not depend on the worker count.
+    compile: dict | None = None
 
 
 class RecordingVacuumBoundary(VacuumBoundary):

@@ -158,6 +158,135 @@ def test_metrics_attribution_exact_across_workers(workers):
     assert att.total_ticks == att.num_spes * att.span_ticks
 
 
+# -- compiled-ISA determinism -------------------------------------------------
+#
+# The fused path of the persistent-pool engine: with ``isa_kernel`` +
+# ``compile_isa`` on, every lane (diagonal granularity) and every worker
+# (block granularity) routes its share of the work through the compiled
+# batch executor, pooled or fresh -- and the bits must never move.
+
+ICFG = CFG.with_(isa_kernel=True)
+IMCFG = ICFG.with_(metrics=True)
+
+
+@pytest.fixture(scope="module")
+def serial_isa():
+    return CellSweep3D(make_deck(), ICFG).solve()
+
+
+@pytest.fixture(scope="module")
+def isa_pool():
+    from repro.parallel.pool import PersistentPool
+
+    with PersistentPool(persistent=True) as pool:
+        yield pool
+
+
+@pytest.mark.parametrize("pooled", [False, True], ids=["fresh", "pooled"])
+@pytest.mark.parametrize("granularity", ["block", "diagonal"])
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_compiled_isa_bit_identical(
+    serial_isa, isa_pool, workers, granularity, pooled
+):
+    pool = isa_pool if pooled else "fresh"
+    with CellSweep3D(
+        make_deck(), ICFG, workers=workers, granularity=granularity,
+        pool=pool,
+    ) as solver:
+        result = solver.solve()
+    np.testing.assert_array_equal(serial_isa.flux, result.flux)
+    assert serial_isa.tally.leakage == result.tally.leakage
+    assert serial_isa.tally.fixups == result.tally.fixups
+    assert serial_isa.history == result.history
+
+
+def test_compiled_isa_diagonal_uses_batch_executor(isa_pool):
+    """Tentpole acceptance: parallel diagonal lanes go through the
+    compiled batch executor, not the per-chunk interpreter fallback."""
+    before = isa_pool.metrics.to_dict()["counters"]
+    with CellSweep3D(
+        make_deck(), ICFG, workers=2, granularity="diagonal", pool=isa_pool
+    ) as solver:
+        solver.solve()
+    after = isa_pool.metrics.to_dict()["counters"]
+    batched = after.get("parallel.isa.batched_lines", 0) - before.get(
+        "parallel.isa.batched_lines", 0
+    )
+    assert batched > 0
+    # every staged line of the sweep was batch-solved (parent lane and
+    # worker lanes combined); nothing fell back to per-chunk execution
+    deck = make_deck()
+    quad = deck.quadrature()
+    lines_per_sweep = 8 * quad.per_octant * deck.grid.ny * deck.grid.nz
+    assert batched == deck.iterations * lines_per_sweep
+
+
+@pytest.fixture(scope="module")
+def serial_isa_metrics():
+    solver = CellSweep3D(make_deck(), IMCFG)
+    solver.solve()
+    return solver.metrics.to_dict()
+
+
+@pytest.mark.parametrize("granularity", ["block", "diagonal"])
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_compiled_isa_metrics_identical(
+    serial_isa_metrics, isa_pool, workers, granularity
+):
+    """Pool-side compile counters stay out of the solver registry: the
+    merged metrics match serial bit for bit, pooled, for any workers."""
+    with CellSweep3D(
+        make_deck(), IMCFG, workers=workers, granularity=granularity,
+        pool=isa_pool,
+    ) as solver:
+        solver.solve()
+        assert solver.metrics.to_dict() == serial_isa_metrics
+
+
+def test_compiled_isa_trace_stream_identical(isa_pool):
+    """Trace byte-stream (track, name, dur, args) is unchanged by
+    pooled compiled-ISA execution (block granularity; diagonal rejects
+    tracing by design)."""
+    tcfg = ICFG.with_(trace=True)
+    serial = CellSweep3D(make_deck(), tcfg)
+    serial.solve()
+    with CellSweep3D(
+        make_deck(), tcfg, workers=2, pool=isa_pool
+    ) as parallel:
+        parallel.solve()
+        assert [
+            (e.track, e.name, e.dur, sorted((e.args or {}).items()))
+            for e in serial.trace.events
+        ] == [
+            (e.track, e.name, e.dur, sorted((e.args or {}).items()))
+            for e in parallel.trace.events
+        ]
+
+
+def test_prepare_fallback_warns_once():
+    """A scheduler that cannot honor the diagonal-batched prepare hook
+    triggers one warning and the ``parallel.prepare_fallback`` counter
+    -- never a silent drop."""
+
+    class LegacyScheduler:
+        # deliberately no ``supports_prepare`` and no ``prepare=`` kwarg
+        def __init__(self, inner):
+            self.inner = inner
+            self.chunks_dispatched = 0
+
+        def run_diagonal(self, lines, chunk_lines, execute):
+            return self.inner.run_diagonal(lines, chunk_lines, execute)
+
+    solver = CellSweep3D(make_deck(), IMCFG)
+    solver.scheduler = LegacyScheduler(solver.scheduler)
+    with pytest.warns(RuntimeWarning, match="prepare"):
+        result = solver.solve()
+    assert solver.metrics.get("parallel.prepare_fallback") == 1
+    # the per-chunk compiled fallback is still bit-identical
+    reference = CellSweep3D(make_deck(), ICFG).solve()
+    np.testing.assert_array_equal(reference.flux, result.flux)
+
+
 def test_cluster_metrics_identical_across_workers():
     """The cluster aggregate (per-SPE-slot merge across ranks) matches
     between the threaded KBA runtime and the process-pool engine."""
