@@ -1,0 +1,208 @@
+"""Throughput and tail latency of the solve server under CI-size load.
+
+The serve subsystem promises three things worth numbers: a burst of
+concurrent small jobs drains at a predictable rate (``jobs_per_sec``),
+no job waits unboundedly behind the others (``p99_ms`` end-to-end
+latency, submission to terminal state, queueing included), and the
+process-global compiled-ISA cache makes every job after the first free
+of recompiles (``warm_recompiles == 0``).  This bench measures all
+three through the real HTTP surface -- a ``ServeApp`` bound to a free
+loopback port, driven by :class:`repro.serve.ServeClient` from worker
+threads -- so the recorded numbers include transport, admission,
+fair-queue scheduling and the job store, not just the solve.
+
+Phases:
+
+* **cold 16^3 job** -- one job against a cleared compile cache; its
+  ``streams_compiled`` is the compile bill every later identical deck
+  shape avoids.
+* **warm burst** -- ``BENCH_SERVE_JOBS`` (default 8, the CI-size load)
+  identical 16^3 jobs submitted simultaneously from that many threads.
+  Records jobs/s over the burst, p50/p99 end-to-end latency, and the
+  server-wide recompile count across the burst (must be 0).
+* **serve smoke** -- one more warm job, timed end to end.  This is the
+  quantity ``repro bench --check`` re-measures and gates against
+  ``wall_seconds`` x tolerance (see ``repro.perf.baseline``).
+
+Every job's flux SHA-256 must match every other's -- the burst is the
+same deck, so any scheduling- or cache-induced divergence shows up as
+``bit_identical: false`` and trips the structural baseline check.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_serve_throughput.py``)
+or through pytest (``python -m pytest benchmarks/bench_serve_throughput.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import os
+import threading
+import time
+
+from repro.cell.isa_compile import clear_cache
+from repro.parallel.pool import PersistentPool
+from repro.serve import ServeApp, ServeClient, ServeLimits, SolveRunner
+
+#: the CI-size load: this many 16^3 jobs submitted concurrently
+DEFAULT_JOBS = 8
+
+#: concurrent solve slots (the serve CLI default)
+MAX_CONCURRENT = 2
+
+DECK = {"cube": 16, "sn": 4, "nm": 2, "iterations": 1}
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile (with 8 samples, p99 is the max --
+    exactly the straggler the gate cares about)."""
+    ranked = sorted(samples)
+    rank = min(len(ranked) - 1, max(0, math.ceil(q * len(ranked)) - 1))
+    return ranked[rank]
+
+
+def _timed_job(client: ServeClient, barrier: threading.Barrier | None,
+               out: list[dict]) -> None:
+    if barrier is not None:
+        barrier.wait()
+    t0 = time.perf_counter()
+    job = client.submit(**DECK)
+    done = client.wait(job["id"], timeout=600.0)
+    latency = time.perf_counter() - t0
+    assert done["state"] == "done", done.get("error")
+    out.append({"latency": latency, "result": done["result"]})
+
+
+def run_bench(jobs: int = DEFAULT_JOBS) -> dict:
+    async def main() -> dict:
+        clear_cache()  # phase 1 must pay the full compile bill
+        with PersistentPool(persistent=True) as pool:
+            app = ServeApp(
+                runner=SolveRunner(pool=pool, workers=1),
+                limits=ServeLimits(
+                    max_queue_depth=max(64, 2 * jobs),
+                    max_concurrent=MAX_CONCURRENT,
+                ),
+            )
+            await app.start("127.0.0.1", 0)
+            client = ServeClient(port=app.port, timeout=600.0)
+            try:
+                return await asyncio.to_thread(_scenario, client, jobs)
+            finally:
+                await app.stop(drain_timeout=600.0)
+
+    return asyncio.run(main())
+
+
+def _scenario(client: ServeClient, jobs: int) -> dict:
+    # -- phase 1: cold job ---------------------------------------------------
+    cold: list[dict] = []
+    _timed_job(client, None, cold)
+    cold_result = cold[0]["result"]
+    sha = cold_result["flux"]["sha256"]
+    compiled_before_burst = client.metric("repro_serve_isa_streams_compiled")
+
+    # -- phase 2: warm burst -------------------------------------------------
+    barrier = threading.Barrier(jobs)
+    results: list[dict] = []
+    threads = [
+        threading.Thread(target=_timed_job, args=(client, barrier, results))
+        for _ in range(jobs)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    burst_wall = time.perf_counter() - t0
+    compiled_after_burst = client.metric("repro_serve_isa_streams_compiled")
+
+    latencies = [r["latency"] for r in results]
+    warm_recompiles = int(compiled_after_burst - compiled_before_burst)
+    hits = sum(r["result"]["compile"]["cache_hits"] for r in results)
+    lookups = hits + sum(
+        r["result"]["compile"]["streams_compiled"] for r in results
+    )
+
+    # -- phase 3: the gate's smoke quantity ----------------------------------
+    smoke: list[dict] = []
+    _timed_job(client, None, smoke)
+
+    shas = {sha} | {r["result"]["flux"]["sha256"] for r in results + smoke}
+    return {
+        "bench": "serve throughput",
+        "host_cpus": os.cpu_count(),
+        "max_concurrent": MAX_CONCURRENT,
+        "records": [
+            {
+                "record": "cold 16^3 job",
+                "deck": "16^3 x 1 iter",
+                "wall_seconds": round(cold[0]["latency"], 4),
+                "streams_compiled": cold_result["compile"]["streams_compiled"],
+                "bit_identical": len(shas) == 1,
+            },
+            {
+                "record": "warm burst",
+                "deck": "16^3 x 1 iter",
+                "jobs": jobs,
+                "wall_seconds": round(burst_wall, 4),
+                "jobs_per_sec": round(jobs / burst_wall, 4),
+                "p50_ms": round(_percentile(latencies, 0.50) * 1000, 1),
+                "p99_ms": round(_percentile(latencies, 0.99) * 1000, 1),
+                "warm_recompiles": warm_recompiles,
+                "compile_hit_rate": round(hits / lookups, 4) if lookups else 1.0,
+                "bit_identical": len(shas) == 1,
+            },
+            {
+                "record": "serve smoke",
+                "deck": "16^3 x 1 iter",
+                "wall_seconds": round(smoke[0]["latency"], 4),
+                "bit_identical": len(shas) == 1,
+            },
+        ],
+    }
+
+
+def write_json(payload: dict):
+    from _bench_utils import write_bench_json
+
+    return write_bench_json("BENCH_serve.json", payload)
+
+
+def _print(payload: dict) -> None:
+    cold, burst, smoke = payload["records"]
+    print(
+        f"cold job: {cold['wall_seconds']:.2f}s end-to-end, "
+        f"{cold['streams_compiled']} streams compiled"
+    )
+    print(
+        f"warm burst: {burst['jobs']} jobs in {burst['wall_seconds']:.2f}s "
+        f"({burst['jobs_per_sec']:.2f} jobs/s), p50 {burst['p50_ms']:.0f}ms, "
+        f"p99 {burst['p99_ms']:.0f}ms, {burst['warm_recompiles']} recompiles, "
+        f"hit rate {burst['compile_hit_rate']:.2f}"
+    )
+    print(f"serve smoke: {smoke['wall_seconds']:.2f}s end-to-end")
+
+
+def test_serve_throughput(out_dir):
+    jobs = int(os.environ.get("BENCH_SERVE_JOBS", DEFAULT_JOBS))
+    payload = run_bench(jobs=jobs)
+    path = write_json(payload)
+    _print(payload)
+    print(f"[written to {path}]")
+    burst = payload["records"][1]
+    assert burst["warm_recompiles"] == 0, (
+        "identical warm decks recompiled ISA streams: the program cache "
+        "has stopped being shared across jobs"
+    )
+    assert burst["bit_identical"], (
+        "concurrent jobs of the same deck diverged bit-for-bit"
+    )
+
+
+if __name__ == "__main__":
+    jobs = int(os.environ.get("BENCH_SERVE_JOBS", str(DEFAULT_JOBS)))
+    payload = run_bench(jobs=jobs)
+    out = write_json(payload)
+    _print(payload)
+    print(f"[written to {out}]")

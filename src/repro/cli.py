@@ -6,6 +6,7 @@ writing code:
 
 =============  ===========================================================
 ``solve``      run a cubic problem through a chosen engine
+``serve``      the async solve server (see ``docs/SERVING.md``)
 ``trace``      traced Cell solve: Perfetto export + DMA-hazard sanitizer
 ``metrics``    metrics-instrumented Cell solve: per-SPE cycle attribution
 ``bench``      benchmark baselines: inspect, or regression-gate (--check)
@@ -265,7 +266,8 @@ def cmd_trace(args) -> int:
 def cmd_metrics(args) -> int:
     """Metrics-instrumented functional Cell solve: print the per-SPE
     "where the cycles went" attribution table, the %-of-DP-peak figure
-    and the hot registry counters (``--json`` for the full registry)."""
+    and the hot registry counters (``--json`` for the full registry,
+    ``--format prometheus`` for the text exposition a scraper reads)."""
     from .core.solver import CellSweep3D
     from .perf.processors import measured_cell_config
 
@@ -284,6 +286,11 @@ def cmd_metrics(args) -> int:
         solver.close()
     attribution = solver.cycle_attribution()
     attribution.verify()
+    if args.format == "prometheus":
+        from .metrics.export import to_prometheus_text
+
+        print(to_prometheus_text(solver.metrics), end="")
+        return 0
     if args.json:
         from .perf.report import Row, format_json
 
@@ -309,6 +316,36 @@ def cmd_metrics(args) -> int:
         print(f"  {name:28s} {solver.metrics.counters[name]:>16,d}")
     for name, value in sorted(solver.metrics.gauges.items()):
         print(f"  {name:28s} {value:>16,d} (max)")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the async solve server until SIGTERM/SIGINT (then drain and
+    exit cleanly).  See ``docs/SERVING.md`` for the HTTP API."""
+    import asyncio
+
+    from .serve.app import ServeApp, serve_forever
+    from .serve.queueing import ServeLimits
+    from .serve.runner import SolveRunner
+
+    limits = ServeLimits(
+        max_queue_depth=args.max_queue,
+        max_concurrent=args.max_concurrent,
+        max_body_bytes=args.max_body_bytes,
+    )
+    runner = SolveRunner(pool=args.pool, workers=args.workers)
+    app = ServeApp(runner=runner, limits=limits)
+
+    def ready(port: int) -> None:
+        print(f"repro serve listening on http://{args.host}:{port} "
+              f"(pool={args.pool}, solver workers={args.workers}, "
+              f"{limits.max_concurrent} concurrent solves, queue depth "
+              f"{limits.max_queue_depth})", flush=True)
+
+    try:
+        asyncio.run(serve_forever(app, args.host, args.port, ready=ready))
+    except KeyboardInterrupt:  # pragma: no cover - ^C without handler
+        pass
     return 0
 
 
@@ -530,10 +567,14 @@ def _cluster_solve(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Sweep3D-on-Cell-BE reproduction (IPDPS 2007)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("solve", help="run a problem through a solver engine")
@@ -581,7 +622,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="live done/total heartbeat on stderr")
     p.add_argument("--json", action="store_true",
                    help="machine-readable JSON output")
+    p.add_argument("--format", choices=("table", "prometheus"),
+                   default="table",
+                   help="output format: the attribution table (default) "
+                        "or the registry in Prometheus text exposition "
+                        "format (the offline twin of the serve "
+                        "subsystem's GET /metrics)")
     p.set_defaults(fn=cmd_metrics)
+
+    p = sub.add_parser(
+        "serve",
+        help="async batched solve server (see docs/SERVING.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8272,
+                   help="bind port (default 8272; 0 picks a free port, "
+                        "printed on startup)")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="host worker processes per solve (shared "
+                        "persistent pool; default 1)")
+    p.add_argument("--pool", choices=("keep", "fresh"), default="keep",
+                   help="worker-pool lifetime across jobs: 'keep' "
+                        "(default -- the warm-cache point of the daemon) "
+                        "parks workers and shared memory between solves")
+    p.add_argument("--max-queue", type=int, default=64, metavar="N",
+                   help="queued jobs beyond which POST /jobs answers "
+                        "429 (default 64)")
+    p.add_argument("--max-concurrent", type=int, default=2, metavar="N",
+                   help="solves running concurrently (default 2)")
+    p.add_argument("--max-body-bytes", type=int, default=1 << 20,
+                   metavar="B",
+                   help="request-body byte limit, 413 above it "
+                        "(default 1 MiB)")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
         "bench",

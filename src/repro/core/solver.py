@@ -134,9 +134,11 @@ class CellSweep3D:
             )
         else:
             self._cycles_per_visit = 0.0
-        #: optional progress sink with a ``tick()`` method (e.g.
-        #: :class:`repro.metrics.heartbeat.Heartbeat`), called once per
-        #: completed (octant, angle-block) unit in every execution mode.
+        #: optional progress sink called once per completed (octant,
+        #: angle-block) unit in every execution mode: either an object
+        #: with a ``tick()`` method (e.g.
+        #: :class:`repro.metrics.heartbeat.Heartbeat`, the solve
+        #: server's per-job sink) or a plain zero-argument callable.
         self.progress = None
         self.host = HostState(deck, self.config, self.chip)
         self.quad = deck.quadrature()
@@ -321,9 +323,15 @@ class CellSweep3D:
     def _progress_tick(self) -> None:
         """One completed work unit, forwarded to the progress sink (the
         serial sweep calls this per block; the parallel engine per
-        collected unit)."""
-        if self.progress is not None:
-            self.progress.tick()
+        collected unit).  Sinks may be tick()-objects or bare callables."""
+        sink = self.progress
+        if sink is None:
+            return
+        tick = getattr(sink, "tick", None)
+        if tick is not None:
+            tick()
+        else:
+            sink()
 
     def cycle_attribution(self):
         """The per-SPE "where the cycles went" breakdown of everything

@@ -14,6 +14,11 @@ from repro.metrics.attribution import (
     SPECycles,
     attribute_cycles,
 )
+from repro.metrics.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    prometheus_name,
+    to_prometheus_text,
+)
 from repro.metrics.heartbeat import Heartbeat
 from repro.metrics.registry import (
     BYTE_BUCKETS,
@@ -37,10 +42,13 @@ __all__ = [
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NullMetricsRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
     "SPECycles",
     "TICKS_PER_CYCLE",
     "attribute_cycles",
+    "prometheus_name",
     "spe_metric",
+    "to_prometheus_text",
     "ticks",
     "ticks_to_cycles",
 ]

@@ -1,0 +1,88 @@
+"""Prometheus text exposition for :class:`~repro.metrics.registry.MetricsRegistry`.
+
+The registry's internal names are dotted (``serve.jobs_completed``,
+``spe3.dma_wait_ticks``); Prometheus metric names must match
+``[a-zA-Z_:][a-zA-Z0-9_:]*``, so :func:`prometheus_name` maps every
+run of illegal characters to a single underscore and prefixes the
+result (default ``repro_``).  The exposition follows the text format
+version 0.0.4:
+
+* **counters** -- one ``# TYPE <name> counter`` sample;
+* **gauges** -- the registry's gauges are integer high-water marks,
+  exported as Prometheus gauges (the scrape sees the max observed so
+  far, which is what a high-water mark means);
+* **histograms** -- the fixed-bucket integer histograms become
+  cumulative ``<name>_bucket{le="..."}`` series plus ``_sum`` and
+  ``_count``, with the mandatory ``le="+Inf"`` bucket.
+
+Everything is emitted in sorted name order, so identical registries
+produce byte-identical exposition -- the same determinism contract the
+registry itself makes.  :func:`to_prometheus_text` is usable offline
+(``repro metrics --format prometheus``) and is what the serve
+subsystem's ``GET /metrics`` endpoint returns (``docs/SERVING.md``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from .registry import Histogram, MetricsRegistry
+
+#: content type a compliant scraper expects for the text format
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: default metric-name prefix (namespace) for the exposition
+DEFAULT_PREFIX = "repro_"
+
+_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]+")
+
+
+def prometheus_name(name: str, prefix: str = DEFAULT_PREFIX) -> str:
+    """The registry name mapped into the Prometheus grammar.
+
+    ``serve.jobs_completed`` -> ``repro_serve_jobs_completed``; a name
+    that would start with a digit after prefixing is preceded by an
+    underscore (cannot happen with the default prefix, but the prefix
+    is caller-chosen).
+    """
+    sanitized = _ILLEGAL.sub("_", name).strip("_")
+    full = f"{prefix}{sanitized}"
+    if not full or full[0].isdigit():
+        full = "_" + full
+    return full
+
+
+def _histogram_lines(name: str, hist: Histogram) -> Iterable[str]:
+    yield f"# TYPE {name} histogram"
+    cumulative = 0
+    for bound, count in zip(hist.bounds, hist.counts):
+        cumulative += count
+        yield f'{name}_bucket{{le="{bound}"}} {cumulative}'
+    yield f'{name}_bucket{{le="+Inf"}} {hist.total}'
+    yield f"{name}_sum {hist.sum_value}"
+    yield f"{name}_count {hist.total}"
+
+
+def to_prometheus_text(
+    registry: MetricsRegistry, prefix: str = DEFAULT_PREFIX
+) -> str:
+    """Render ``registry`` in the Prometheus text exposition format.
+
+    Works on any registry (including a :class:`NullMetricsRegistry`,
+    which renders as the empty exposition) and never mutates it, so it
+    can run concurrently with ingestion: dict reads are snapshotted
+    with ``list(...)`` before iteration.
+    """
+    lines: list[str] = []
+    for raw, value in sorted(list(registry.counters.items())):
+        name = prometheus_name(raw, prefix)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {int(value)}")
+    for raw, value in sorted(list(registry.gauges.items())):
+        name = prometheus_name(raw, prefix)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {int(value)}")
+    for raw, hist in sorted(list(registry.histograms.items())):
+        lines.extend(_histogram_lines(prometheus_name(raw, prefix), hist))
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -34,7 +34,9 @@ Passing a :class:`PersistentPool` instance pins the lifetime explicitly
 from __future__ import annotations
 
 import atexit
+import contextlib
 import multiprocessing as mp
+import threading
 
 import numpy as np
 
@@ -209,6 +211,12 @@ class PersistentPool:
         )
         self._parked: dict[tuple[str, int], WorkerSet] = {}
         self._closed = False
+        self._active_leases = 0
+        #: serializes park/unpark/shutdown across threads: the solve
+        #: server leases one pool to several solver threads at once,
+        #: and two threads acquiring the same (kind, workers) key must
+        #: not both pop the same parked set or double-park on release.
+        self._lock = threading.RLock()
         atexit.register(self.shutdown)
 
     # -- worker sets -----------------------------------------------------------
@@ -216,35 +224,65 @@ class PersistentPool:
     def acquire(self, kind: str, workers: int) -> WorkerSet:
         """A worker set for ``(kind, workers)``: a parked healthy one
         when available, a freshly forked one otherwise."""
-        if self._closed:
-            raise ParallelError("persistent pool already shut down")
-        ws = self._parked.pop((kind, int(workers)), None)
-        if ws is not None:
-            if ws.healthy():
-                self.metrics.count("parallel.pool.workers.reused")
-                return ws
-            ws.stop()  # pragma: no cover - a parked set lost a process
-        self.metrics.count("parallel.pool.workers.forked")
-        return WorkerSet(kind, workers)
+        with self._lock:
+            if self._closed:
+                raise ParallelError("persistent pool already shut down")
+            ws = self._parked.pop((kind, int(workers)), None)
+            if ws is not None:
+                if ws.healthy():
+                    self.metrics.count("parallel.pool.workers.reused")
+                    return ws
+                ws.stop()  # pragma: no cover - a parked set lost a process
+            self.metrics.count("parallel.pool.workers.forked")
+            return WorkerSet(kind, workers)
 
     def release(self, ws: WorkerSet, discard: bool = False) -> None:
         """Park ``ws`` for reuse (persistent pools, healthy sets) or
         stop it.  ``discard`` forces a stop -- an engine that aborted a
         sweep may have left stale items in the set's queues, so its
         workers must not serve another solver."""
-        key = (ws.kind, ws.workers)
-        if (
-            not discard
-            and self.persistent
-            and not self._closed
-            and ws.healthy()
-            and key not in self._parked
-        ):
-            self._parked[key] = ws
-            self.metrics.count("parallel.pool.workers.parked")
-        else:
-            ws.stop()
-            self.metrics.count("parallel.pool.workers.stopped")
+        with self._lock:
+            key = (ws.kind, ws.workers)
+            if (
+                not discard
+                and self.persistent
+                and not self._closed
+                and ws.healthy()
+                and key not in self._parked
+            ):
+                self._parked[key] = ws
+                self.metrics.count("parallel.pool.workers.parked")
+            else:
+                ws.stop()
+                self.metrics.count("parallel.pool.workers.stopped")
+
+    @contextlib.contextmanager
+    def lease(self, tenant: str = "default"):
+        """Mark one tenant's solve window on a shared pool.
+
+        The sharing seam the solve server uses: each job takes a lease
+        around its solver's lifetime, so pool-side observability can
+        tell *how many* tenants rode the same warm caches
+        (``parallel.pool.leases``, ``parallel.pool.active_leases``
+        high-water).  Purely observational -- worker-set handout is
+        already serialized by the pool's lock -- but it gives shutdown
+        ordering a contract: :meth:`shutdown` during an active lease is
+        a caller bug, reported as :class:`ParallelError` at the next
+        acquire rather than a hung barrier.
+        """
+        with self._lock:
+            if self._closed:
+                raise ParallelError("persistent pool already shut down")
+            self.metrics.count("parallel.pool.leases")
+            self._active_leases += 1
+            self.metrics.gauge_max(
+                "parallel.pool.active_leases", self._active_leases
+            )
+        try:
+            yield self
+        finally:
+            with self._lock:
+                self._active_leases -= 1
 
     # -- observability ---------------------------------------------------------
 
@@ -284,12 +322,14 @@ class PersistentPool:
     def shutdown(self) -> None:
         """Stop every parked worker set and unlink every parked
         segment.  Idempotent; also runs at interpreter exit."""
-        if self._closed:
-            return
-        self._closed = True
-        for ws in self._parked.values():
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            parked = list(self._parked.values())
+            self._parked = {}
+        for ws in parked:
             ws.stop()
-        self._parked = {}
         self.segments.close()
 
     def __enter__(self) -> "PersistentPool":

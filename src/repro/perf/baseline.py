@@ -14,10 +14,16 @@ checks the current tree against them:
   the gate catches the order-of-magnitude regressions that matter
   (e.g. a fast path silently falling back to per-cell Python loops),
   not scheduler jitter;
+* **serve smoke** -- re-measures one warm 16^3 job end to end through
+  a loopback :class:`~repro.serve.app.ServeApp` (transport, admission,
+  fair queue, job store and solve included) and compares against the
+  ``serve smoke`` record of ``BENCH_serve.json`` times the same
+  tolerance.  The committed burst record must also show a clean warm
+  compiled-ISA cache (``warm_recompiles == 0``);
 * **structural invariants** -- every ``bit_identical`` flag recorded in
-  ``BENCH_isa.json`` / ``BENCH_parallel.json`` must be true, and every
-  recorded speedup must be positive.  These are free to check and
-  catch a corrupted or hand-edited baseline.
+  ``BENCH_isa.json`` / ``BENCH_parallel.json`` / ``BENCH_serve.json``
+  must be true, and every recorded speedup must be positive.  These
+  are free to check and catch a corrupted or hand-edited baseline.
 
 ``repro bench --check`` drives :func:`run_check`; the exit code is the
 CI gate.  Until at least :data:`MIN_BASELINES` baseline files exist at
@@ -27,6 +33,7 @@ fresh fork is not blocked before it has blessed its own numbers.
 
 from __future__ import annotations
 
+import asyncio
 import dataclasses
 import json
 import pathlib
@@ -38,6 +45,7 @@ BASELINE_FILES = (
     "BENCH_functional.json",
     "BENCH_isa.json",
     "BENCH_parallel.json",
+    "BENCH_serve.json",
 )
 
 #: measured-vs-baseline wall-clock ratio above which the gate fails
@@ -48,6 +56,9 @@ MIN_BASELINES = 2
 
 #: the deck label shared by the functional and parallel baselines
 SMOKE_DECK = "16^3 x 1 iter"
+
+#: the BENCH_serve.json record the serve gate re-measures against
+SERVE_SMOKE_RECORD = "serve smoke"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -128,6 +139,109 @@ def check_functional(
     )]
 
 
+def measure_serve_smoke() -> float:
+    """End-to-end seconds (submit to terminal state, over loopback
+    HTTP) of one *warm* 16^3 job -- the quantity
+    ``benchmarks/bench_serve_throughput.py`` records as its
+    ``serve smoke`` record.  Runs two sequential jobs through a real
+    :class:`~repro.serve.app.ServeApp` and times the second, so the
+    process-global compiled-ISA cache is warm, matching the bench's
+    measurement conditions."""
+    from ..parallel.pool import PersistentPool
+    from ..serve import ServeApp, ServeClient, SolveRunner
+
+    async def main() -> float:
+        with PersistentPool(persistent=True) as pool:
+            app = ServeApp(runner=SolveRunner(pool=pool, workers=1))
+            await app.start("127.0.0.1", 0)
+            client = ServeClient(port=app.port, timeout=600.0)
+
+            def run() -> float:
+                deck = {"cube": 16, "sn": 4, "nm": 2, "iterations": 1}
+                client.wait(client.submit(**deck)["id"], timeout=600.0)
+                t0 = time.perf_counter()
+                done = client.wait(client.submit(**deck)["id"], timeout=600.0)
+                if done["state"] != "done":
+                    raise RuntimeError(
+                        f"serve smoke job failed: {done.get('error')}"
+                    )
+                return time.perf_counter() - t0
+
+            try:
+                return await asyncio.to_thread(run)
+            finally:
+                await app.stop(drain_timeout=600.0)
+
+    return asyncio.run(main())
+
+
+def _serve_records(payload: Any) -> dict[str, dict]:
+    records = payload.get("records", []) if isinstance(payload, dict) else payload
+    return {
+        rec.get("record"): rec for rec in records if isinstance(rec, dict)
+    }
+
+
+def check_serve(
+    payload: Any, tolerance: float, measured: float | None = None
+) -> list[Finding]:
+    """Serve gate: one warm end-to-end job must still land within the
+    committed smoke time (x tolerance), and the committed burst must
+    show a clean warm compiled-ISA cache (zero recompiles across
+    identical jobs)."""
+    name = "BENCH_serve.json"
+    findings: list[Finding] = []
+    recs = _serve_records(payload)
+
+    burst = recs.get("warm burst")
+    if burst is None:
+        findings.append(Finding(name, "serve-warm-cache", False,
+                                "no 'warm burst' record"))
+    elif burst.get("warm_recompiles") != 0:
+        findings.append(Finding(
+            name, "serve-warm-cache", False,
+            f"warm_recompiles={burst.get('warm_recompiles')!r} "
+            f"(identical warm decks must recompile nothing)",
+        ))
+    elif not burst.get("jobs_per_sec", 0) > 0 or not burst.get("p99_ms", 0) > 0:
+        findings.append(Finding(
+            name, "serve-warm-cache", False,
+            f"jobs_per_sec={burst.get('jobs_per_sec')!r} "
+            f"p99_ms={burst.get('p99_ms')!r} must be positive",
+        ))
+    else:
+        findings.append(Finding(
+            name, "serve-warm-cache", True,
+            f"{burst.get('jobs')} warm jobs at "
+            f"{burst['jobs_per_sec']} jobs/s, 0 recompiles "
+            f"(hit rate {burst.get('compile_hit_rate')})",
+        ))
+
+    smoke = recs.get(SERVE_SMOKE_RECORD)
+    if smoke is None or "wall_seconds" not in smoke:
+        findings.append(Finding(
+            name, "serve-smoke", False,
+            f"no '{SERVE_SMOKE_RECORD}' record with wall_seconds",
+        ))
+        return findings
+    base = float(smoke["wall_seconds"])
+    if base <= 0:
+        findings.append(Finding(
+            name, "serve-smoke", False,
+            f"baseline wall_seconds={base} is not positive",
+        ))
+        return findings
+    if measured is None:
+        measured = measure_serve_smoke()
+    ceiling = base * tolerance
+    findings.append(Finding(
+        name, "serve-smoke", measured <= ceiling,
+        f"measured {measured:.3f}s vs baseline {base:.3f}s "
+        f"(x{tolerance:.1f} ceiling {ceiling:.3f}s)",
+    ))
+    return findings
+
+
 def _walk_records(payload: Any):
     """Every dict record in a baseline payload, at any nesting level
     the benches use (top-level list, ``records`` list, per-deck
@@ -184,17 +298,22 @@ def check_baselines(
     root: pathlib.Path | None = None,
     tolerance: float = DEFAULT_TOLERANCE,
     measured: float | None = None,
+    serve_measured: float | None = None,
 ) -> tuple[list[Finding], int]:
     """All baseline checks plus the count of baseline files found.
 
-    ``measured`` injects a pre-measured functional wall time (tests);
-    ``None`` re-runs the 16^3 smoke solve.
+    ``measured`` injects a pre-measured functional wall time and
+    ``serve_measured`` a pre-measured warm serve smoke time (tests);
+    ``None`` re-runs the respective 16^3 smoke.
     """
     baselines = load_baselines(root)
     findings: list[Finding] = []
     for name, payload in sorted(baselines.items()):
         if name == "BENCH_functional.json":
             findings.extend(check_functional(payload, tolerance, measured))
+        elif name == "BENCH_serve.json":
+            findings.extend(check_structural(name, payload))
+            findings.extend(check_serve(payload, tolerance, serve_measured))
         else:
             findings.extend(check_structural(name, payload))
     return findings, len(baselines)
@@ -204,6 +323,7 @@ def run_check(
     root: pathlib.Path | None = None,
     tolerance: float = DEFAULT_TOLERANCE,
     measured: float | None = None,
+    serve_measured: float | None = None,
 ) -> int:
     """Print every finding and return the gate's exit code.
 
@@ -211,7 +331,9 @@ def run_check(
     :data:`MIN_BASELINES` baseline files exist yet (soft-fail: warn
     only).  Nonzero on any failed check once the gate is armed.
     """
-    findings, n_baselines = check_baselines(root, tolerance, measured)
+    findings, n_baselines = check_baselines(
+        root, tolerance, measured, serve_measured
+    )
     for f in findings:
         print(f)
     failed = [f for f in findings if not f.ok]

@@ -1,0 +1,150 @@
+"""A small blocking client for the solve server (stdlib only).
+
+Used by the throughput benchmark, the CI smoke job and the tests; it
+is also the reference for how to talk to the API from anything that
+speaks HTTP (``docs/SERVING.md`` shows the same calls as curl).  One
+:class:`ServeClient` is cheap -- it opens a fresh connection per call,
+matching the server's one-request-per-connection model.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Iterator
+
+from ..errors import ReproError
+
+
+class ServeClientError(ReproError):
+    """A non-2xx response, carrying the status and the server's message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """Blocking JSON client for one ``repro serve`` endpoint."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8272,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Any = None
+    ) -> tuple[int, bytes]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str, payload: Any = None) -> Any:
+        status, body = self._request(method, path, payload)
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            doc = {"error": body.decode("utf-8", "replace")}
+        if status >= 400:
+            raise ServeClientError(status, doc.get("error", repr(doc)))
+        return doc
+
+    # -- API ------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def version(self) -> str:
+        return self._json("GET", "/version")["version"]
+
+    def decks(self) -> list[str]:
+        return self._json("GET", "/decks")["examples"]
+
+    def submit(self, **request: Any) -> dict:
+        """Submit a job: ``submit(cube=16, sn=4, nm=2, iterations=1)``,
+        ``submit(example="shielding")`` or ``submit(deck=deck_text)``;
+        extra keys (``tenant``, ``isa``, ``metrics``) pass through."""
+        return self._json("POST", "/jobs", request)
+
+    def jobs(self) -> list[dict]:
+        return self._json("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll: float = 0.05
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns the
+        final snapshot (raises on timeout, not on job failure -- the
+        caller inspects ``state``)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.job(job_id)
+            if doc["state"] in ("done", "failed"):
+                return doc
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {doc['state']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def events(self, job_id: str, since: int = -1) -> Iterator[dict]:
+        """Stream the job's NDJSON event log until it completes."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events?since={since}")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raise ServeClientError(
+                    response.status, response.read().decode("utf-8", "replace")
+                )
+            buffer = b""
+            while True:
+                chunk = response.read(4096)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def metrics_text(self) -> str:
+        status, body = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServeClientError(status, body.decode("utf-8", "replace"))
+        return body.decode("utf-8")
+
+    def metric(self, name: str) -> float | None:
+        """One sample value scraped from ``/metrics`` (exact Prometheus
+        name, e.g. ``repro_serve_jobs_completed``); ``None`` if absent."""
+        for line in self.metrics_text().splitlines():
+            if line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) == 2 and parts[0] == name:
+                return float(parts[1])
+        return None

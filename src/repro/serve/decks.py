@@ -1,0 +1,136 @@
+"""Deck submissions: request JSON -> validated :class:`InputDeck`.
+
+``POST /jobs`` accepts three mutually exclusive deck sources:
+
+* ``{"deck": "<deck-file text>"}`` -- the full ``key = value`` deck
+  format of :mod:`repro.sweep.deckfile`, inline;
+* ``{"example": "shielding"}`` -- a named deck from the repository's
+  ``examples/decks/`` zoo;
+* ``{"cube": 16, "sn": 4, "nm": 2, "iterations": 1, "fixup": false}``
+  -- the CLI's cubic-deck shorthand.
+
+Whatever the source, the job record keeps the *canonical deck text* so
+a stored job is reproducible offline (paste the text into a ``.deck``
+file and run ``repro solve --deck``), and the estimated service demand
+(:func:`deck_cost`) feeds the fair queue.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from ..errors import InputDeckError
+from ..sweep.deckfile import parse_deck
+from ..sweep.geometry import Grid
+from ..sweep.input import InputDeck
+
+#: the repository's named example decks
+DECK_DIR = pathlib.Path(__file__).resolve().parents[3] / "examples" / "decks"
+
+
+def example_decks() -> dict[str, pathlib.Path]:
+    """Named example decks available to ``{"example": ...}`` requests."""
+    if not DECK_DIR.is_dir():  # pragma: no cover - source checkout only
+        return {}
+    return {p.stem: p for p in sorted(DECK_DIR.glob("*.deck"))}
+
+
+def deck_cost(deck: InputDeck) -> float:
+    """Estimated service demand: cell visits over the whole solve
+    (cells x angles x iterations, in units of 10^6 visits so typical
+    costs are O(1))."""
+    quad = deck.quadrature()
+    visits = deck.grid.num_cells * 8 * quad.per_octant * deck.iterations
+    return visits / 1e6
+
+
+def deck_label(deck: InputDeck) -> str:
+    g = deck.grid
+    return (f"{g.nx}x{g.ny}x{g.nz} S{deck.sn} nm={deck.nm} "
+            f"x{deck.iterations}")
+
+
+def deck_to_text(deck: InputDeck) -> str:
+    """Canonical deck-file text round-tripping through
+    :func:`repro.sweep.deckfile.parse_deck` to the identical deck."""
+    g = deck.grid
+    lines = [
+        f"nx = {g.nx}", f"ny = {g.ny}", f"nz = {g.nz}",
+        f"dx = {g.dx!r}", f"dy = {g.dy!r}", f"dz = {g.dz!r}",
+        f"sn = {deck.sn}", f"nm = {deck.nm}",
+        f"sigma_t = {deck.sigma_t!r}",
+        f"scattering_ratio = {deck.scattering_ratio!r}",
+        f"anisotropy = {deck.anisotropy!r}",
+        f"source = {deck.source!r}",
+        f"iterations = {deck.iterations}",
+        f"fixup = {'true' if deck.fixup else 'false'}",
+        f"mk = {deck.mk}", f"mmi = {deck.mmi}",
+    ]
+    if deck.epsilon is not None:
+        lines.append(f"epsilon = {deck.epsilon!r}")
+    if any(deck.reflect_low):
+        lines.append("reflect_low = " + " ".join(
+            "true" if r else "false" for r in deck.reflect_low
+        ))
+    if deck.source_box is not None:
+        lines.append("source_box = " + " ".join(map(str, deck.source_box)))
+    if deck.material_box is not None:
+        lines.append("material_box = " + " ".join(map(str, deck.material_box)))
+        lines.append(f"material_sigma_t = {deck.material_sigma_t!r}")
+        lines.append(
+            f"material_scattering_ratio = {deck.material_scattering_ratio!r}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _cube_deck_from_request(doc: dict) -> InputDeck:
+    n = int(doc["cube"])
+    kwargs: dict = {}
+    for key in ("sn", "nm", "iterations", "mk", "mmi"):
+        if key in doc:
+            kwargs[key] = int(doc[key])
+    if "fixup" in doc:
+        kwargs["fixup"] = bool(doc["fixup"])
+    if "sigma_t" in doc:
+        kwargs["sigma_t"] = float(doc["sigma_t"])
+    if "scattering_ratio" in doc:
+        kwargs["scattering_ratio"] = float(doc["scattering_ratio"])
+    if "mk" not in kwargs:
+        divisors = [m for m in range(1, n + 1) if n % m == 0]
+        kwargs["mk"] = max(divisors, key=lambda m: (min(m, 10), -abs(m - 10)))
+    if "mmi" not in kwargs:
+        sn = kwargs.get("sn", 6)
+        per_octant = sn * (sn + 2) // 8
+        kwargs["mmi"] = 3 if per_octant % 3 == 0 else 1
+    return InputDeck(grid=Grid.cube(n), **kwargs)
+
+
+def deck_from_request(doc: dict) -> InputDeck:
+    """Build the deck a ``POST /jobs`` body describes.
+
+    Raises :class:`InputDeckError` for anything malformed -- the
+    handler maps that to HTTP 400 with the message in the body.
+    """
+    sources = [k for k in ("deck", "example", "cube") if k in doc]
+    if len(sources) != 1:
+        raise InputDeckError(
+            "job request needs exactly one of 'deck' (inline text), "
+            f"'example' (named deck) or 'cube' (edge length); got {sources!r}"
+        )
+    if "deck" in doc:
+        if not isinstance(doc["deck"], str):
+            raise InputDeckError("'deck' must be deck-file text")
+        return parse_deck(doc["deck"])
+    if "example" in doc:
+        decks = example_decks()
+        name = str(doc["example"])
+        if name not in decks:
+            raise InputDeckError(
+                f"unknown example deck {name!r}; available: "
+                f"{sorted(decks) or 'none'}"
+            )
+        return parse_deck(decks[name].read_text())
+    try:
+        return _cube_deck_from_request(doc)
+    except (TypeError, ValueError) as exc:
+        raise InputDeckError(f"bad cube-deck parameters: {exc}") from exc

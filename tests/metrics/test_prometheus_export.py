@@ -1,0 +1,74 @@
+"""Prometheus text exposition of the metrics registry."""
+
+from __future__ import annotations
+
+from repro.metrics.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    prometheus_name,
+    to_prometheus_text,
+)
+from repro.metrics.registry import NULL_REGISTRY, MetricsRegistry
+
+
+class TestNames:
+    def test_dots_become_underscores(self):
+        assert prometheus_name("serve.jobs_completed") == (
+            "repro_serve_jobs_completed"
+        )
+        assert prometheus_name("spe3.dma_wait_ticks") == (
+            "repro_spe3_dma_wait_ticks"
+        )
+
+    def test_illegal_runs_collapse(self):
+        assert prometheus_name("a..b--c d") == "repro_a_b_c_d"
+
+    def test_custom_prefix(self):
+        assert prometheus_name("x.y", prefix="") == "x_y"
+        assert prometheus_name("9x", prefix="") == "_9x"
+
+
+class TestExposition:
+    def test_counters_and_gauges(self):
+        reg = MetricsRegistry()
+        reg.count("serve.jobs_accepted", 3)
+        reg.gauge_max("serve.queue_depth", 7)
+        text = to_prometheus_text(reg)
+        assert "# TYPE repro_serve_jobs_accepted counter" in text
+        assert "repro_serve_jobs_accepted 3" in text
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert "repro_serve_queue_depth 7" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        for value in (5, 50, 50, 5000):
+            reg.observe("wait", value, bounds=(10, 100, 1000))
+        lines = to_prometheus_text(reg).splitlines()
+        assert "# TYPE repro_wait histogram" in lines
+        assert 'repro_wait_bucket{le="10"} 1' in lines
+        assert 'repro_wait_bucket{le="100"} 3' in lines
+        assert 'repro_wait_bucket{le="1000"} 3' in lines
+        assert 'repro_wait_bucket{le="+Inf"} 4' in lines
+        assert "repro_wait_sum 5105" in lines
+        assert "repro_wait_count 4" in lines
+
+    def test_deterministic_and_sorted(self):
+        def build(order):
+            reg = MetricsRegistry()
+            for name in order:
+                reg.count(name)
+            return to_prometheus_text(reg)
+
+        a = build(["b.one", "a.two", "c.three"])
+        b = build(["c.three", "b.one", "a.two"])
+        assert a == b
+        names = [l.split()[0] for l in a.splitlines()
+                 if not l.startswith("#")]
+        assert names == sorted(names)
+
+    def test_empty_and_null_registries(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""
+        assert to_prometheus_text(NULL_REGISTRY) == ""
+
+    def test_content_type_pin(self):
+        assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain")

@@ -12,6 +12,7 @@ from repro.perf.baseline import (
     Finding,
     check_baselines,
     check_functional,
+    check_serve,
     check_structural,
     load_baselines,
     run_check,
@@ -43,11 +44,28 @@ PARALLEL = {
 }
 
 
+SERVE = {
+    "bench": "serve throughput",
+    "max_concurrent": 2,
+    "records": [
+        {"record": "cold 16^3 job", "wall_seconds": 1.8,
+         "streams_compiled": 1, "bit_identical": True},
+        {"record": "warm burst", "jobs": 8, "wall_seconds": 19.0,
+         "jobs_per_sec": 0.42, "p50_ms": 10500.0, "p99_ms": 19000.0,
+         "warm_recompiles": 0, "compile_hit_rate": 1.0,
+         "bit_identical": True},
+        {"record": "serve smoke", "wall_seconds": 2.0,
+         "bit_identical": True},
+    ],
+}
+
+
 @pytest.fixture
 def root(tmp_path):
     (tmp_path / "BENCH_functional.json").write_text(json.dumps(FUNCTIONAL))
     (tmp_path / "BENCH_isa.json").write_text(json.dumps(ISA))
     (tmp_path / "BENCH_parallel.json").write_text(json.dumps(PARALLEL))
+    (tmp_path / "BENCH_serve.json").write_text(json.dumps(SERVE))
     return tmp_path
 
 
@@ -104,15 +122,54 @@ class TestStructuralGate:
         assert all(f.ok for f in findings)
 
 
+class TestServeGate:
+    def test_within_tolerance_passes(self):
+        findings = check_serve(SERVE, tolerance=2.0, measured=3.9)
+        assert all(f.ok for f in findings)
+        assert {f.check for f in findings} == {"serve-warm-cache",
+                                               "serve-smoke"}
+
+    def test_smoke_regression_fails(self):
+        findings = check_serve(SERVE, tolerance=2.0, measured=4.1)
+        assert any(not f.ok and f.check == "serve-smoke" for f in findings)
+
+    def test_warm_recompiles_fail(self):
+        bad = json.loads(json.dumps(SERVE))
+        bad["records"][1]["warm_recompiles"] = 3
+        findings = check_serve(bad, tolerance=2.0, measured=1.0)
+        assert any(not f.ok and f.check == "serve-warm-cache"
+                   for f in findings)
+
+    def test_missing_smoke_record_fails(self):
+        findings = check_serve({"records": []}, tolerance=2.0, measured=1.0)
+        assert any(not f.ok and f.check == "serve-smoke" for f in findings)
+        assert any(not f.ok and f.check == "serve-warm-cache"
+                   for f in findings)
+
+    def test_nonpositive_throughput_fails(self):
+        bad = json.loads(json.dumps(SERVE))
+        bad["records"][1]["jobs_per_sec"] = 0.0
+        findings = check_serve(bad, tolerance=2.0, measured=1.0)
+        assert any(not f.ok and f.check == "serve-warm-cache"
+                   for f in findings)
+
+
 class TestGateExitCodes:
     def test_all_pass_exits_zero(self, root, capsys):
-        assert run_check(root, tolerance=2.0, measured=1.0) == 0
+        assert run_check(root, tolerance=2.0, measured=1.0,
+                         serve_measured=1.0) == 0
         assert "passed" in capsys.readouterr().out
 
     def test_regression_exits_nonzero(self, root, capsys):
-        assert run_check(root, tolerance=2.0, measured=100.0) == 1
+        assert run_check(root, tolerance=2.0, measured=100.0,
+                         serve_measured=1.0) == 1
         out = capsys.readouterr().out
         assert "FAIL" in out and "failed" in out
+
+    def test_serve_regression_exits_nonzero(self, root, capsys):
+        assert run_check(root, tolerance=2.0, measured=1.0,
+                         serve_measured=100.0) == 1
+        assert "serve-smoke" in capsys.readouterr().out
 
     def test_soft_fail_below_min_baselines(self, tmp_path, capsys):
         (tmp_path / "BENCH_functional.json").write_text(json.dumps(FUNCTIONAL))
@@ -121,7 +178,8 @@ class TestGateExitCodes:
         assert "warning" in capsys.readouterr().out
 
     def test_findings_and_count(self, root):
-        findings, n = check_baselines(root, tolerance=2.0, measured=1.0)
-        assert n == 3
+        findings, n = check_baselines(root, tolerance=2.0, measured=1.0,
+                                      serve_measured=1.0)
+        assert n == 4
         assert all(isinstance(f, Finding) for f in findings)
         assert {f.baseline for f in findings} == set(BASELINE_FILES)

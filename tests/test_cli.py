@@ -279,3 +279,42 @@ class TestParser:
     def test_sn_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["solve", "--sn", "5"])
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+
+class TestMetricsPrometheus:
+    def test_prometheus_format(self, capsys):
+        out = run(capsys, "metrics", "--cube", "6", "--sn", "4", "--nm", "1",
+                  "--iterations", "1", "--format", "prometheus")
+        assert "# TYPE repro_kernel_cells counter" in out
+        assert "# TYPE repro_spe0_compute_ticks counter" in out
+        # well-formed exposition: every non-comment line is `name value`
+        for line in out.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            name, value = line.split()
+            float(value)
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1" and args.port == 8272
+        assert args.pool == "keep" and args.workers == 1
+        assert args.max_queue == 64 and args.max_concurrent == 2
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--pool", "fresh", "--max-queue", "4"]
+        )
+        assert args.port == 0 and args.pool == "fresh"
+        assert args.max_queue == 4
