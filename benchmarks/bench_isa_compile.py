@@ -1,16 +1,22 @@
 """Host wall-clock effect of the ISA trace-compiler.
 
-Three records, written to ``BENCH_isa.json`` at the repository root:
+Four records, written to ``BENCH_isa.json`` at the repository root:
 
 1. **16^3 executor duel** -- one tile-method sweep per executor, timing
    only the line-executor calls: the per-instruction interpreter
    (``simd_line_executor``) vs the trace-compiled batched replay
    (``compiled_line_executor``).  The compiled path must be >= 10x
    faster and its flux bit-identical.
-2. **16^3 cell-engine solve** -- the full staged machine with
+2. **16^3 backend duel** -- the compiled executor again, once per
+   available array backend x optimizer mode (numpy raw/optimized, plus
+   torch / cupy when importable).  Each run records the kernel wall and
+   either exact bit-identity (host backends) or the max relative error
+   vs the numpy flux (device backends).  Unavailable backends are
+   simply absent -- the committed artifact from CI carries numpy only.
+3. **16^3 cell-engine solve** -- the full staged machine with
    ``isa_kernel`` on (diagonal-batched compiled dispatch) vs the fused
    reference kernel, with bit-identity verified.
-3. **50^3 cell-engine ISA solve** -- the paper's benchmark cube through
+4. **50^3 cell-engine ISA solve** -- the paper's benchmark cube through
    the compiled ISA path, single iteration.  Gated behind
    ``BENCH_ISA_FULL=1`` (it takes minutes; the default row records the
    skip), so CI smoke stays fast while the committed artifact carries
@@ -32,9 +38,14 @@ import time
 import numpy as np
 
 from repro.cell import isa_compile
+from repro.cell.backend import available_backends, resolve_backend
 from repro.core.levels import MachineConfig
 from repro.core.solver import CellSweep3D
-from repro.core.spe_kernel import compiled_line_executor, simd_line_executor
+from repro.core.spe_kernel import (
+    compiled_block_executor,
+    compiled_line_executor,
+    simd_line_executor,
+)
 from repro.perf.processors import measured_cell_config
 from repro.sweep.input import cube_deck
 from repro.sweep.serial import SerialSweep3D
@@ -80,6 +91,50 @@ def bench_executor_duel(n: int = 16) -> dict:
         "blocks": interp_acc["blocks"],
         "speedup": round(speedup, 2),
         "bit_identical": bool(np.array_equal(ref.flux, fast.flux)),
+    }
+
+
+def bench_backend_duel(n: int = 16) -> dict:
+    """Compiled-executor kernel wall per array backend x optimizer mode.
+
+    The reference flux comes from an untimed default-path solve, so
+    every run row -- including numpy itself -- is an independent
+    comparison against the production executor."""
+    deck = _deck(n)
+    ref = SerialSweep3D(
+        deck, method="tile", executor=compiled_line_executor
+    ).solve()
+    runs = []
+    for name in available_backends():
+        backend = resolve_backend(name)
+        for optimize in (True, False):
+            executor, acc = _timed_executor(
+                compiled_block_executor(backend=backend, optimize=optimize)
+            )
+            result = SerialSweep3D(
+                deck, method="tile", executor=executor
+            ).solve()
+            run = {
+                "backend": name,
+                "optimize": optimize,
+                "compiled_seconds": round(acc["wall"], 4),
+                "blocks": acc["blocks"],
+            }
+            if backend.exact:
+                run["bit_identical"] = bool(
+                    np.array_equal(ref.flux, result.flux)
+                )
+            else:
+                denom = np.maximum(np.abs(ref.flux), 1e-300)
+                run["max_rel_err"] = float(
+                    np.max(np.abs(result.flux - ref.flux) / denom)
+                )
+            runs.append(run)
+    return {
+        "record": "backend duel (compiled executor wall)",
+        "deck": f"{n}^3 x 1 iter",
+        "backends": list(available_backends()),
+        "runs": runs,
     }
 
 
@@ -133,7 +188,12 @@ def bench_full_cube(n: int = 50) -> dict:
 
 def run_benchmarks() -> dict:
     before = isa_compile.STATS.snapshot()
-    records = [bench_executor_duel(), bench_cell_solve(), bench_full_cube()]
+    records = [
+        bench_executor_duel(),
+        bench_backend_duel(),
+        bench_cell_solve(),
+        bench_full_cube(),
+    ]
     return {
         "bench": "ISA trace compilation",
         "host_cpus": os.cpu_count(),
@@ -157,6 +217,17 @@ def _report(payload: dict) -> None:
         if rec.get("skipped"):
             print(f"{rec['record']}: SKIPPED ({rec['reason']})")
             continue
+        if "runs" in rec:
+            print(f"{rec['record']}:")
+            for run in rec["runs"]:
+                fidelity = (
+                    f"identical={run['bit_identical']}"
+                    if "bit_identical" in run
+                    else f"max_rel_err={run['max_rel_err']:.2e}"
+                )
+                print(f"  {run['backend']} optimize={run['optimize']}: "
+                      f"compiled_seconds={run['compiled_seconds']} {fidelity}")
+            continue
         keys = [k for k in rec if k.endswith("_seconds")]
         timings = " ".join(f"{k}={rec[k]}" for k in keys)
         extra = f" speedup={rec['speedup']}x" if "speedup" in rec else ""
@@ -165,20 +236,38 @@ def _report(payload: dict) -> None:
     print(f"compile: {payload['compile']}")
 
 
+def _record(payload: dict, name: str) -> dict:
+    return next(r for r in payload["records"] if r["record"] == name)
+
+
 def test_isa_compile_bench():
     payload = run_benchmarks()
     path = write_json(payload)
     _report(payload)
     print(f"[written to {path}]")
-    duel = payload["records"][0]
+    duel = _record(payload, "executor duel (kernel wall only)")
     assert duel["bit_identical"], "compiled tile solve diverged"
     assert duel["speedup"] >= 10.0, (
         f"compiled executor is only {duel['speedup']:.1f}x the interpreter "
         "(>= 10x required)"
     )
-    solve = payload["records"][1]
+    backends = _record(payload, "backend duel (compiled executor wall)")
+    assert backends["runs"], "no array backend available (numpy missing?)"
+    for run in backends["runs"]:
+        assert run["compiled_seconds"] > 0
+        if "bit_identical" in run:
+            assert run["bit_identical"], (
+                f"{run['backend']} optimize={run['optimize']} diverged "
+                "from the production compiled executor"
+            )
+        else:
+            assert run["max_rel_err"] < 1e-9, (
+                f"{run['backend']} optimize={run['optimize']} drifted "
+                f"beyond tolerance: {run['max_rel_err']:.2e}"
+            )
+    solve = _record(payload, "cell-engine solve")
     assert solve["bit_identical"], "ISA cell solve diverged from reference"
-    full = payload["records"][2]
+    full = _record(payload, "50^3 ISA solve")
     if not full.get("skipped"):
         assert full["isa_compiled_seconds"] < 600, (
             "50^3 single-iteration ISA solve must complete in minutes"

@@ -21,12 +21,26 @@ from .dma import (
     is_peak_rate,
 )
 from .eib import EIBModel
+from .backend import (
+    ArrayBackend,
+    NumpyBackend,
+    available_backends,
+    backend_status,
+    numpy_backend,
+    resolve_backend,
+)
 from .isa import Instruction, InstructionStream, OpClass, Pipe, SPUContext, Vec
 from .local_store import LocalStore, LSBuffer
 from .mailbox import Mailbox, MailboxPair
 from .mfc import MFC
 from .mic import MemoryTimingModel, TransferCost, bank_spread_factor
-from .isa_compile import CompiledProgram, TraceContext, compiled_program
+from .isa_compile import (
+    CompiledProgram,
+    ExecutionPlan,
+    TraceContext,
+    compiled_program,
+    optimize_program,
+)
 from .pipeline import PipelineReport, simulate, simulate_cached
 from .ppe import PPE
 from .registers import PressureReport, analyze_pressure, kernel_code_bytes, kernel_pressure
@@ -36,10 +50,13 @@ from .spe import SPE, SPU
 
 __all__ = [
     "AddressSpace",
+    "ArrayBackend",
     "AtomicDomain",
     "CellBE",
     "ChipTraffic",
     "CompiledProgram",
+    "ExecutionPlan",
+    "NumpyBackend",
     "CycleBudget",
     "CycleClock",
     "DMACommand",
@@ -62,6 +79,8 @@ __all__ = [
     "PipelineReport",
     "PressureReport",
     "analyze_pressure",
+    "available_backends",
+    "backend_status",
     "format_schedule",
     "kernel_code_bytes",
     "kernel_pressure",
@@ -79,6 +98,9 @@ __all__ = [
     "compiled_program",
     "constants",
     "is_peak_rate",
+    "numpy_backend",
+    "optimize_program",
+    "resolve_backend",
     "simulate",
     "simulate_cached",
 ]

@@ -1,0 +1,329 @@
+"""Array-ops backends for compiled ISA programs.
+
+:class:`~repro.cell.isa_compile.CompiledProgram` lowers every SPU kernel
+into a flat list of whole-array operations over a leading batch axis --
+exactly the shape an accelerator wants.  This module makes the array
+substrate pluggable: a backend supplies the 13 lowered op tags
+(including the exact two-operation ``madd``/``nmsub`` grouping, the
+``where``-select and the compare-to-dtype mask), host transfer hooks
+(``from_host``/``to_host``) and scratch allocation, and
+``CompiledProgram.run`` becomes a thin driver that dispatches through
+the backend's op table.
+
+The **numpy backend** is the reference: bit-identical to the
+interpreting :class:`~repro.cell.isa.SPUContext` (``exact = True``,
+enforced with ``assert_array_equal`` by the fuzz referees) and the only
+backend with ``supports_out = True`` -- every op can write a
+preallocated destination, which lets the optimizer's liveness-derived
+buffer plan replay a program with a fixed pool of scratch arrays
+instead of one fresh temporary per op.
+
+GPU/tensor backends (:mod:`repro.cell.backend_torch`,
+:mod:`repro.cell.backend_cupy`) follow the generate-once / memoize /
+replay idiom of the pycuda exemplar named in ROADMAP: the program is
+traced once, the backend's op table is built once per program, and
+replays just stream batches through it.  They are optional -- resolved
+lazily, reporting :func:`backend_status` without raising, and raising
+:class:`~repro.errors.ConfigurationError` only when explicitly selected
+while unavailable -- so CPU-only hosts and CI stay green.
+
+Aliasing contract for ``out=`` implementations: the caller (the buffer
+plan in ``isa_compile``) guarantees the destination buffer never
+aliases an operand of the same op, so multi-step lowerings
+(``multiply`` then ``add`` for madd, mask-then-``copyto`` for select)
+are safe.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .isa_compile import (
+    OP_ADD,
+    OP_AND,
+    OP_CMPGT,
+    OP_DIV,
+    OP_MADD,
+    OP_MSUB,
+    OP_MUL,
+    OP_NMSUB,
+    OP_OR,
+    OP_SEL,
+    OP_SUB,
+)
+
+#: Backend names the resolver knows, in documentation order.
+KNOWN_BACKENDS: tuple[str, ...] = ("numpy", "torch", "cupy")
+
+
+class ArrayBackend:
+    """Interface a compiled-program executor runs against.
+
+    Concrete backends set the class attributes and implement the
+    allocation / transfer hooks plus :meth:`op_table`.
+
+    ``exact``
+        True when the backend reproduces the interpreter bit for bit
+        (numpy).  Exact backends are refereed with
+        ``assert_array_equal``; inexact ones against the documented
+        tolerance (``docs/PERFORMANCE.md``).
+    ``supports_out``
+        True when every op accepts a preallocated destination array, so
+        the optimizer's buffer-reuse plan applies.
+    ``is_host``
+        True when arrays are host numpy arrays (``from_host``/``to_host``
+        are identity and the driver skips the transfer loops).
+    """
+
+    name: str = "abstract"
+    exact: bool = False
+    supports_out: bool = False
+    is_host: bool = False
+
+    # -- transfers -------------------------------------------------------
+
+    def from_host(self, array: np.ndarray):
+        """Move one host input batch onto the backend's device."""
+        raise NotImplementedError
+
+    def to_host(self, array) -> np.ndarray:
+        """Move one output batch back to a host numpy array."""
+        raise NotImplementedError
+
+    # -- allocation ------------------------------------------------------
+
+    def alloc(self, n: int, dtype):
+        """A fresh uninitialized ``(n,)`` device scratch array."""
+        raise NotImplementedError
+
+    def alloc_bool(self, n: int):
+        """A fresh ``(n,)`` boolean device scratch array (mask temps)."""
+        raise NotImplementedError
+
+    def empty_like(self, array):
+        """An uninitialized device array shaped like ``array``."""
+        raise NotImplementedError
+
+    def constants(self, values: Sequence, dtype) -> tuple:
+        """Typed per-backend representation of the program constants.
+
+        The representation must not promote: a float32 program's
+        constants round exactly like the interpreter's splatted float32
+        vectors.
+        """
+        raise NotImplementedError
+
+    # -- the op table ----------------------------------------------------
+
+    def op_table(self, dtype) -> dict[int, Callable]:
+        """Map each arithmetic op tag to ``fn(a, b, c, out, tmp)``.
+
+        ``out`` is either ``None`` (allocate the result) or a
+        preallocated destination that never aliases an operand; ``tmp``
+        is a tuple of boolean scratch arrays (only read when ``out`` is
+        given).  Unused operands arrive as ``None``.  Every
+        implementation must preserve the interpreter's grouping:
+        madd/msub are the two-operation ``a*b +- c``, nmsub is
+        ``c - a*b`` (no FMA contraction), cmpgt/or/and produce
+        ``{0, 1}`` masks in ``dtype``, and sel is
+        ``where(mask != 0, b, a)``.
+        """
+        raise NotImplementedError
+
+
+class NumpyBackend(ArrayBackend):
+    """The reference backend: host numpy, bit-identical, ``out=`` capable."""
+
+    name = "numpy"
+    exact = True
+    supports_out = True
+    is_host = True
+
+    def from_host(self, array: np.ndarray) -> np.ndarray:
+        return array
+
+    def to_host(self, array: np.ndarray) -> np.ndarray:
+        return array
+
+    def alloc(self, n: int, dtype) -> np.ndarray:
+        return np.empty(n, dtype=dtype)
+
+    def alloc_bool(self, n: int) -> np.ndarray:
+        return np.empty(n, dtype=bool)
+
+    def empty_like(self, array: np.ndarray) -> np.ndarray:
+        return np.empty_like(array)
+
+    def constants(self, values: Sequence, dtype) -> tuple:
+        # dtype-typed scalars so broadcasting never promotes: a float32
+        # op with a float32 scalar rounds exactly like the interpreter's
+        # splatted constant vector.
+        return tuple(dtype(v) for v in values)
+
+    def op_table(self, dtype) -> dict[int, Callable]:
+        # Each out= body evaluates the very same elementwise expression
+        # as the allocate path, one rounding at a time -- ufuncs with
+        # out= round identically, and a bool->dtype assignment casts
+        # exactly like .astype.
+        def add(a, b, c, out, tmp):
+            if out is None:
+                return a + b
+            return np.add(a, b, out=out)
+
+        def sub(a, b, c, out, tmp):
+            if out is None:
+                return a - b
+            return np.subtract(a, b, out=out)
+
+        def mul(a, b, c, out, tmp):
+            if out is None:
+                return a * b
+            return np.multiply(a, b, out=out)
+
+        def div(a, b, c, out, tmp):
+            if out is None:
+                return a / b
+            return np.divide(a, b, out=out)
+
+        def madd(a, b, c, out, tmp):
+            if out is None:
+                return a * b + c
+            np.multiply(a, b, out=out)
+            return np.add(out, c, out=out)
+
+        def msub(a, b, c, out, tmp):
+            if out is None:
+                return a * b - c
+            np.multiply(a, b, out=out)
+            return np.subtract(out, c, out=out)
+
+        def nmsub(a, b, c, out, tmp):
+            if out is None:
+                return c - a * b
+            np.multiply(a, b, out=out)
+            return np.subtract(c, out, out=out)
+
+        def cmpgt(a, b, c, out, tmp):
+            if out is None:
+                return (a > b).astype(dtype)
+            np.greater(a, b, out=tmp[0])
+            out[...] = tmp[0]
+            return out
+
+        def or_(a, b, c, out, tmp):
+            if out is None:
+                return ((a != 0) | (b != 0)).astype(dtype)
+            np.not_equal(a, 0, out=tmp[0])
+            np.not_equal(b, 0, out=tmp[1])
+            np.logical_or(tmp[0], tmp[1], out=tmp[0])
+            out[...] = tmp[0]
+            return out
+
+        def and_(a, b, c, out, tmp):
+            if out is None:
+                return ((a != 0) & (b != 0)).astype(dtype)
+            np.not_equal(a, 0, out=tmp[0])
+            np.not_equal(b, 0, out=tmp[1])
+            np.logical_and(tmp[0], tmp[1], out=tmp[0])
+            out[...] = tmp[0]
+            return out
+
+        def sel(a, b, c, out, tmp):
+            if out is None:
+                return np.where(c != 0, b, a)
+            np.not_equal(c, 0, out=tmp[0])
+            np.copyto(out, a)
+            np.copyto(out, b, where=tmp[0])
+            return out
+
+        return {
+            OP_ADD: add,
+            OP_SUB: sub,
+            OP_MUL: mul,
+            OP_DIV: div,
+            OP_MADD: madd,
+            OP_MSUB: msub,
+            OP_NMSUB: nmsub,
+            OP_CMPGT: cmpgt,
+            OP_OR: or_,
+            OP_AND: and_,
+            OP_SEL: sel,
+        }
+
+
+# -- resolution --------------------------------------------------------------
+
+_INSTANCES: dict[str, ArrayBackend] = {}
+
+
+def numpy_backend() -> NumpyBackend:
+    """The process-wide reference backend instance."""
+    backend = _INSTANCES.get("numpy")
+    if backend is None:
+        backend = _INSTANCES["numpy"] = NumpyBackend()
+    return backend
+
+
+def resolve_backend(spec: "str | ArrayBackend | None") -> ArrayBackend:
+    """Resolve a backend name (``MachineConfig.array_backend``,
+    ``solve --backend``) to a live backend instance, memoized per
+    process so warm per-program state is shared.
+
+    Raises :class:`~repro.errors.ConfigurationError` for unknown names
+    and for optional backends whose library or device is absent -- the
+    error says why, so ``solve --backend torch`` on a host without
+    torch fails with a message instead of a traceback.
+    """
+    if isinstance(spec, ArrayBackend):
+        return spec
+    name = spec or "numpy"
+    backend = _INSTANCES.get(name)
+    if backend is not None:
+        return backend
+    if name == "numpy":
+        return numpy_backend()
+    if name == "torch":
+        from .backend_torch import create_torch_backend
+
+        backend = create_torch_backend()
+    elif name == "cupy":
+        from .backend_cupy import create_cupy_backend
+
+        backend = create_cupy_backend()
+    else:
+        raise ConfigurationError(
+            f"unknown array backend {name!r}; known backends: "
+            + ", ".join(KNOWN_BACKENDS)
+        )
+    _INSTANCES[name] = backend
+    return backend
+
+
+def backend_status() -> dict[str, dict]:
+    """Availability of every known backend, without raising.
+
+    ``{"numpy": {"available": True, "exact": True, ...}, ...}`` -- what
+    ``repro metrics`` and the CLI error paths report.
+    """
+    status: dict[str, dict] = {
+        "numpy": {
+            "available": True,
+            "exact": True,
+            "supports_out": True,
+            "detail": "reference backend (always available)",
+        }
+    }
+    from .backend_cupy import cupy_status
+    from .backend_torch import torch_status
+
+    status["torch"] = torch_status()
+    status["cupy"] = cupy_status()
+    return status
+
+
+def available_backends() -> list[str]:
+    """Names of the backends that would resolve on this host."""
+    return [name for name, st in backend_status().items() if st["available"]]

@@ -1,0 +1,195 @@
+"""Optional CuPy array backend for compiled ISA programs.
+
+Lazy like :mod:`repro.cell.backend_torch`: cupy is imported only when
+the backend is explicitly selected, and :func:`cupy_status` reports
+availability (library *and* a usable CUDA device) without raising.
+
+CuPy's elementwise kernels follow the same generate-once / memoize /
+replay idiom as the pycuda exemplar named in ROADMAP -- the op table
+closures compile their CUDA kernels on first use and replay them for
+every batch.  Grouping mirrors the numpy reference (two-operation madd,
+``c - a*b`` nmsub, compare/logical masks cast to the program dtype,
+``where``-select); device rounding is refereed against the documented
+tolerance in docs/PERFORMANCE.md (``exact = False``).  ``supports_out``
+is True: cupy ufuncs accept ``out=`` with numpy semantics, so the
+buffer-reuse plan applies and replays keep device allocations O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .backend import ArrayBackend
+from .isa_compile import (
+    OP_ADD,
+    OP_AND,
+    OP_CMPGT,
+    OP_DIV,
+    OP_MADD,
+    OP_MSUB,
+    OP_MUL,
+    OP_NMSUB,
+    OP_OR,
+    OP_SEL,
+    OP_SUB,
+)
+
+#: Relative tolerance the cupy flux referee asserts against the numpy
+#: reference (see docs/PERFORMANCE.md).
+CUPY_RTOL: float = 1e-12
+
+
+def _import_cupy():
+    try:
+        import cupy  # noqa: PLC0415
+
+        # a usable device, not just the library
+        cupy.cuda.runtime.getDeviceCount()
+        return cupy
+    except Exception:
+        return None
+
+
+def cupy_available() -> bool:
+    return _import_cupy() is not None
+
+
+def cupy_status() -> dict:
+    """Availability summary for :func:`repro.cell.backend.backend_status`."""
+    cupy = _import_cupy()
+    if cupy is None:
+        return {
+            "available": False,
+            "exact": False,
+            "supports_out": True,
+            "detail": "cupy is not installed or no CUDA device is visible",
+        }
+    return {
+        "available": True,
+        "exact": False,
+        "supports_out": True,
+        "detail": f"cupy {cupy.__version__}",
+    }
+
+
+def create_cupy_backend() -> "CupyBackend":
+    cupy = _import_cupy()
+    if cupy is None:
+        raise ConfigurationError(
+            "array backend 'cupy' selected but cupy (or a CUDA device) "
+            "is unavailable; use --backend numpy"
+        )
+    return CupyBackend(cupy)
+
+
+class CupyBackend(ArrayBackend):
+    name = "cupy"
+    exact = False
+    supports_out = True
+    is_host = False
+
+    def __init__(self, cupy) -> None:
+        self.cupy = cupy
+
+    def from_host(self, array: np.ndarray):
+        return self.cupy.asarray(array)
+
+    def to_host(self, array) -> np.ndarray:
+        return self.cupy.asnumpy(array)
+
+    def alloc(self, n: int, dtype):
+        return self.cupy.empty(n, dtype=dtype)
+
+    def alloc_bool(self, n: int):
+        return self.cupy.empty(n, dtype=bool)
+
+    def empty_like(self, array):
+        return self.cupy.empty_like(array)
+
+    def constants(self, values: Sequence, dtype) -> tuple:
+        # 0-dim device arrays so every op runs on-device without
+        # per-replay host->device scalar uploads.
+        return tuple(self.cupy.asarray(v, dtype=dtype) for v in values)
+
+    def op_table(self, dtype) -> dict[int, Callable]:
+        cp = self.cupy
+
+        def add(a, b, c, out, tmp):
+            return cp.add(a, b, out=out) if out is not None else a + b
+
+        def sub(a, b, c, out, tmp):
+            return cp.subtract(a, b, out=out) if out is not None else a - b
+
+        def mul(a, b, c, out, tmp):
+            return cp.multiply(a, b, out=out) if out is not None else a * b
+
+        def div(a, b, c, out, tmp):
+            return cp.divide(a, b, out=out) if out is not None else a / b
+
+        def madd(a, b, c, out, tmp):
+            if out is None:
+                return a * b + c
+            cp.multiply(a, b, out=out)
+            return cp.add(out, c, out=out)
+
+        def msub(a, b, c, out, tmp):
+            if out is None:
+                return a * b - c
+            cp.multiply(a, b, out=out)
+            return cp.subtract(out, c, out=out)
+
+        def nmsub(a, b, c, out, tmp):
+            if out is None:
+                return c - a * b
+            cp.multiply(a, b, out=out)
+            return cp.subtract(c, out, out=out)
+
+        def cmpgt(a, b, c, out, tmp):
+            if out is None:
+                return (a > b).astype(dtype)
+            cp.greater(a, b, out=tmp[0])
+            out[...] = tmp[0]
+            return out
+
+        def or_(a, b, c, out, tmp):
+            if out is None:
+                return ((a != 0) | (b != 0)).astype(dtype)
+            cp.not_equal(a, 0, out=tmp[0])
+            cp.not_equal(b, 0, out=tmp[1])
+            cp.logical_or(tmp[0], tmp[1], out=tmp[0])
+            out[...] = tmp[0]
+            return out
+
+        def and_(a, b, c, out, tmp):
+            if out is None:
+                return ((a != 0) & (b != 0)).astype(dtype)
+            cp.not_equal(a, 0, out=tmp[0])
+            cp.not_equal(b, 0, out=tmp[1])
+            cp.logical_and(tmp[0], tmp[1], out=tmp[0])
+            out[...] = tmp[0]
+            return out
+
+        def sel(a, b, c, out, tmp):
+            if out is None:
+                return cp.where(c != 0, b, a)
+            cp.not_equal(c, 0, out=tmp[0])
+            cp.copyto(out, a)
+            cp.copyto(out, b, where=tmp[0])
+            return out
+
+        return {
+            OP_ADD: add,
+            OP_SUB: sub,
+            OP_MUL: mul,
+            OP_DIV: div,
+            OP_MADD: madd,
+            OP_MSUB: msub,
+            OP_NMSUB: nmsub,
+            OP_CMPGT: cmpgt,
+            OP_OR: or_,
+            OP_AND: and_,
+            OP_SEL: sel,
+        }

@@ -1,0 +1,150 @@
+"""Optional torch array backend for compiled ISA programs.
+
+Lazy: importing this module never imports torch.  The backend is built
+only when :func:`repro.cell.backend.resolve_backend` is asked for
+``"torch"``, and :func:`torch_status` reports availability without
+raising, so CPU-only hosts and CI without the wheel stay green.
+
+Semantics mirror the numpy reference op for op -- madd stays the
+two-operation ``a*b + c`` (``torch.addcmul`` and fused paths are
+deliberately avoided), nmsub is ``c - a*b``, compare and the logical
+masks cast to the program dtype, select is ``where(mask != 0, b, a)``.
+On CPU float64 torch's elementwise kernels round like numpy's and the
+match is exact in practice, but the *contract* is the documented
+tolerance in docs/PERFORMANCE.md (``exact = False``): accelerator
+devices and float32 fast paths may round differently.  ``supports_out``
+is False -- the optimizer still applies dead-op elimination and
+constant folding, only the preallocated-buffer plan is skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .backend import ArrayBackend
+from .isa_compile import (
+    OP_ADD,
+    OP_AND,
+    OP_CMPGT,
+    OP_DIV,
+    OP_MADD,
+    OP_MSUB,
+    OP_MUL,
+    OP_NMSUB,
+    OP_OR,
+    OP_SEL,
+    OP_SUB,
+)
+
+#: Relative tolerance the torch flux referee asserts against the numpy
+#: reference (see docs/PERFORMANCE.md -- CPU float64 is exact in
+#: practice; this bounds accelerator rounding).
+TORCH_RTOL: float = 1e-12
+
+
+def _import_torch():
+    try:
+        import torch  # noqa: PLC0415
+
+        return torch
+    except Exception:
+        return None
+
+
+def torch_available() -> bool:
+    return _import_torch() is not None
+
+
+def torch_status() -> dict:
+    """Availability summary for :func:`repro.cell.backend.backend_status`."""
+    torch = _import_torch()
+    if torch is None:
+        return {
+            "available": False,
+            "exact": False,
+            "supports_out": False,
+            "detail": "torch is not installed",
+        }
+    return {
+        "available": True,
+        "exact": False,
+        "supports_out": False,
+        "detail": f"torch {torch.__version__}"
+        + (" (cuda)" if torch.cuda.is_available() else " (cpu)"),
+    }
+
+
+def create_torch_backend() -> "TorchBackend":
+    torch = _import_torch()
+    if torch is None:
+        raise ConfigurationError(
+            "array backend 'torch' selected but torch is not installed; "
+            "use --backend numpy or install the torch CPU wheel"
+        )
+    return TorchBackend(torch)
+
+
+class TorchBackend(ArrayBackend):
+    name = "torch"
+    exact = False
+    supports_out = False
+    is_host = False
+
+    def __init__(self, torch) -> None:
+        self.torch = torch
+        self.device = torch.device(
+            "cuda" if torch.cuda.is_available() else "cpu"
+        )
+
+    def _dtype(self, np_dtype):
+        return (
+            self.torch.float64
+            if np.dtype(np_dtype) == np.float64
+            else self.torch.float32
+        )
+
+    def from_host(self, array: np.ndarray):
+        return self.torch.as_tensor(array, device=self.device)
+
+    def to_host(self, array) -> np.ndarray:
+        return array.cpu().numpy()
+
+    def alloc(self, n: int, dtype):
+        return self.torch.empty(n, dtype=self._dtype(dtype), device=self.device)
+
+    def alloc_bool(self, n: int):
+        return self.torch.empty(n, dtype=self.torch.bool, device=self.device)
+
+    def empty_like(self, array):
+        return self.torch.empty_like(array)
+
+    def constants(self, values: Sequence, dtype) -> tuple:
+        # 0-dim device tensors (not python floats): every op sees
+        # tensors only, and the dtype never promotes.
+        td = self._dtype(dtype)
+        return tuple(
+            self.torch.tensor(float(v), dtype=td, device=self.device)
+            for v in values
+        )
+
+    def op_table(self, dtype) -> dict[int, Callable]:
+        torch = self.torch
+        td = self._dtype(dtype)
+
+        return {
+            OP_ADD: lambda a, b, c, out, tmp: a + b,
+            OP_SUB: lambda a, b, c, out, tmp: a - b,
+            OP_MUL: lambda a, b, c, out, tmp: a * b,
+            OP_DIV: lambda a, b, c, out, tmp: a / b,
+            # exact interpreter grouping: two ops, no fused contraction
+            OP_MADD: lambda a, b, c, out, tmp: a * b + c,
+            OP_MSUB: lambda a, b, c, out, tmp: a * b - c,
+            OP_NMSUB: lambda a, b, c, out, tmp: c - a * b,
+            OP_CMPGT: lambda a, b, c, out, tmp: (a > b).to(td),
+            OP_OR: lambda a, b, c, out, tmp: ((a != 0) | (b != 0)).to(td),
+            OP_AND: lambda a, b, c, out, tmp: ((a != 0) & (b != 0)).to(td),
+            OP_SEL: lambda a, b, c, out, tmp: torch.where(c != 0, b, a),
+        }

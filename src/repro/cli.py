@@ -109,6 +109,20 @@ def cmd_solve(args) -> int:
         print("error: --metrics requires --engine cell (only the simulated "
               "machine feeds the metrics registry)", file=sys.stderr)
         return 2
+    if args.backend != "numpy":
+        if not args.isa:
+            print("error: --backend selects the array substrate of the "
+                  "compiled ISA programs and requires --isa",
+                  file=sys.stderr)
+            return 2
+        from .cell.backend import backend_status
+
+        status = backend_status().get(args.backend)
+        if status is None or not status["available"]:
+            detail = status["detail"] if status else "unknown backend"
+            print(f"error: --backend {args.backend} is unavailable on this "
+                  f"host ({detail})", file=sys.stderr)
+            return 2
     if args.progress and args.engine != "cell":
         print("error: --progress requires --engine cell (the progress seam "
               "counts the Cell solver's work units)", file=sys.stderr)
@@ -132,7 +146,9 @@ def cmd_solve(args) -> int:
         if args.trace:
             config = config.with_(trace=True)
         if args.isa:
-            config = config.with_(isa_kernel=True)
+            config = config.with_(
+                isa_kernel=True, array_backend=args.backend
+            )
         if args.metrics:
             config = config.with_(metrics=True)
         compile_before = STATS.snapshot()
@@ -154,6 +170,11 @@ def cmd_solve(args) -> int:
         }
         compile_stats["isa_kernel"] = config.isa_kernel
         compile_stats["compile_isa"] = config.compile_isa
+        compile_stats["backend"] = config.array_backend
+        compile_stats["optimize_isa"] = config.optimize_isa
+        from .cell.isa_compile import cache_info
+
+        compile_stats["cache"] = cache_info()
     else:  # pragma: no cover - argparse enforces choices
         raise ValueError(args.engine)
     wall = time.perf_counter() - start
@@ -209,6 +230,12 @@ def cmd_solve(args) -> int:
             print(f"isa: streams_compiled={compile_stats['streams_compiled']} "
                   f"cache_hits={compile_stats['cache_hits']} "
                   f"batched_blocks={compile_stats['batched_blocks']}")
+            print(f"isa backend={compile_stats['backend']} "
+                  f"optimizer: ops {compile_stats['ops_before']}->"
+                  f"{compile_stats['ops_after']} "
+                  f"slots_reused={compile_stats['slots_reused']} "
+                  f"cache {compile_stats['cache']['entries']}/"
+                  f"{compile_stats['cache']['capacity']}")
         if args.engine == "cell" and args.workers > 1 and solver._pool is not None:
             pm = solver._pool.metrics
             hit = solver._pool.compile_hit_rate()
@@ -275,15 +302,20 @@ def cmd_metrics(args) -> int:
     if deck.grid.num_cells > 30**3:
         print("note: the functional metrics solve is slow above ~30^3; "
               "consider --cube 16", file=sys.stderr)
+    from .cell.isa_compile import STATS, cache_info, stats_delta
+
     config = measured_cell_config().with_(metrics=True)
     solver = CellSweep3D(deck, config, workers=args.workers)
     heartbeat = _attach_heartbeat(solver, deck, args)
+    compile_before = STATS.snapshot()
     try:
         solver.solve()
     finally:
         if heartbeat is not None:
             heartbeat.close()
         solver.close()
+    compile_stats = stats_delta(compile_before)
+    compile_stats["cache"] = cache_info()
     attribution = solver.cycle_attribution()
     attribution.verify()
     if args.format == "prometheus":
@@ -304,6 +336,7 @@ def cmd_metrics(args) -> int:
             "workers": args.workers,
             "registry": solver.metrics.to_dict(),
             "cycle_attribution": attribution.to_dict(),
+            "compile": compile_stats,
         }
         print(format_json("metrics", rows, extra))
         return 0
@@ -316,6 +349,15 @@ def cmd_metrics(args) -> int:
         print(f"  {name:28s} {solver.metrics.counters[name]:>16,d}")
     for name, value in sorted(solver.metrics.gauges.items()):
         print(f"  {name:28s} {value:>16,d} (max)")
+    print()
+    cache = compile_stats["cache"]
+    print("isa compile")
+    print(f"  streams_compiled={compile_stats['streams_compiled']} "
+          f"cache_hits={compile_stats['cache_hits']} "
+          f"ops {compile_stats['ops_before']}->{compile_stats['ops_after']} "
+          f"slots_reused={compile_stats['slots_reused']}")
+    print(f"  program cache: {cache['entries']}/{cache['capacity']} entries "
+          f"({cache['compiled']} compiled, {cache['hits']} hits lifetime)")
     return 0
 
 
@@ -590,6 +632,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the SPE kernel through the functional SPU "
                         "ISA, trace-compiled to batched numpy programs "
                         "(requires --engine cell)")
+    p.add_argument("--backend", choices=("numpy", "torch", "cupy"),
+                   default="numpy",
+                   help="array substrate for the compiled ISA programs "
+                        "(requires --isa): numpy is the bit-identical "
+                        "reference; torch/cupy stream the same programs "
+                        "through device tensors when installed "
+                        "(see docs/PERFORMANCE.md)")
     p.add_argument("--workers", type=int, default=1, metavar="N",
                    help="host worker processes for the cell engine "
                         "(bit-identical to serial for any N; default 1)")

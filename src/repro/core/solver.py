@@ -92,6 +92,14 @@ class CellSweep3D:
                     "isa_kernel requires double precision: the reference "
                     "flux it must match bit for bit is float64"
                 )
+        if self.config.isa_kernel:
+            # resolve the array backend here so a missing library fails
+            # at construction with a configuration error, not mid-sweep
+            from ..cell.backend import resolve_backend
+
+            self._isa_backend = resolve_backend(self.config.array_backend)
+        else:
+            self._isa_backend = None
         self.workers = int(workers)
         if self.workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -367,7 +375,12 @@ class CellSweep3D:
             self._host_line_block(list(ch.lines), cxs, cys, czs)
             for ch in chunks
         ]
-        results = simd_execute_blocks(blocks)
+        results = simd_execute_blocks(
+            blocks,
+            backend=self._isa_backend,
+            optimize=self.config.optimize_isa,
+            metrics=self.metrics,
+        )
         self._diag_solution = {
             ch.index: (psi, phii_out, fx, blk.phi_j, blk.phi_k)
             for ch, blk, (psi, phii_out, fx) in zip(chunks, blocks, results)
@@ -478,7 +491,12 @@ class CellSweep3D:
                     cx=cx, cy=cy, cz=cz, fixup=deck.fixup,
                 )
                 if self.config.compile_isa:
-                    psi_c, phi_i_out, fixups = simd_execute_blocks([block])[0]
+                    psi_c, phi_i_out, fixups = simd_execute_blocks(
+                        [block],
+                        backend=self._isa_backend,
+                        optimize=self.config.optimize_isa,
+                        metrics=self.metrics,
+                    )[0]
                 else:
                     psi_c, phi_i_out, fixups = simd_execute_block(block)
             else:

@@ -354,7 +354,11 @@ def _trace_line_program(it: int, fixup: bool, double: bool):
 
 
 def simd_execute_blocks(
-    blocks: list[LineBlock], double: bool = True
+    blocks: list[LineBlock],
+    double: bool = True,
+    backend=None,
+    optimize: bool = True,
+    metrics=None,
 ) -> list[tuple[np.ndarray, np.ndarray, int]]:
     """Run several independent LineBlocks through one compiled ISA call.
 
@@ -366,6 +370,14 @@ def simd_execute_blocks(
     ``(psi_c, phi_i_out, fixups)`` and updates ``phi_j``/``phi_k`` in
     place -- bit-identical to interpreting each block.  Blocks must
     share ``it`` and ``fixup`` (always true within a diagonal).
+
+    ``backend`` selects the array substrate the program replays on (an
+    :class:`~repro.cell.backend.ArrayBackend`; default: the numpy
+    reference), ``optimize`` toggles the compile-time plan, and
+    ``metrics`` (a :class:`~repro.metrics.registry.MetricsRegistry`)
+    receives per-backend ``isa.backend.<name>.{blocks,lines}`` counters
+    -- block/line totals are partition-invariant, so the counts merge
+    bit-identically for any worker split.
     """
     from ..cell.isa_compile import STATS, compiled_program
 
@@ -389,6 +401,10 @@ def simd_execute_blocks(
     STATS.batched_calls += 1
     STATS.batched_blocks += len(blocks)
     STATS.batched_lines += N
+    if metrics is not None and metrics.enabled:
+        name = backend.name if backend is not None else "numpy"
+        metrics.count(f"isa.backend.{name}.blocks", len(blocks))
+        metrics.count(f"isa.backend.{name}.lines", N)
 
     def cat1(field) -> np.ndarray:
         return np.concatenate(
@@ -420,7 +436,12 @@ def simd_execute_blocks(
         else scalars[key]
         for key in program.inputs
     ]
-    results = dict(zip((k for k, _ in program.outputs), program.run(inputs)))
+    results = dict(
+        zip(
+            (k for k, _ in program.outputs),
+            program.run(inputs, backend=backend, optimize=optimize),
+        )
+    )
 
     # scatter per column; assignment into float64 upcasts single-precision
     # results exactly like the interpreter's stqd into float64 targets.
@@ -452,6 +473,19 @@ def compiled_line_executor(block: LineBlock):
     """LineExecutor adapter for the trace-compiled path (one block per
     call; the Cell solver batches whole diagonals instead)."""
     return simd_execute_blocks([block])[0]
+
+
+def compiled_block_executor(backend=None, optimize: bool = True):
+    """A LineExecutor bound to one backend x optimizer mode (benchmark
+    duels and conformance referees; the solver threads its own config
+    through :func:`simd_execute_blocks` directly)."""
+
+    def executor(block: LineBlock):
+        return simd_execute_blocks(
+            [block], backend=backend, optimize=optimize
+        )[0]
+
+    return executor
 
 
 # ---------------------------------------------------------------------------

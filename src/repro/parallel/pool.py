@@ -57,6 +57,7 @@ _BIND_TIMEOUT = 120.0
 COMPILE_KEYS = (
     "streams_compiled", "cache_hits", "batched_calls",
     "batched_blocks", "batched_lines",
+    "ops_before", "ops_after", "slots_reused",
 )
 
 

@@ -20,6 +20,13 @@ checks the current tree against them:
   ``serve smoke`` record of ``BENCH_serve.json`` times the same
   tolerance.  The committed burst record must also show a clean warm
   compiled-ISA cache (``warm_recompiles == 0``);
+* **isa compiled wall** -- re-measures the compiled-executor kernel
+  wall of one ``16^3 x 1 iter`` tile sweep (the ``compiled_seconds``
+  half of the ``BENCH_isa.json`` executor duel; the interpreted half
+  is ~60x slower and is never re-run here) and compares against the
+  committed number times the same tolerance.  This is the guard on the
+  optimizing program pipeline: a pass regression that slows replay
+  shows up directly in this wall;
 * **structural invariants** -- every ``bit_identical`` flag recorded in
   ``BENCH_isa.json`` / ``BENCH_parallel.json`` / ``BENCH_serve.json``
   must be true, and every recorded speedup must be positive.  These
@@ -59,6 +66,9 @@ SMOKE_DECK = "16^3 x 1 iter"
 
 #: the BENCH_serve.json record the serve gate re-measures against
 SERVE_SMOKE_RECORD = "serve smoke"
+
+#: the BENCH_isa.json record the ISA gate re-measures against
+ISA_DUEL_RECORD = "executor duel (kernel wall only)"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -134,6 +144,69 @@ def check_functional(
     ok = measured <= ceiling
     return [Finding(
         name, "functional-wall", ok,
+        f"measured {measured:.3f}s vs baseline {base:.3f}s "
+        f"(x{tolerance:.1f} ceiling {ceiling:.3f}s)",
+    )]
+
+
+def measure_isa_compiled() -> float:
+    """Compiled-executor kernel wall seconds of one ``16^3 x 1 iter``
+    tile sweep -- the ``compiled_seconds`` half of the
+    ``benchmarks/bench_isa_compile.py`` executor duel.  Only the
+    line-executor calls are timed, so host noise outside the kernel
+    (deck setup, tile bookkeeping) does not leak into the gate."""
+    from ..core.spe_kernel import compiled_line_executor
+    from ..sweep.input import cube_deck
+    from ..sweep.serial import SerialSweep3D
+
+    deck = dataclasses.replace(cube_deck(16), iterations=1)
+    wall = 0.0
+
+    def timed(block):
+        nonlocal wall
+        t0 = time.perf_counter()
+        out = compiled_line_executor(block)
+        wall += time.perf_counter() - t0
+        return out
+
+    SerialSweep3D(deck, method="tile", executor=timed).solve()
+    return wall
+
+
+def _isa_duel_record(payload: Any) -> dict | None:
+    """The executor-duel record of a ``BENCH_isa.json`` payload,
+    falling back to any top-level record carrying ``compiled_seconds``
+    so a renamed bench does not silently disarm the gate."""
+    records = payload.get("records", []) if isinstance(payload, dict) else payload
+    fallback = None
+    for rec in records:
+        if not isinstance(rec, dict) or "compiled_seconds" not in rec:
+            continue
+        if rec.get("record") == ISA_DUEL_RECORD:
+            return rec
+        fallback = fallback or rec
+    return fallback
+
+
+def check_isa(
+    payload: Any, tolerance: float, measured: float | None = None
+) -> list[Finding]:
+    """ISA gate: the compiled-executor kernel wall of the 16^3 tile
+    sweep must still land within the committed duel time (x tolerance)."""
+    name = "BENCH_isa.json"
+    rec = _isa_duel_record(payload)
+    if rec is None:
+        return [Finding(name, "isa-compiled-wall", False,
+                        "no record with compiled_seconds")]
+    base = float(rec["compiled_seconds"])
+    if base <= 0:
+        return [Finding(name, "isa-compiled-wall", False,
+                        f"baseline compiled_seconds={base} is not positive")]
+    if measured is None:
+        measured = measure_isa_compiled()
+    ceiling = base * tolerance
+    return [Finding(
+        name, "isa-compiled-wall", measured <= ceiling,
         f"measured {measured:.3f}s vs baseline {base:.3f}s "
         f"(x{tolerance:.1f} ceiling {ceiling:.3f}s)",
     )]
@@ -299,12 +372,14 @@ def check_baselines(
     tolerance: float = DEFAULT_TOLERANCE,
     measured: float | None = None,
     serve_measured: float | None = None,
+    isa_measured: float | None = None,
 ) -> tuple[list[Finding], int]:
     """All baseline checks plus the count of baseline files found.
 
-    ``measured`` injects a pre-measured functional wall time and
-    ``serve_measured`` a pre-measured warm serve smoke time (tests);
-    ``None`` re-runs the respective 16^3 smoke.
+    ``measured`` injects a pre-measured functional wall time,
+    ``serve_measured`` a pre-measured warm serve smoke time and
+    ``isa_measured`` a pre-measured compiled-executor kernel wall
+    (tests); ``None`` re-runs the respective 16^3 smoke.
     """
     baselines = load_baselines(root)
     findings: list[Finding] = []
@@ -314,6 +389,9 @@ def check_baselines(
         elif name == "BENCH_serve.json":
             findings.extend(check_structural(name, payload))
             findings.extend(check_serve(payload, tolerance, serve_measured))
+        elif name == "BENCH_isa.json":
+            findings.extend(check_structural(name, payload))
+            findings.extend(check_isa(payload, tolerance, isa_measured))
         else:
             findings.extend(check_structural(name, payload))
     return findings, len(baselines)
@@ -324,6 +402,7 @@ def run_check(
     tolerance: float = DEFAULT_TOLERANCE,
     measured: float | None = None,
     serve_measured: float | None = None,
+    isa_measured: float | None = None,
 ) -> int:
     """Print every finding and return the gate's exit code.
 
@@ -332,7 +411,7 @@ def run_check(
     only).  Nonzero on any failed check once the gate is armed.
     """
     findings, n_baselines = check_baselines(
-        root, tolerance, measured, serve_measured
+        root, tolerance, measured, serve_measured, isa_measured
     )
     for f in findings:
         print(f)

@@ -139,11 +139,17 @@ class SolveRunner:
                                  else None),
             "solve_wall_seconds": wall,
             "isa": isa,
+            # the array substrate the job's compiled programs ran on
+            # (None when the job fell back to the reference kernel)
+            "backend": config.array_backend if isa else None,
             "compile": {
                 # exact while solves do not overlap; see module docstring
                 "streams_compiled": job_delta.get("streams_compiled", 0),
                 "cache_hits": job_delta.get("cache_hits", 0),
                 "batched_blocks": job_delta.get("batched_blocks", 0),
+                "ops_before": job_delta.get("ops_before", 0),
+                "ops_after": job_delta.get("ops_after", 0),
+                "slots_reused": job_delta.get("slots_reused", 0),
             },
             "pool": {
                 "workers": self.workers,

@@ -12,6 +12,7 @@ from repro.perf.baseline import (
     Finding,
     check_baselines,
     check_functional,
+    check_isa,
     check_serve,
     check_structural,
     load_baselines,
@@ -26,8 +27,16 @@ FUNCTIONAL = [
 ISA = {
     "bench": "ISA trace compilation",
     "records": [
-        {"record": "duel", "interpreted_seconds": 90.0,
-         "compiled_seconds": 1.6, "speedup": 56.0, "bit_identical": True},
+        {"record": "executor duel (kernel wall only)",
+         "interpreted_seconds": 90.0, "compiled_seconds": 1.6,
+         "speedup": 56.0, "bit_identical": True},
+        {"record": "backend duel (compiled executor wall)",
+         "backends": ["numpy"], "runs": [
+             {"backend": "numpy", "optimize": True,
+              "compiled_seconds": 1.5, "bit_identical": True},
+             {"backend": "numpy", "optimize": False,
+              "compiled_seconds": 1.9, "bit_identical": True},
+         ]},
         {"record": "full", "skipped": True, "reason": "BENCH_ISA_FULL"},
     ],
 }
@@ -154,22 +163,61 @@ class TestServeGate:
                    for f in findings)
 
 
+class TestIsaGate:
+    def test_within_tolerance_passes(self):
+        findings = check_isa(ISA, tolerance=2.0, measured=3.1)
+        assert [f.ok for f in findings] == [True]
+        assert findings[0].check == "isa-compiled-wall"
+
+    def test_regression_fails(self):
+        findings = check_isa(ISA, tolerance=2.0, measured=3.3)
+        assert [f.ok for f in findings] == [False]
+        assert "3.300s" in findings[0].detail
+
+    def test_renamed_duel_record_still_gates(self):
+        renamed = json.loads(json.dumps(ISA))
+        renamed["records"][0]["record"] = "some future name"
+        findings = check_isa(renamed, tolerance=2.0, measured=3.3)
+        assert [f.ok for f in findings] == [False]
+
+    def test_missing_record_fails(self):
+        findings = check_isa({"records": []}, tolerance=2.0, measured=0.1)
+        assert not findings[0].ok
+
+    def test_nonpositive_baseline_fails(self):
+        bad = json.loads(json.dumps(ISA))
+        bad["records"][0]["compiled_seconds"] = 0.0
+        findings = check_isa(bad, tolerance=2.0, measured=0.1)
+        assert not findings[0].ok
+
+    def test_backend_runs_feed_structural_gate(self):
+        bad = json.loads(json.dumps(ISA))
+        bad["records"][1]["runs"][1]["bit_identical"] = False
+        findings = check_structural("BENCH_isa.json", bad)
+        assert any(not f.ok and f.check == "bit-identical" for f in findings)
+
+
 class TestGateExitCodes:
     def test_all_pass_exits_zero(self, root, capsys):
         assert run_check(root, tolerance=2.0, measured=1.0,
-                         serve_measured=1.0) == 0
+                         serve_measured=1.0, isa_measured=1.0) == 0
         assert "passed" in capsys.readouterr().out
 
     def test_regression_exits_nonzero(self, root, capsys):
         assert run_check(root, tolerance=2.0, measured=100.0,
-                         serve_measured=1.0) == 1
+                         serve_measured=1.0, isa_measured=1.0) == 1
         out = capsys.readouterr().out
         assert "FAIL" in out and "failed" in out
 
     def test_serve_regression_exits_nonzero(self, root, capsys):
         assert run_check(root, tolerance=2.0, measured=1.0,
-                         serve_measured=100.0) == 1
+                         serve_measured=100.0, isa_measured=1.0) == 1
         assert "serve-smoke" in capsys.readouterr().out
+
+    def test_isa_regression_exits_nonzero(self, root, capsys):
+        assert run_check(root, tolerance=2.0, measured=1.0,
+                         serve_measured=1.0, isa_measured=100.0) == 1
+        assert "isa-compiled-wall" in capsys.readouterr().out
 
     def test_soft_fail_below_min_baselines(self, tmp_path, capsys):
         (tmp_path / "BENCH_functional.json").write_text(json.dumps(FUNCTIONAL))
@@ -179,7 +227,7 @@ class TestGateExitCodes:
 
     def test_findings_and_count(self, root):
         findings, n = check_baselines(root, tolerance=2.0, measured=1.0,
-                                      serve_measured=1.0)
+                                      serve_measured=1.0, isa_measured=1.0)
         assert n == 4
         assert all(isinstance(f, Finding) for f in findings)
         assert {f.baseline for f in findings} == set(BASELINE_FILES)
