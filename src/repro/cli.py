@@ -16,7 +16,9 @@ writing code:
 ``projections``Figure 10: planned optimizations / what-ifs
 ``processors`` Figure 11: cross-processor comparison
 ``bounds``     Sec. 6: traffic and lower bounds
-``cluster``    multi-chip Cell cluster scaling (extension)
+``cluster``    multi-chip Cell cluster scaling (extension); with
+               ``--transport`` a real multi-process socket solve
+``cluster-rank`` one cluster rank worker process (see ``docs/CLUSTER.md``)
 =============  ===========================================================
 
 ``solve`` and ``kernel`` take ``--json`` for machine-readable output;
@@ -569,6 +571,8 @@ def cmd_cluster(args) -> int:
     from .core.cluster import cluster_speedup, cluster_time
     from .perf.processors import measured_cell_config
 
+    if args.transport:
+        return _cluster_transport_solve(args)
     if args.workers:
         return _cluster_solve(args)
     deck = _build_deck(args)
@@ -606,6 +610,69 @@ def _cluster_solve(args) -> int:
     print(f"leakage={result.tally.leakage:.6f} fixups={result.tally.fixups}")
     print(f"host wall: {wall:.3f}s (workers={args.workers})")
     return 0
+
+
+def _cluster_transport_solve(args) -> int:
+    """Multi-process P x Q solve over a cluster transport fabric."""
+    from .cluster.driver import ClusterDriver
+
+    deck = _build_deck(args)
+    if deck.grid.num_cells > 30**3 and args.cluster_engine == "cell":
+        print("note: the functional cluster solve is slow above ~30^3; "
+              "consider --cube 16", file=sys.stderr)
+    driver = ClusterDriver(
+        deck, args.p, args.q,
+        transport=args.transport, engine=args.cluster_engine,
+        spawn=args.spawn,
+    )
+    with driver:
+        driver.install_signal_drain()
+        driver.start()
+        report = driver.solve()
+    result = report.result
+    phi = result.scalar_flux
+    if args.json:
+        from .perf.report import Row, format_json
+
+        rows = [
+            Row("flux total", float(phi.sum()), unit=""),
+            Row("flux max", float(phi.max()), unit=""),
+            Row("flux min", float(phi.min()), unit=""),
+            Row("leakage", float(result.tally.leakage), unit=""),
+            Row("fixups", float(result.tally.fixups), unit=""),
+        ]
+        extra = {
+            "cluster": report.to_dict(),
+            "deck": {"shape": list(deck.grid.shape), "sn": deck.sn,
+                     "nm": deck.nm, "iterations": result.iterations},
+            "last_flux_change": (result.history[-1] if result.history
+                                 else None),
+        }
+        print(format_json("cluster", rows, extra))
+    else:
+        print(f"cluster {args.p}x{args.q} transport={report.transport} "
+              f"engine={report.engine} deck={deck.grid.shape} S{deck.sn} "
+              f"nm={deck.nm} iters={result.iterations}"
+              + (" (drained)" if report.drained else ""))
+        print(f"scalar flux: total={phi.sum():.6f} max={phi.max():.6f} "
+              f"min={phi.min():.6f}")
+        print(f"leakage={result.tally.leakage:.6f} "
+              f"fixups={result.tally.fixups}")
+        print(f"flux sha256: {report.flux_digest}")
+        print(f"messages: {report.msgs_sent} sent, "
+              f"{report.bytes_sent} payload bytes, "
+              f"overlap ratio {report.overlap_ratio:.3f}")
+        walls = " ".join(f"{w:.3f}" for w in report.octant_walls)
+        print(f"octant walls (s): {walls}")
+        print(f"host wall: {report.wall_seconds:.3f}s "
+              f"({report.size} rank processes)")
+    return 0
+
+
+def cmd_cluster_rank(args) -> int:
+    from .cluster.runtime import rank_main
+
+    return rank_main(args.connect, args.rank, timeout=args.timeout)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -746,7 +813,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=0, metavar="N",
                    help="run a functional P x Q cluster solve on N host "
                         "worker processes (default: print the timing model)")
+    p.add_argument("--transport", choices=("local", "socket", "mpi"),
+                   default=None,
+                   help="run a real multi-process cluster solve over this "
+                        "rank-to-rank transport (see docs/CLUSTER.md)")
+    p.add_argument("--engine", dest="cluster_engine",
+                   choices=("cell", "tile"), default="cell",
+                   help="per-rank sweep engine for --transport solves")
+    p.add_argument("--spawn", choices=("fork", "cli"), default="fork",
+                   help="how --transport solves start rank processes")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON output (--transport only)")
     p.set_defaults(fn=cmd_cluster)
+
+    p = sub.add_parser(
+        "cluster-rank",
+        help="one cluster rank worker (spawned by `repro cluster`)",
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="driver rendezvous address")
+    p.add_argument("--rank", type=int, required=True,
+                   help="this process's rank in the P x Q grid")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="control/data receive timeout in seconds")
+    p.set_defaults(fn=cmd_cluster_rank)
 
     p = sub.add_parser("transient", help="time-dependent solve (extension)")
     _deck_args(p)

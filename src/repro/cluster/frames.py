@@ -1,0 +1,152 @@
+"""Wire format of the socket transport: length-prefixed frames.
+
+One frame is one ``sendmsg``-sized unit on the wire::
+
+    u32 body_len | u8 kind | body
+
+``DATA`` bodies carry a *batch* of face messages -- the transport
+coalesces every message a rank emits during one (octant, angle-block,
+K-block) step toward the same destination into a single frame, so the
+per-message 10-us-class latency of a 2006 cluster interconnect is paid
+once per step and neighbour, not once per face.  Each message in the
+batch is::
+
+    i32 src_rank | i32 tag | u8 ndim | u32 dim... | f64 payload bytes
+
+Payloads travel as raw little-endian float64 bytes
+(``ndarray.tobytes()`` / ``np.frombuffer``), which round-trips every
+float bit-exactly -- the foundation of the cluster path's bit-identity
+contract with the in-process engines.
+
+``CONTROL`` bodies are pickled dicts on the parent<->rank rendezvous
+channel (HELLO / MANIFEST / ITER / GO / STOP / RESULT / BYE); they never
+ride the data fabric.  Pickle is acceptable there for the same reason it
+is in :mod:`repro.parallel.pool`: every peer is a process we spawned.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+class FrameError(ReproError):
+    """Malformed or truncated wire frame."""
+
+
+#: frame kinds
+KIND_DATA = 1
+KIND_CONTROL = 2
+
+_HEADER = struct.Struct("<IB")  # body_len, kind
+_MSG_HEAD = struct.Struct("<iiB")  # src, tag, ndim
+_DIM = struct.Struct("<I")
+
+#: refuse frames beyond this (a 50^3 deck's largest face is ~KBs; 256 MiB
+#: means a corrupted length prefix, not a message)
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+def pack_messages(messages: Sequence[tuple[int, int, np.ndarray]]) -> bytes:
+    """Serialize ``(src, tag, array)`` face messages into one DATA body."""
+    parts: list[bytes] = []
+    for src, tag, data in messages:
+        arr = np.ascontiguousarray(np.asarray(data, dtype=np.float64))
+        if arr.ndim > 255:  # pragma: no cover - physically impossible here
+            raise FrameError(f"array rank {arr.ndim} > 255")
+        parts.append(_MSG_HEAD.pack(src, tag, arr.ndim))
+        for dim in arr.shape:
+            parts.append(_DIM.pack(dim))
+        parts.append(arr.tobytes())
+    return b"".join(parts)
+
+
+def unpack_messages(body: bytes) -> list[tuple[int, int, np.ndarray]]:
+    """Invert :func:`pack_messages`."""
+    out: list[tuple[int, int, np.ndarray]] = []
+    view = memoryview(body)
+    off = 0
+    while off < len(view):
+        if off + _MSG_HEAD.size > len(view):
+            raise FrameError("truncated message header")
+        src, tag, ndim = _MSG_HEAD.unpack_from(view, off)
+        off += _MSG_HEAD.size
+        shape = []
+        for _ in range(ndim):
+            if off + _DIM.size > len(view):
+                raise FrameError("truncated message dims")
+            shape.append(_DIM.unpack_from(view, off)[0])
+            off += _DIM.size
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        nbytes = count * 8
+        if off + nbytes > len(view):
+            raise FrameError(
+                f"truncated payload: need {nbytes} bytes, have {len(view) - off}"
+            )
+        arr = np.frombuffer(view[off:off + nbytes], dtype=np.float64)
+        out.append((src, tag, arr.reshape(shape).copy()))
+        off += nbytes
+    return out
+
+
+def pack_control(payload: dict[str, Any]) -> bytes:
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def unpack_control(body: bytes) -> dict[str, Any]:
+    obj = pickle.loads(body)
+    if not isinstance(obj, dict):
+        raise FrameError(f"control frame decoded to {type(obj).__name__}, not dict")
+    return obj
+
+
+# -- stream I/O --------------------------------------------------------------
+
+
+def frame_bytes(kind: int, body: bytes) -> bytes:
+    """One whole frame, header included (what goes on the wire)."""
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame body {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _HEADER.pack(len(body), kind) + body
+
+
+def send_frame(sock, kind: int, body: bytes) -> int:
+    """Write one frame to a socket; returns the bytes put on the wire."""
+    buf = frame_bytes(kind, body)
+    sock.sendall(buf)
+    return len(buf)
+
+
+def _recv_exact(sock, n: int) -> bytes:
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(n - got)
+        if not chunk:
+            raise FrameError(f"connection closed mid-frame ({got}/{n} bytes)")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock) -> tuple[int, bytes]:
+    """Read one frame; raises :class:`FrameError` on EOF mid-frame and
+    returns ``(0, b"")`` on a clean EOF at a frame boundary."""
+    try:
+        head = sock.recv(_HEADER.size)
+    except ConnectionResetError:
+        return 0, b""
+    if not head:
+        return 0, b""
+    if len(head) < _HEADER.size:
+        head += _recv_exact(sock, _HEADER.size - len(head))
+    body_len, kind = _HEADER.unpack(head)
+    if body_len > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {body_len} exceeds {MAX_FRAME_BYTES}")
+    body = _recv_exact(sock, body_len) if body_len else b""
+    return kind, body

@@ -73,6 +73,10 @@ class CellClusterSweep3D:
                 return sweeper
 
             self._kba = KBASweep3D(deck, P=P, Q=Q, sweeper_factory=_factory)
+            # face sends count cluster.* into each rank's registry, so
+            # the merged aggregate matches the pooled engine's
+            # parent-side wire counts bit for bit
+            self._kba.count_wire = bool(self.config.metrics)
 
     @property
     def cart(self) -> Cart2D:

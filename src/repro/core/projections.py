@@ -64,6 +64,82 @@ def project(deck: InputDeck, base: MachineConfig) -> list[tuple[Projection, floa
     return [(p, predict(deck, p.config).seconds) for p in projection_series(base)]
 
 
+# ---------------------------------------------------------------------------
+# Cluster-scale projections (Figs. 10-11 extrapolated to rank grids)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClusterProjection:
+    """The analytic model's view of one P x Q rank grid on one deck.
+
+    ``model_seconds`` is the Hoisie-style KBA makespan of
+    :func:`repro.core.cluster.cluster_time`.  The message combinatorics
+    are *exact* -- counted from the same decomposition the runtime
+    executes -- so a measured cluster solve must match them with zero
+    deviation; that equality is what ``perf/baseline.py:check_cluster``
+    gates (wall clocks oversubscribed onto one host are recorded as
+    information, not gated).
+    """
+
+    P: int
+    Q: int
+    model_seconds: float
+    msgs_per_solve: int
+    bytes_per_solve: int
+
+    @property
+    def ranks(self) -> int:
+        return self.P * self.Q
+
+
+def cluster_projection(
+    deck: InputDeck, base: MachineConfig, P: int, Q: int
+) -> ClusterProjection:
+    """Model seconds plus the exact face-message counts of one solve.
+
+    Per octant, exactly one I-direction and one J-direction is
+    downstream, so a rank sends its I-face on the 4 octants pointing at
+    each existing I-neighbour (and likewise J); every send moves one
+    ``(mmi, mk, edge)`` float64 block per (angle-block, K-block) step.
+    """
+    from ..mpi.wavefront import KBASweep3D
+    from .cluster import cluster_time
+
+    kba = KBASweep3D(deck, P=P, Q=Q)
+    quad = deck.quadrature()
+    ablocks = quad.per_octant // deck.mmi
+    kblocks = deck.grid.nz // deck.mk
+    steps = ablocks * kblocks * deck.iterations
+    msgs = 0
+    nbytes = 0
+    for rank in range(P * Q):
+        plan = kba.plan(rank)
+        cart = kba.cart
+        i_dirs = 4 * ((cart.east(rank) is not None)
+                      + (cart.west(rank) is not None))
+        j_dirs = 4 * ((cart.south(rank) is not None)
+                      + (cart.north(rank) is not None))
+        msgs += (i_dirs + j_dirs) * steps
+        nbytes += steps * 8 * deck.mmi * deck.mk * (
+            i_dirs * plan.ny + j_dirs * plan.nx
+        )
+    return ClusterProjection(
+        P=P, Q=Q,
+        model_seconds=cluster_time(deck, base, P, Q),
+        msgs_per_solve=msgs,
+        bytes_per_solve=nbytes,
+    )
+
+
+def cluster_projection_series(
+    deck: InputDeck, base: MachineConfig, grids: tuple[tuple[int, int], ...]
+) -> tuple[ClusterProjection, ...]:
+    """The model curve over a ladder of rank grids (the Fig. 11 shape:
+    time vs processor count, here rank count)."""
+    return tuple(cluster_projection(deck, base, p, q) for p, q in grids)
+
+
 def pipelined_dp_is_marginal(deck: InputDeck, base: MachineConfig) -> bool:
     """The paper's headline Figure-10 observation, as a checkable claim:
     once scheduling is distributed, pipelining the DP unit buys little

@@ -89,3 +89,7 @@ class CalibrationError(ReproError):
 
 class ParallelError(ReproError):
     """Host-parallel engine failure (worker crash, timeout, bad state)."""
+
+
+class ClusterError(ReproError):
+    """Multi-host cluster transport failure (rendezvous, wire, rank death)."""

@@ -200,6 +200,169 @@ def attribute_cycles(
     return CycleAttribution(per_spe=per_spe, span_ticks=span, flops=flops)
 
 
+# ---------------------------------------------------------------------------
+# Cluster transport attribution ("where the rank's wall time went")
+# ---------------------------------------------------------------------------
+
+#: Cluster rank buckets, in report order.  ``compute`` is derived.
+RANK_BUCKETS: tuple[str, ...] = ("send_wait", "recv_wait", "compute")
+
+#: one cluster tick is one microsecond of host wall clock
+TICKS_PER_SECOND: int = 1_000_000
+
+
+def rank_metric(rank: int, name: str) -> str:
+    """Canonical per-rank cluster metric name (``cluster.rank3.span_ticks``)."""
+    return f"cluster.rank{rank}.{name}"
+
+
+def ingest_rank_transport(registry, rank: int, stats: Mapping[str, Any],
+                          span_s: float) -> None:
+    """Feed one rank's transport stats into a registry, exactly once.
+
+    Wall quantities are rounded to integer microsecond ticks here --
+    the single rounding, mirroring :func:`repro.metrics.registry.ticks`
+    -- and the wait buckets are clamped so ``send + recv <= span``,
+    which is what makes the derived ``compute = span - send - recv``
+    bucket exact and non-negative in integer arithmetic.
+    """
+    span = max(round(span_s * TICKS_PER_SECOND), 0)
+    send = min(max(round(stats.get("send_wait_s", 0.0) * TICKS_PER_SECOND), 0), span)
+    recv = min(max(round(stats.get("recv_wait_s", 0.0) * TICKS_PER_SECOND), 0),
+               span - send)
+    registry.count(rank_metric(rank, "span_ticks"), span)
+    registry.count(rank_metric(rank, "send_wait_ticks"), send)
+    registry.count(rank_metric(rank, "recv_wait_ticks"), recv)
+    registry.count("cluster.msgs_sent", int(stats.get("msgs_sent", 0)))
+    registry.count("cluster.msgs_recv", int(stats.get("msgs_recv", 0)))
+    registry.count("cluster.bytes_sent", int(stats.get("bytes_sent", 0)))
+    registry.count("cluster.bytes_recv", int(stats.get("bytes_recv", 0)))
+    registry.count("cluster.frames_sent", int(stats.get("frames_sent", 0)))
+    registry.count("cluster.frames_recv", int(stats.get("frames_recv", 0)))
+
+
+@dataclass(frozen=True)
+class RankTransportTicks:
+    """One rank's attributed wall ticks (integer microseconds)."""
+
+    rank: int
+    send_wait: int
+    recv_wait: int
+    compute: int
+
+    @property
+    def span(self) -> int:
+        return self.send_wait + self.recv_wait + self.compute
+
+    def bucket(self, name: str) -> int:
+        return int(getattr(self, name))
+
+
+@dataclass(frozen=True)
+class ClusterAttribution:
+    """Per-rank transport attribution from one registry snapshot.
+
+    The exactness contract mirrors :class:`CycleAttribution`: every
+    rank's three buckets sum to that rank's span *exactly* (integer
+    microseconds, waits clamped once at ingestion), and the grand total
+    equals the sum of rank spans.  ``verify()`` asserts both.
+    """
+
+    per_rank: tuple[RankTransportTicks, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.per_rank)
+
+    @property
+    def total_ticks(self) -> int:
+        return sum(r.span for r in self.per_rank)
+
+    @property
+    def bucket_totals(self) -> dict[str, int]:
+        return {
+            name: sum(r.bucket(name) for r in self.per_rank)
+            for name in RANK_BUCKETS
+        }
+
+    def verify(self) -> None:
+        for r in self.per_rank:
+            if r.compute < 0:
+                raise AssertionError(
+                    f"rank {r.rank}: negative compute bucket {r.compute} "
+                    f"(waits were not clamped at ingestion)"
+                )
+            if r.send_wait + r.recv_wait + r.compute != r.span:
+                raise AssertionError(  # pragma: no cover - span is the sum
+                    f"rank {r.rank}: buckets do not sum to the span"
+                )
+        summed = sum(self.bucket_totals.values())
+        if summed != self.total_ticks:
+            raise AssertionError(
+                f"bucket grand total {summed} != sum of rank spans "
+                f"{self.total_ticks}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ticks_per_second": TICKS_PER_SECOND,
+            "ranks": self.size,
+            "total_ticks": self.total_ticks,
+            "bucket_totals_ticks": self.bucket_totals,
+            "per_rank": [
+                {
+                    "rank": r.rank,
+                    **{f"{name}_ticks": r.bucket(name) for name in RANK_BUCKETS},
+                    "span_ticks": r.span,
+                }
+                for r in self.per_rank
+            ],
+        }
+
+    def table(self) -> str:
+        """The "where the rank walls went" table, in ms and % of span."""
+        lines = ["where the rank walls went (host microsecond ticks)"]
+        lines.append(
+            f"{'rank':<6}" + "".join(f"{name:>16}" for name in RANK_BUCKETS)
+            + f"{'span ms':>10}"
+        )
+        for r in self.per_rank:
+            span = r.span
+
+            def fmt(t: int) -> str:
+                pct = 100.0 * t / span if span else 0.0
+                return f"{t / 1000.0:>10.1f} {pct:4.0f}%"
+
+            cells = "".join(fmt(r.bucket(name)) for name in RANK_BUCKETS)
+            lines.append(f"R{r.rank:<5}" + cells + f"{span / 1000.0:>10.1f}")
+        totals = self.bucket_totals
+        total = self.total_ticks
+        lines.append(
+            f"{'total':<6}" + "".join(
+                f"{totals[name] / 1000.0:>10.1f} "
+                f"{100.0 * totals[name] / total if total else 0.0:4.0f}%"
+                for name in RANK_BUCKETS
+            )
+        )
+        return "\n".join(lines)
+
+
+def cluster_attribution(counters: Mapping[str, int], size: int) -> ClusterAttribution:
+    """Build the per-rank transport attribution from registry counters
+    (the ``cluster.rank{r}.*`` names :func:`ingest_rank_transport` feeds;
+    a rank never ingested reads as all-zero)."""
+    ranks = []
+    for r in range(size):
+        span = int(counters.get(rank_metric(r, "span_ticks"), 0))
+        send = int(counters.get(rank_metric(r, "send_wait_ticks"), 0))
+        recv = int(counters.get(rank_metric(r, "recv_wait_ticks"), 0))
+        ranks.append(RankTransportTicks(
+            rank=r, send_wait=send, recv_wait=recv,
+            compute=span - send - recv,
+        ))
+    return ClusterAttribution(per_rank=tuple(ranks))
+
+
 def attribution_from_registry(
     registry, num_spes: int, nm: int, fixup: bool
 ) -> CycleAttribution:

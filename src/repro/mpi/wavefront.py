@@ -35,13 +35,39 @@ from .topology import Cart2D, dims_create, split_extent
 _AXIS_I = 0
 _AXIS_J = 1
 
+#: field widths of the packed face-message tag; every field is validated
+#: on encode, because an overflowing ``kblock`` would not grow the tag
+#: past any global ceiling -- it would silently alias into the
+#: neighbouring ``ablock`` field and route the face to the wrong unit.
+TAG_AXES = 2
+TAG_OCTANTS = 8
+TAG_ABLOCKS = 16
+TAG_KBLOCKS = 512
+
+#: exclusive upper bound of the face-message tag space
+TAG_LIMIT = TAG_AXES * TAG_OCTANTS * TAG_ABLOCKS * TAG_KBLOCKS
+
 
 def _tag(axis: int, octant: int, ablock: int, kblock: int) -> int:
     """Unique tag per (axis, octant, angle block, K block)."""
-    tag = ((axis * 8 + octant) * 16 + ablock) * 512 + kblock
-    if tag >= 999_000:  # pragma: no cover - would need kt/mk > 512
-        raise CommunicatorError("tag space exhausted; reduce kt/mk")
-    return tag
+    if not 0 <= axis < TAG_AXES:
+        raise CommunicatorError(f"tag axis {axis} outside 0..{TAG_AXES - 1}")
+    if not 0 <= octant < TAG_OCTANTS:
+        raise CommunicatorError(
+            f"tag octant {octant} outside 0..{TAG_OCTANTS - 1}"
+        )
+    if not 0 <= ablock < TAG_ABLOCKS:
+        raise CommunicatorError(
+            f"tag angle-block {ablock} exceeds the {TAG_ABLOCKS}-slot "
+            f"field; reduce angles/mmi"
+        )
+    if not 0 <= kblock < TAG_KBLOCKS:
+        raise CommunicatorError(
+            f"tag K-block {kblock} exceeds the {TAG_KBLOCKS}-slot field; "
+            f"reduce kt/mk"
+        )
+    return ((axis * TAG_OCTANTS + octant) * TAG_ABLOCKS + ablock) \
+        * TAG_KBLOCKS + kblock
 
 
 class RankBoundary:
@@ -61,6 +87,7 @@ class RankBoundary:
         cart: Cart2D,
         mmi: int,
         mk: int,
+        metrics=None,
     ) -> None:
         self.deck = deck
         self.quad = quad
@@ -69,6 +96,20 @@ class RankBoundary:
         self.mmi = mmi
         self.mk = mk
         self.leakage = 0.0
+        #: optional per-rank registry: face sends count as ``cluster.*``
+        #: so the threaded runtime's merged registry matches the DAG
+        #: engine's parent-side wire counts (the queue is both wire
+        #: halves at once, hence sent == recv)
+        self.metrics = metrics
+
+    def _count_wire(self, data) -> None:
+        if self.metrics is None:
+            return
+        nbytes = int(data.nbytes)
+        self.metrics.count("cluster.msgs_sent")
+        self.metrics.count("cluster.msgs_recv")
+        self.metrics.count("cluster.bytes_sent", nbytes)
+        self.metrics.count("cluster.bytes_recv", nbytes)
 
     def _tally(self, contribution: float) -> None:
         # single funnel for domain-edge leakage, one call per
@@ -134,6 +175,7 @@ class RankBoundary:
         ablock, kb = self._blocks(angles, k0)
         if dest is not None:
             self.comm.send(data, dest, _tag(_AXIS_I, octant, ablock, kb))
+            self._count_wire(data)
             return
         g = self.deck.grid
         base = octant * self.quad.per_octant
@@ -149,6 +191,7 @@ class RankBoundary:
         ablock, kb = self._blocks(angles, k0)
         if dest is not None:
             self.comm.send(data, dest, _tag(_AXIS_J, octant, ablock, kb))
+            self._count_wire(data)
             return
         g = self.deck.grid
         base = octant * self.quad.per_octant
@@ -213,6 +256,10 @@ class KBASweep3D:
             P, Q = dims_create(P or Q or 4) if (P or Q) else dims_create(4)
         self.deck = deck
         self.sweeper_factory = sweeper_factory or TileSweeper
+        #: when True, each rank's face sends count ``cluster.*`` wire
+        #: metrics into its sweeper's registry (set by
+        #: :class:`repro.core.cluster.CellClusterSweep3D`)
+        self.count_wire = False
         self.cart = Cart2D(P, Q)
         if P > deck.grid.nx or Q > deck.grid.ny:
             raise CommunicatorError(
@@ -246,7 +293,11 @@ class KBASweep3D:
         for _ in range(deck.iterations):
             msrc = build_moment_source(local_deck, flux)
             boundary = RankBoundary(
-                local_deck, quad, comm, self.cart, deck.mmi, deck.mk
+                local_deck, quad, comm, self.cart, deck.mmi, deck.mk,
+                metrics=(
+                    getattr(sweeper, "metrics", None)
+                    if self.count_wire else None
+                ),
             )
             new_flux, tally, _ = sweeper.sweep(msrc, boundary=boundary)
             total.fixups += tally.fixups

@@ -43,12 +43,19 @@ from .workunits import RecordingRankBoundary, UnitComm, UnitResult
 
 def _decode_tag(tag: int) -> tuple[int, int, int, int]:
     """Invert :func:`repro.mpi.wavefront._tag`."""
-    kblock = tag % 512
-    rest = tag // 512
-    ablock = rest % 16
-    rest //= 16
-    octant = rest % 8
-    axis = rest // 8
+    from ..errors import CommunicatorError
+    from ..mpi.wavefront import TAG_ABLOCKS, TAG_KBLOCKS, TAG_LIMIT, TAG_OCTANTS
+
+    if not 0 <= tag < TAG_LIMIT:
+        raise CommunicatorError(
+            f"face-message tag {tag} outside 0..{TAG_LIMIT - 1}"
+        )
+    kblock = tag % TAG_KBLOCKS
+    rest = tag // TAG_KBLOCKS
+    ablock = rest % TAG_ABLOCKS
+    rest //= TAG_ABLOCKS
+    octant = rest % TAG_OCTANTS
+    axis = rest // TAG_OCTANTS
     return axis, octant, ablock, kblock
 
 
@@ -238,6 +245,12 @@ class ClusterEngine:
             _, octant, ablock, _ = _decode_tag(tag)
             target = self._unit_index[(dest, octant, ablock)]
             self._inboxes.setdefault(target, {})[(rank, tag)] = data
+            # the queue is both wire halves at once: integer counts, so
+            # the registry stays identical for any worker count
+            self.metrics.count("cluster.msgs_sent")
+            self.metrics.count("cluster.msgs_recv")
+            self.metrics.count("cluster.bytes_sent", int(data.nbytes))
+            self.metrics.count("cluster.bytes_recv", int(data.nbytes))
         for downstream in self._neighbours(index, upstream=False):
             self._indeg[downstream] -= 1
             if self._indeg[downstream] == 0:

@@ -27,6 +27,14 @@ checks the current tree against them:
   committed number times the same tolerance.  This is the guard on the
   optimizing program pipeline: a pass regression that slows replay
   shows up directly in this wall;
+* **cluster model deviation** -- the committed ``BENCH_cluster.json``
+  (``benchmarks/bench_cluster_scaling.py``) must cover at least three
+  rank counts, one of them >= 64, and every measured record must match
+  the analytic model of ``core/projections.py`` with *zero* deviation
+  on message and byte counts -- the combinatorics are exact, so any
+  drift means the runtime or the model changed.  Wall clocks
+  (oversubscribed rank processes on one host) are information, not
+  gated; per-octant sweep walls must merely exist and be positive;
 * **structural invariants** -- every ``bit_identical`` flag recorded in
   ``BENCH_isa.json`` / ``BENCH_parallel.json`` / ``BENCH_serve.json``
   must be true, and every recorded speedup must be positive.  These
@@ -49,6 +57,7 @@ from typing import Any
 
 #: committed baseline files, expected at the repository root
 BASELINE_FILES = (
+    "BENCH_cluster.json",
     "BENCH_functional.json",
     "BENCH_isa.json",
     "BENCH_parallel.json",
@@ -315,6 +324,82 @@ def check_serve(
     return findings
 
 
+#: a BENCH_cluster.json baseline must cover at least this many rank grids
+CLUSTER_MIN_GRIDS = 3
+
+#: ... and at least one grid with this many ranks (the Fig. 11 regime)
+CLUSTER_MIN_RANKS = 64
+
+
+def check_cluster(payload: Any) -> list[Finding]:
+    """Cluster gate: the committed projection bench must match the
+    analytic message model *exactly* and cover the Fig. 11 regime.
+
+    Purely structural -- nothing is re-measured (spawning 64 rank
+    processes inside the gate would dwarf every other check); the bench
+    itself recorded measured and model counts side by side, and the
+    combinatorics are exact, so equality is the whole test.
+    """
+    name = "BENCH_cluster.json"
+    findings: list[Finding] = []
+    records = [rec for rec in _walk_records(payload)
+               if "ranks" in rec and not rec.get("skipped")]
+    if len(records) < CLUSTER_MIN_GRIDS:
+        return [Finding(
+            name, "cluster-coverage", False,
+            f"{len(records)} measured rank grids, need >= {CLUSTER_MIN_GRIDS}",
+        )]
+    max_ranks = max(int(rec["ranks"]) for rec in records)
+    if max_ranks < CLUSTER_MIN_RANKS:
+        findings.append(Finding(
+            name, "cluster-coverage", False,
+            f"largest grid has {max_ranks} ranks, "
+            f"need >= {CLUSTER_MIN_RANKS}",
+        ))
+    deviations = 0
+    for rec in records:
+        label = rec.get("record") or f"{rec['ranks']} ranks"
+        for kind in ("msgs", "bytes"):
+            measured = rec.get(f"{kind}_measured")
+            model = rec.get(f"{kind}_model")
+            if measured is None or model is None:
+                findings.append(Finding(
+                    name, "cluster-model-deviation", False,
+                    f"{label}: missing {kind}_measured/{kind}_model",
+                ))
+            elif measured != model:
+                findings.append(Finding(
+                    name, "cluster-model-deviation", False,
+                    f"{label}: {kind} measured {measured} != model {model} "
+                    f"(the count model is exact; zero deviation allowed)",
+                ))
+            else:
+                deviations += 1
+        walls = rec.get("octant_walls_s")
+        if (not isinstance(walls, list) or len(walls) != 8
+                or not all(isinstance(w, (int, float)) and w > 0
+                           for w in walls)):
+            findings.append(Finding(
+                name, "cluster-octant-walls", False,
+                f"{label}: need 8 positive per-octant sweep walls, "
+                f"got {walls!r}",
+            ))
+        overlap = rec.get("overlap_ratio")
+        if not (isinstance(overlap, (int, float)) and 0.0 <= overlap <= 1.0):
+            findings.append(Finding(
+                name, "cluster-overlap", False,
+                f"{label}: overlap_ratio={overlap!r} outside [0, 1]",
+            ))
+    if not findings:
+        findings.append(Finding(
+            name, "cluster", True,
+            f"{len(records)} rank grids up to {max_ranks} ranks, "
+            f"{deviations} exact model matches, overlap and octant "
+            f"walls sane",
+        ))
+    return findings
+
+
 def _walk_records(payload: Any):
     """Every dict record in a baseline payload, at any nesting level
     the benches use (top-level list, ``records`` list, per-deck
@@ -392,6 +477,9 @@ def check_baselines(
         elif name == "BENCH_isa.json":
             findings.extend(check_structural(name, payload))
             findings.extend(check_isa(payload, tolerance, isa_measured))
+        elif name == "BENCH_cluster.json":
+            findings.extend(check_structural(name, payload))
+            findings.extend(check_cluster(payload))
         else:
             findings.extend(check_structural(name, payload))
     return findings, len(baselines)

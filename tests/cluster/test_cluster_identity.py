@@ -1,0 +1,92 @@
+"""The cluster acceptance matrix: socket flux is bit-identical.
+
+A multi-process socket solve must produce the byte-for-byte same flux
+(SHA-256 of the float64 array) as the single-host queue-DAG path
+(:class:`repro.core.cluster.CellClusterSweep3D`) at every P x Q grid
+and worker count -- payloads travel as raw float64 bytes, each rank
+computes serially, and the driver refolds in serial rank order, so
+there is no tolerance anywhere in the chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.driver import flux_sha256, run_cluster_solve
+from repro.core.cluster import CellClusterSweep3D
+from repro.errors import ConfigurationError
+from repro.mpi.wavefront import KBASweep3D
+from repro.sweep.input import small_deck
+
+GRIDS = ((1, 2), (2, 2), (2, 4))
+WORKERS = (1, 2)
+
+
+def make_deck():
+    return small_deck(n=8, sn=4, nm=2, iterations=2)
+
+
+@pytest.fixture(scope="module", params=GRIDS, ids=lambda g: f"{g[0]}x{g[1]}")
+def grid_digests(request):
+    """One socket solve per grid, reused across the worker matrix."""
+    p, q = request.param
+    report = run_cluster_solve(
+        make_deck(), p, q, transport="socket", engine="cell", spawn="fork"
+    )
+    return (p, q), report
+
+
+@pytest.mark.parametrize("workers", WORKERS)
+def test_socket_matches_queue_dag(grid_digests, workers):
+    (p, q), report = grid_digests
+    with CellClusterSweep3D(make_deck(), P=p, Q=q, workers=workers) as dag:
+        ref = dag.solve()
+    assert report.flux_digest == flux_sha256(ref.flux)
+    np.testing.assert_array_equal(ref.flux, report.result.flux)
+    assert ref.tally.leakage == report.result.tally.leakage
+    assert ref.tally.fixups == report.result.tally.fixups
+    assert ref.history == report.result.history
+    assert ref.iterations == report.result.iterations
+
+
+def test_local_transport_matches_kba_tile():
+    """The in-process reference transport against the threaded KBA
+    runtime, on the cheap NumPy tile engine."""
+    deck = make_deck()
+    ref = KBASweep3D(deck, P=2, Q=2).solve()
+    report = run_cluster_solve(deck, 2, 2, transport="local", engine="tile")
+    np.testing.assert_array_equal(ref.flux, report.result.flux)
+    assert ref.history == report.result.history
+    assert ref.tally.leakage == report.result.tally.leakage
+
+
+def test_local_and_socket_agree():
+    deck = make_deck()
+    local = run_cluster_solve(deck, 2, 2, transport="local", engine="tile")
+    sock = run_cluster_solve(
+        deck, 2, 2, transport="socket", engine="tile", spawn="fork"
+    )
+    assert local.flux_digest == sock.flux_digest
+
+
+def test_message_counts_match_model():
+    """Measured face messages equal the analytic projection exactly."""
+    from repro.cluster.driver import default_cluster_config
+    from repro.core.projections import cluster_projection
+
+    deck = make_deck()
+    report = run_cluster_solve(deck, 2, 2, transport="local", engine="tile")
+    projection = cluster_projection(deck, default_cluster_config(), 2, 2)
+    assert report.msgs_sent == projection.msgs_per_solve
+    assert report.bytes_sent == projection.bytes_per_solve
+
+
+def test_mpi_transport_needs_mpirun():
+    with pytest.raises(ConfigurationError):
+        run_cluster_solve(make_deck(), 1, 2, transport="mpi", engine="tile")
+
+
+def test_unknown_transport_rejected():
+    with pytest.raises(ConfigurationError):
+        run_cluster_solve(make_deck(), 1, 2, transport="carrier-pigeon")

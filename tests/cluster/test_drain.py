@@ -1,0 +1,67 @@
+"""Drain semantics: a cluster job parks at one iteration boundary."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.cluster.driver import ClusterDriver
+from repro.sweep.input import small_deck
+
+
+def make_deck(iterations=6):
+    return small_deck(n=8, sn=4, nm=2, iterations=iterations)
+
+
+def test_drain_parks_at_iteration_boundary():
+    deck = make_deck()
+    driver = ClusterDriver(
+        deck, 2, 2, transport="socket", engine="tile", spawn="fork"
+    )
+    with driver:
+        driver.start()
+        # fire mid-solve: the verdict flips to STOP at the next barrier
+        threading.Timer(0.2, driver.request_drain).start()
+        report = driver.solve()
+    assert report.drained
+    assert not report.result.converged
+    assert 1 <= report.result.iterations <= deck.iterations
+    # history covers exactly the completed iterations, no torn entries
+    assert len(report.result.history) == report.result.iterations
+    assert report.result.flux.shape == (deck.nm, *deck.grid.shape)
+
+
+def test_drain_before_solve_stops_after_one_iteration():
+    deck = make_deck()
+    driver = ClusterDriver(deck, 1, 2, transport="local", engine="tile")
+    with driver:
+        driver.start()
+        driver.request_drain()
+        report = driver.solve()
+    assert report.drained
+    assert report.result.iterations == 1
+    assert not report.result.converged
+
+
+def test_undrained_solve_runs_to_completion():
+    deck = make_deck(iterations=2)
+    driver = ClusterDriver(deck, 1, 2, transport="local", engine="tile")
+    with driver:
+        driver.start()
+        report = driver.solve()
+    assert not report.drained
+    assert report.result.converged
+    assert report.result.iterations == 2
+
+
+def test_driver_supports_warm_resolve():
+    """One driver, two solves: rank processes stay parked in between
+    (the PersistentPool-style warm rebind)."""
+    deck = make_deck(iterations=2)
+    driver = ClusterDriver(
+        deck, 1, 2, transport="socket", engine="tile", spawn="fork"
+    )
+    with driver:
+        driver.start()
+        first = driver.solve()
+        second = driver.solve()
+    assert first.flux_digest == second.flux_digest

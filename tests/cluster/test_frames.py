@@ -1,0 +1,110 @@
+"""Wire-frame codec: exact round-trips and truncation rejection."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster.frames import (
+    KIND_CONTROL,
+    KIND_DATA,
+    FrameError,
+    frame_bytes,
+    pack_control,
+    pack_messages,
+    recv_frame,
+    send_frame,
+    unpack_control,
+    unpack_messages,
+)
+
+
+def test_messages_round_trip_bit_exact(rng):
+    items = [
+        (0, 7, rng.standard_normal((3, 2, 5))),
+        (3, 131071, rng.standard_normal((1,))),
+        (1, 0, rng.standard_normal((2, 2))),
+    ]
+    out = unpack_messages(pack_messages(items))
+    assert len(out) == len(items)
+    for (src, tag, arr), (osrc, otag, oarr) in zip(items, out):
+        assert (src, tag) == (osrc, otag)
+        assert oarr.dtype == np.float64
+        assert oarr.shape == arr.shape
+        np.testing.assert_array_equal(arr, oarr)
+
+
+def test_messages_copy_is_writable(rng):
+    """Unpacked arrays must own their data (frombuffer is read-only)."""
+    (_, _, arr), = unpack_messages(
+        pack_messages([(0, 1, rng.standard_normal((2, 3)))])
+    )
+    arr[0, 0] = 42.0  # must not raise
+
+
+def test_non_contiguous_payload_round_trips(rng):
+    strided = rng.standard_normal((4, 6))[::2, ::3]
+    (_, _, out), = unpack_messages(pack_messages([(2, 5, strided)]))
+    np.testing.assert_array_equal(np.ascontiguousarray(strided), out)
+
+
+def test_truncated_body_rejected(rng):
+    body = pack_messages([(0, 1, rng.standard_normal((2, 2)))])
+    for cut in (1, len(body) // 2, len(body) - 1):
+        with pytest.raises(FrameError):
+            unpack_messages(body[:cut])
+
+
+def test_trailing_garbage_rejected(rng):
+    body = pack_messages([(0, 1, rng.standard_normal((2, 2)))])
+    with pytest.raises(FrameError):
+        unpack_messages(body + b"\x00")
+
+
+def test_control_round_trip():
+    payload = {"t": "iter", "rank": 3, "diff": 1.5e-9, "scale": [1, 2]}
+    assert unpack_control(pack_control(payload)) == payload
+
+
+def test_control_rejects_non_dict():
+    import pickle
+
+    with pytest.raises(FrameError):
+        unpack_control(pickle.dumps([1, 2, 3]))
+
+
+def test_socket_frame_round_trip(rng):
+    a, b = socket.socketpair()
+    items = [(1, 9, rng.standard_normal((2, 4, 3)))]
+    body = pack_messages(items)
+
+    sent = {}
+
+    def writer():
+        sent["n"] = send_frame(a, KIND_DATA, body)
+        send_frame(a, KIND_CONTROL, pack_control({"t": "bye"}))
+        a.close()
+
+    t = threading.Thread(target=writer)
+    t.start()
+    kind, got = recv_frame(b)
+    assert kind == KIND_DATA
+    (_, _, arr), = unpack_messages(got)
+    np.testing.assert_array_equal(items[0][2], arr)
+    kind, got = recv_frame(b)
+    assert kind == KIND_CONTROL
+    assert unpack_control(got) == {"t": "bye"}
+    # clean EOF reads as kind 0
+    assert recv_frame(b) == (0, b"")
+    t.join()
+    assert sent["n"] == len(frame_bytes(KIND_DATA, body))
+    b.close()
+
+
+def test_frame_bytes_matches_wire(rng):
+    body = pack_messages([(0, 3, rng.standard_normal((2, 2)))])
+    buf = frame_bytes(KIND_DATA, body)
+    assert buf[5:] == body  # 4-byte length + 1-byte kind header

@@ -1,0 +1,87 @@
+"""Property tests of the face-message tag codec.
+
+``mpi/wavefront._tag`` packs ``(axis, octant, ablock, kblock)`` into one
+integer; ``parallel/cluster._decode_tag`` inverts it.  Before the field
+widths were made explicit, a kblock >= 512 silently aliased into the
+ablock field -- these tests pin the round-trip over the *whole* valid
+domain and the rejection of every out-of-range field.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CommunicatorError
+from repro.mpi.wavefront import (
+    TAG_ABLOCKS,
+    TAG_AXES,
+    TAG_KBLOCKS,
+    TAG_LIMIT,
+    TAG_OCTANTS,
+    _tag,
+)
+from repro.parallel.cluster import _decode_tag
+
+VALID = st.tuples(
+    st.integers(0, TAG_AXES - 1),
+    st.integers(0, TAG_OCTANTS - 1),
+    st.integers(0, TAG_ABLOCKS - 1),
+    st.integers(0, TAG_KBLOCKS - 1),
+)
+
+
+@settings(max_examples=300)
+@given(VALID)
+def test_tag_round_trips(fields):
+    axis, octant, ablock, kblock = fields
+    tag = _tag(axis, octant, ablock, kblock)
+    assert 0 <= tag < TAG_LIMIT
+    assert _decode_tag(tag) == fields
+
+
+@settings(max_examples=300)
+@given(VALID, VALID)
+def test_tag_is_injective(a, b):
+    """Distinct tuples map to distinct tags (no field aliasing)."""
+    if a != b:
+        assert _tag(*a) != _tag(*b)
+
+
+@settings(max_examples=100)
+@given(
+    st.integers(0, TAG_AXES - 1),
+    st.integers(0, TAG_OCTANTS - 1),
+    st.integers(0, TAG_ABLOCKS - 1),
+    st.integers(TAG_KBLOCKS, TAG_KBLOCKS * 4),
+)
+def test_oversized_kblock_rejected(axis, octant, ablock, kblock):
+    """The old codec silently corrupted ablock here; now it must raise."""
+    with pytest.raises(CommunicatorError):
+        _tag(axis, octant, ablock, kblock)
+
+
+@pytest.mark.parametrize("fields", [
+    (-1, 0, 0, 0),
+    (TAG_AXES, 0, 0, 0),
+    (0, -1, 0, 0),
+    (0, TAG_OCTANTS, 0, 0),
+    (0, 0, -1, 0),
+    (0, 0, TAG_ABLOCKS, 0),
+    (0, 0, 0, -1),
+    (0, 0, 0, TAG_KBLOCKS),
+])
+def test_each_field_validated(fields):
+    with pytest.raises(CommunicatorError):
+        _tag(*fields)
+
+
+@pytest.mark.parametrize("tag", [-1, TAG_LIMIT, TAG_LIMIT + 999])
+def test_decode_rejects_out_of_range(tag):
+    with pytest.raises(CommunicatorError):
+        _decode_tag(tag)
+
+
+def test_limit_is_the_field_product():
+    assert TAG_LIMIT == TAG_AXES * TAG_OCTANTS * TAG_ABLOCKS * TAG_KBLOCKS

@@ -11,6 +11,7 @@ from repro.perf.baseline import (
     BASELINE_FILES,
     Finding,
     check_baselines,
+    check_cluster,
     check_functional,
     check_isa,
     check_serve,
@@ -69,12 +70,30 @@ SERVE = {
 }
 
 
+def _cluster_record(p, q):
+    return {
+        "record": f"socket {p}x{q}", "ranks": p * q,
+        "wall_seconds": 1.0, "msgs_measured": 256, "msgs_model": 256,
+        "bytes_measured": 49152, "bytes_model": 49152,
+        "octant_walls_s": [0.1] * 8, "overlap_ratio": 0.8,
+    }
+
+
+CLUSTER = {
+    "bench": "cluster transport scaling",
+    "records": [
+        _cluster_record(2, 2), _cluster_record(4, 4), _cluster_record(8, 8),
+    ],
+}
+
+
 @pytest.fixture
 def root(tmp_path):
     (tmp_path / "BENCH_functional.json").write_text(json.dumps(FUNCTIONAL))
     (tmp_path / "BENCH_isa.json").write_text(json.dumps(ISA))
     (tmp_path / "BENCH_parallel.json").write_text(json.dumps(PARALLEL))
     (tmp_path / "BENCH_serve.json").write_text(json.dumps(SERVE))
+    (tmp_path / "BENCH_cluster.json").write_text(json.dumps(CLUSTER))
     return tmp_path
 
 
@@ -197,6 +216,47 @@ class TestIsaGate:
         assert any(not f.ok and f.check == "bit-identical" for f in findings)
 
 
+class TestClusterGate:
+    def test_exact_model_match_passes(self):
+        findings = check_cluster(CLUSTER)
+        assert all(f.ok for f in findings)
+
+    def test_model_deviation_fails(self):
+        bad = json.loads(json.dumps(CLUSTER))
+        bad["records"][1]["msgs_measured"] += 1
+        findings = check_cluster(bad)
+        assert any(not f.ok and f.check == "cluster-model-deviation"
+                   for f in findings)
+
+    def test_too_few_grids_fails(self):
+        findings = check_cluster({"records": CLUSTER["records"][:2]})
+        assert any(not f.ok and f.check == "cluster-coverage"
+                   for f in findings)
+
+    def test_small_largest_grid_fails(self):
+        small = {"records": [
+            _cluster_record(1, 2), _cluster_record(2, 2),
+            _cluster_record(2, 4),
+        ]}
+        findings = check_cluster(small)
+        assert any(not f.ok and f.check == "cluster-coverage"
+                   for f in findings)
+
+    def test_bad_octant_walls_fail(self):
+        bad = json.loads(json.dumps(CLUSTER))
+        bad["records"][0]["octant_walls_s"] = [0.1] * 7
+        findings = check_cluster(bad)
+        assert any(not f.ok and f.check == "cluster-octant-walls"
+                   for f in findings)
+
+    def test_overlap_out_of_range_fails(self):
+        bad = json.loads(json.dumps(CLUSTER))
+        bad["records"][2]["overlap_ratio"] = 1.5
+        findings = check_cluster(bad)
+        assert any(not f.ok and f.check == "cluster-overlap"
+                   for f in findings)
+
+
 class TestGateExitCodes:
     def test_all_pass_exits_zero(self, root, capsys):
         assert run_check(root, tolerance=2.0, measured=1.0,
@@ -228,6 +288,6 @@ class TestGateExitCodes:
     def test_findings_and_count(self, root):
         findings, n = check_baselines(root, tolerance=2.0, measured=1.0,
                                       serve_measured=1.0, isa_measured=1.0)
-        assert n == 4
+        assert n == 5
         assert all(isinstance(f, Finding) for f in findings)
         assert {f.baseline for f in findings} == set(BASELINE_FILES)

@@ -117,6 +117,33 @@ class TestSolve:
         assert "cluster 2x1" in out
         assert "scalar flux" in out
 
+    def test_cluster_transport_runs_socket_solve(self, capsys):
+        out = run(capsys, "cluster", "--cube", "8", "--sn", "4", "--nm", "1",
+                  "--iterations", "1", "-p", "1", "-q", "2",
+                  "--transport", "socket", "--engine", "tile")
+        assert "transport=socket" in out
+        assert "flux sha256:" in out
+        assert "overlap ratio" in out
+
+    def test_cluster_transport_json(self, capsys):
+        import json
+
+        out = run(capsys, "cluster", "--cube", "8", "--sn", "4", "--nm", "1",
+                  "--iterations", "2", "-p", "2", "-q", "2",
+                  "--transport", "local", "--engine", "tile", "--json")
+        doc = json.loads(out)
+        cluster = doc["cluster"]
+        assert cluster["transport"] == "local"
+        assert cluster["grid"] == [2, 2] and cluster["ranks"] == 4
+        assert len(cluster["octant_walls_s"]) == 8
+        assert 0.0 <= cluster["overlap_ratio"] <= 1.0
+        assert cluster["msgs_sent"] > 0 and cluster["bytes_sent"] > 0
+        assert len(cluster["flux_sha256"]) == 64
+        assert len(cluster["per_rank"]) == 4
+        labels = [r["label"] for r in doc["rows"]]
+        assert "flux total" in labels and "leakage" in labels
+        assert doc["deck"]["shape"] == [8, 8, 8]
+
     def test_metrics_flag_prints_attribution_table(self, capsys):
         out = run(capsys, "solve", "--cube", "6", "--sn", "4", "--nm", "2",
                   "--iterations", "1", "--engine", "cell", "--metrics")
