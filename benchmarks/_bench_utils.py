@@ -17,10 +17,35 @@ file's diff, commit it.
 from __future__ import annotations
 
 import json
+import logging
 import pathlib
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUT_DIR = pathlib.Path(__file__).resolve().parent / "out"
+
+
+def assert_obs_quiet() -> None:
+    """Fail loudly if observability is live in this process.
+
+    The benchmarks measure the *obs-off* fast path: tracing, structured
+    logging and the flight recorder must all be disabled, or the walls
+    written to the committed baselines would quietly include their
+    overhead and ``repro bench --check`` would gate against the wrong
+    numbers.
+    """
+    from repro.obs.flight import flight
+
+    if flight().enabled:
+        raise RuntimeError(
+            "flight recorder is enabled during a benchmark run; call "
+            "repro.obs.flight.disable_flight() first"
+        )
+    root = logging.getLogger("repro")
+    if any(getattr(h, "_repro_obs", False) for h in root.handlers):
+        raise RuntimeError(
+            "structured logging is configured during a benchmark run; "
+            "benchmark walls must be measured log-off"
+        )
 
 
 def write_artifact(out_dir: pathlib.Path, name: str, text: str) -> None:

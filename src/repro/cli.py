@@ -49,6 +49,30 @@ def _deck_args(parser: argparse.ArgumentParser) -> None:
                         help="enable negative-flux fixups")
 
 
+def _obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--log-format", choices=("ndjson", "text"),
+                        default=None,
+                        help="emit structured logs on stderr: 'ndjson' "
+                             "(one JSON object per line, with trace ids) "
+                             "or 'text' (human-readable); silent unless "
+                             "given (see docs/TRACING.md)")
+    parser.add_argument("--log-level", default=None, metavar="LEVEL",
+                        help="log threshold (debug/info/warning/error); "
+                             "implies --log-format ndjson")
+
+
+def _configure_obs(args) -> None:
+    """Install the structured-log handler when either obs flag is set
+    (commands without the flags are unaffected)."""
+    fmt = getattr(args, "log_format", None)
+    level = getattr(args, "log_level", None)
+    if fmt is None and level is None:
+        return
+    from .obs.log import configure_logging
+
+    configure_logging(fmt=fmt or "ndjson", level=level or "info")
+
+
 def _build_deck(args):
     from .sweep.geometry import Grid
     from .sweep.input import InputDeck
@@ -91,9 +115,12 @@ def cmd_solve(args) -> int:
 
     from .core.solver import CellSweep3D
     from .mpi.wavefront import KBASweep3D
+    from .obs.flight import install_sigusr2
     from .perf.processors import measured_cell_config
     from .sweep.serial import SerialSweep3D
 
+    # SIGUSR2 dumps the flight recorder of a live solve to disk
+    install_sigusr2()
     deck = _build_deck(args)
     if args.trace and args.engine != "cell":
         print("error: --trace requires --engine cell (only the simulated "
@@ -262,10 +289,35 @@ def cmd_solve(args) -> int:
     return 0
 
 
+def _trace_merge(args) -> int:
+    """Merge trace documents / flight dumps into one Perfetto file."""
+    import json
+    import os
+
+    from .obs.merge import load_trace_doc, merge_chrome_docs
+
+    docs, labels = [], []
+    for path in args.merge:
+        docs.append(load_trace_doc(path))
+        labels.append(os.path.splitext(os.path.basename(path))[0])
+    merged = merge_chrome_docs(docs, labels)
+    out = args.out or "merged-trace.json"
+    with open(out, "w") as fh:
+        fh.write(json.dumps(merged, sort_keys=True) + "\n")
+    print(f"merged {len(docs)} documents, "
+          f"{len(merged['traceEvents'])} events -> {out} "
+          f"(open in https://ui.perfetto.dev)")
+    return 0
+
+
 def cmd_trace(args) -> int:
     """Traced functional solve on the simulated Cell: export the event
     stream as Chrome-trace/Perfetto JSON, print the per-track timeline
-    summary, and run the DMA-hazard sanitizer over the stream."""
+    summary, and run the DMA-hazard sanitizer over the stream.  With
+    ``--merge``, skip the solve and merge existing trace documents or
+    flight-recorder dumps into one timeline instead."""
+    if args.merge:
+        return _trace_merge(args)
     from .core.solver import CellSweep3D
     from .perf.processors import measured_cell_config
     from .trace.export import timeline_summary, write_chrome_trace
@@ -368,10 +420,13 @@ def cmd_serve(args) -> int:
     exit cleanly).  See ``docs/SERVING.md`` for the HTTP API."""
     import asyncio
 
+    from .obs.flight import install_sigusr2
     from .serve.app import ServeApp, serve_forever
     from .serve.queueing import ServeLimits
     from .serve.runner import SolveRunner
 
+    # failed jobs attach a flight dump; SIGUSR2 dumps the live ring
+    install_sigusr2()
     limits = ServeLimits(
         max_queue_depth=args.max_queue,
         max_concurrent=args.max_concurrent,
@@ -573,6 +628,11 @@ def cmd_cluster(args) -> int:
 
     if args.transport:
         return _cluster_transport_solve(args)
+    if args.trace:
+        print("error: cluster --trace requires --transport (the model "
+              "table and --workers paths do not run traced ranks)",
+              file=sys.stderr)
+        return 2
     if args.workers:
         return _cluster_solve(args)
     deck = _build_deck(args)
@@ -614,21 +674,37 @@ def _cluster_solve(args) -> int:
 
 def _cluster_transport_solve(args) -> int:
     """Multi-process P x Q solve over a cluster transport fabric."""
-    from .cluster.driver import ClusterDriver
+    import json
+
+    from .cluster.driver import ClusterDriver, default_cluster_config
 
     deck = _build_deck(args)
     if deck.grid.num_cells > 30**3 and args.cluster_engine == "cell":
         print("note: the functional cluster solve is slow above ~30^3; "
               "consider --cube 16", file=sys.stderr)
+    config = None
+    if args.trace:
+        if args.cluster_engine != "cell":
+            print("error: --trace requires --engine cell (only the "
+                  "simulated machine emits events)", file=sys.stderr)
+            return 2
+        config = default_cluster_config().with_(trace=True)
     driver = ClusterDriver(
         deck, args.p, args.q,
         transport=args.transport, engine=args.cluster_engine,
-        spawn=args.spawn,
+        spawn=args.spawn, config=config,
     )
     with driver:
         driver.install_signal_drain()
         driver.start()
         report = driver.solve()
+    if args.trace:
+        doc = report.chrome_trace()
+        with open(args.trace, "w") as fh:
+            fh.write(json.dumps(doc, sort_keys=True) + "\n")
+        print(f"trace: {len(doc['traceEvents'])} events over "
+              f"{len(report.traces)} ranks -> {args.trace}",
+              file=sys.stderr)
     result = report.result
     phi = result.scalar_flux
     if args.json:
@@ -724,6 +800,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "on a TTY; requires --engine cell)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable JSON output")
+    _obs_args(p)
     p.set_defaults(fn=cmd_solve)
 
     p = sub.add_parser(
@@ -771,6 +848,7 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="B",
                    help="request-body byte limit, 413 above it "
                         "(default 1 MiB)")
+    _obs_args(p)
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
@@ -793,6 +871,11 @@ def build_parser() -> argparse.ArgumentParser:
     _deck_args(p)
     p.add_argument("--out", metavar="PATH", default=None,
                    help="write the Chrome-trace/Perfetto JSON here")
+    p.add_argument("--merge", nargs="+", metavar="FILE", default=None,
+                   help="skip the solve: merge these trace documents "
+                        "and/or flight-recorder dumps into one Perfetto "
+                        "timeline (written to --out, default "
+                        "merged-trace.json)")
     p.set_defaults(fn=cmd_trace)
 
     for name, fn, help_ in (
@@ -822,8 +905,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-rank sweep engine for --transport solves")
     p.add_argument("--spawn", choices=("fork", "cli"), default="fork",
                    help="how --transport solves start rank processes")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="with --transport: capture each rank's trace, "
+                        "merge into one Perfetto timeline with per-rank "
+                        "tracks, write it here (requires --engine cell)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable JSON output (--transport only)")
+    _obs_args(p)
     p.set_defaults(fn=cmd_cluster)
 
     p = sub.add_parser(
@@ -861,6 +949,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_obs(args)
     return args.fn(args)
 
 

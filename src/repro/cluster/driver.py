@@ -27,13 +27,14 @@ consistent partial result.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import socket
 import subprocess
 import sys
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
@@ -41,8 +42,11 @@ import numpy as np
 from ..errors import ClusterError, ConfigurationError
 from ..metrics.registry import MetricsRegistry
 from ..mpi.wavefront import KBASweep3D
+from ..obs.context import current_context
+from ..obs.log import get_logger, log_event
 from ..sweep.flux import SolveResult, SweepTally
 from ..sweep.input import InputDeck
+from .frames import KIND_TRACE
 from .runtime import (
     GO,
     STOP,
@@ -52,6 +56,8 @@ from .runtime import (
     run_rank_solve,
 )
 from .transport import DEFAULT_RECV_TIMEOUT, LocalFabric
+
+_log = get_logger("cluster.driver")
 
 TRANSPORTS = ("local", "socket", "mpi")
 ENGINES = ("cell", "tile")
@@ -91,10 +97,29 @@ class ClusterReport:
     #: ends when its slowest rank does)
     octant_walls: list[float]
     wall_seconds: float
+    #: per-rank captured trace streams (``config.trace`` runs only)
+    traces: dict[int, dict[str, Any]] = field(default_factory=dict)
+    #: wall-clock offset estimate per rank (driver receive wall minus
+    #: rank send wall, minimum over the HELLO/ITER rendezvous
+    #: measurements); metadata for the merged timeline, never a
+    #: timestamp shift
+    clock_offsets: dict[int, float] = field(default_factory=dict)
 
     @property
     def size(self) -> int:
         return self.P * self.Q
+
+    def chrome_trace(self) -> dict[str, Any]:
+        """One merged Perfetto document with ``rank{R}/SPE{N}`` tracks
+        (requires a ``config.trace=True`` solve)."""
+        if not self.traces:
+            raise ClusterError(
+                "no trace captured; solve with config.trace=True "
+                "(repro cluster --trace)"
+            )
+        from ..obs.merge import rank_chrome_trace
+
+        return rank_chrome_trace(self.traces, self.clock_offsets or None)
 
     @property
     def flux_digest(self) -> str:
@@ -132,6 +157,7 @@ class ClusterReport:
             "msgs_sent": self.msgs_sent,
             "bytes_sent": self.bytes_sent,
             "overlap_ratio": self.overlap_ratio,
+            "trace_ranks": sorted(self.traces),
             "per_rank": [
                 {
                     "rank": r.rank,
@@ -198,6 +224,7 @@ class ClusterDriver:
         self._procs: list[Any] = []
         self._channels: dict[int, ControlChannel] = {}
         self._listener: socket.socket | None = None
+        self._clock_offsets: dict[int, float] = {}
 
     @property
     def size(self) -> int:
@@ -255,9 +282,29 @@ class ClusterDriver:
                 if rank in self._channels:
                     raise ClusterError(f"duplicate HELLO from rank {rank}")
                 self._channels[rank] = chan
+                self._note_clock(rank, hello.get("t_wall"))
+                log_event(
+                    _log, logging.INFO, "rank hello", rank=rank,
+                    ranks=len(self._channels), size=self.size,
+                )
         except BaseException:
             self._reap(force=True)
             raise
+        log_event(
+            _log, logging.INFO, "rendezvous complete",
+            size=self.size, transport=self.transport, spawn=self.spawn,
+        )
+
+    def _note_clock(self, rank: int, t_wall) -> None:
+        """Fold one rendezvous wall stamp into the rank's clock-offset
+        estimate.  Each measurement is ``true offset + one-way latency``
+        (latency > 0), so the minimum over HELLO and every ITER is the
+        tightest estimate."""
+        if t_wall is None:
+            return
+        offset = time.time() - float(t_wall)
+        prev = self._clock_offsets.get(rank)
+        self._clock_offsets[rank] = offset if prev is None else min(prev, offset)
 
     def _spawn_rank(self, rank: int, port: int):
         connect = f"{self.bind_host}:{port}"
@@ -324,12 +371,20 @@ class ClusterDriver:
     def solve(self) -> ClusterReport:
         self.start()
         t0 = time.perf_counter()
+        traces: dict[int, dict[str, Any]] = {}
         if self.transport == "local":
             reports, drained = self._solve_local()
         else:
-            reports, drained = self._solve_socket()
+            reports, drained, traces = self._solve_socket()
         wall = time.perf_counter() - t0
-        return self._fold(reports, drained, wall)
+        report = self._fold(reports, drained, wall, traces)
+        log_event(
+            _log, logging.INFO, "cluster solve done",
+            transport=self.transport, ranks=self.size,
+            iterations=report.result.iterations, drained=report.drained,
+            wall_seconds=round(wall, 3),
+        )
+        return report
 
     def _solve_local(self) -> tuple[list[RankReport], bool]:
         fabric = LocalFabric(self.size)
@@ -364,9 +419,38 @@ class ClusterDriver:
             raise errors[0]
         return [r for r in reports if r is not None], hub.drained
 
-    def _solve_socket(self) -> tuple[list[RankReport], bool]:
+    def _recv_control(
+        self, rank: int, traces: dict[int, dict[str, Any]]
+    ) -> dict[str, Any]:
+        """One control message from ``rank``, absorbing interleaved
+        TRACE frames and turning CRASH reports into
+        :class:`ClusterError` (with the rank's flight dump attached as
+        ``exc.flight_dump``)."""
+        while True:
+            kind, msg = self._channels[rank].recv_any()
+            if kind == KIND_TRACE:
+                traces[int(msg.get("rank", rank))] = msg
+                continue
+            if msg.get("t") == "crash":
+                log_event(
+                    _log, logging.ERROR, "rank crashed",
+                    rank=msg.get("rank", rank), error=msg.get("error"),
+                )
+                err = ClusterError(
+                    f"rank {msg.get('rank', rank)} crashed: "
+                    f"{msg.get('error')}\n{msg.get('traceback', '')}"
+                )
+                err.flight_dump = msg.get("flight")
+                raise err
+            return msg
+
+    def _solve_socket(
+        self,
+    ) -> tuple[list[RankReport], bool, dict[int, dict[str, Any]]]:
         size = self.size
         chans = self._channels
+        traces: dict[int, dict[str, Any]] = {}
+        ctx = current_context()
         try:
             for rank in range(size):
                 chans[rank].send({
@@ -374,10 +458,11 @@ class ClusterDriver:
                     "payload": self.manifest.to_payload(),
                     "transport": "socket",
                     "bind_host": self.bind_host,
+                    "obs": ctx.to_payload() if ctx is not None else None,
                 })
             addrs: dict[int, tuple[str, int]] = {}
             for rank in range(size):
-                msg = chans[rank].recv()
+                msg = self._recv_control(rank, traces)
                 if msg.get("t") != "port":
                     raise ClusterError(f"expected port, got {msg!r}")
                 addrs[rank] = (self.bind_host, int(msg["port"]))
@@ -386,10 +471,16 @@ class ClusterDriver:
             drained = False
             for _ in range(self.deck.iterations):
                 for rank in range(size):
-                    msg = chans[rank].recv()
+                    msg = self._recv_control(rank, traces)
                     if msg.get("t") != "iter":
                         raise ClusterError(f"expected iter, got {msg!r}")
+                    self._note_clock(rank, msg.get("t_wall"))
                 verdict = STOP if self._drain.is_set() else GO
+                if verdict == STOP:
+                    log_event(
+                        _log, logging.INFO, "draining at iteration boundary",
+                        iteration=int(msg.get("i", -1)) + 1,
+                    )
                 for rank in range(size):
                     chans[rank].send({"t": verdict})
                 if verdict == STOP:
@@ -397,11 +488,11 @@ class ClusterDriver:
                     break
             reports: list[RankReport] = []
             for rank in range(size):
-                msg = chans[rank].recv()
+                msg = self._recv_control(rank, traces)
                 if msg.get("t") != "result":
                     raise ClusterError(f"expected result, got {msg!r}")
                 reports.append(msg["report"])
-            return reports, drained
+            return reports, drained, traces
         except BaseException:
             self._closed = True
             self._reap(force=True)
@@ -410,13 +501,24 @@ class ClusterDriver:
     # -- refold (serial rank order; the bit-identity contract) -----------------
 
     def _fold(
-        self, reports: list[RankReport], drained: bool, wall: float
+        self,
+        reports: list[RankReport],
+        drained: bool,
+        wall: float,
+        traces: dict[int, dict[str, Any]] | None = None,
     ) -> ClusterReport:
         deck = self.deck
         size = self.size
         if len(reports) != size:
             raise ClusterError(f"got {len(reports)} reports for {size} ranks")
         reports = sorted(reports, key=lambda r: r.rank)
+        traces = dict(traces or {})
+        for r in reports:
+            # local (threaded) ranks return the stream on the report;
+            # socket ranks already shipped theirs as TRACE frames
+            if r.trace is not None:
+                traces.setdefault(r.rank, r.trace)
+                r.trace = None
         completed = min(r.iterations for r in reports)
         if any(r.iterations != completed for r in reports):
             raise ClusterError(
@@ -470,6 +572,8 @@ class ClusterDriver:
             registry=registry,
             octant_walls=octant_walls,
             wall_seconds=wall,
+            traces=traces,
+            clock_offsets=dict(self._clock_offsets),
         )
 
 

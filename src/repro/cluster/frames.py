@@ -26,6 +26,7 @@ is in :mod:`repro.parallel.pool`: every peer is a process we spawned.
 
 from __future__ import annotations
 
+import json
 import pickle
 import struct
 from typing import Any, Sequence
@@ -42,6 +43,9 @@ class FrameError(ReproError):
 #: frame kinds
 KIND_DATA = 1
 KIND_CONTROL = 2
+#: a rank's captured trace-event stream, shipped back to the parent
+#: before its RESULT (JSON body: deterministic, inspectable, no pickle)
+KIND_TRACE = 3
 
 _HEADER = struct.Struct("<IB")  # body_len, kind
 _MSG_HEAD = struct.Struct("<iiB")  # src, tag, ndim
@@ -102,6 +106,24 @@ def unpack_control(body: bytes) -> dict[str, Any]:
     obj = pickle.loads(body)
     if not isinstance(obj, dict):
         raise FrameError(f"control frame decoded to {type(obj).__name__}, not dict")
+    return obj
+
+
+def pack_trace(payload: dict[str, Any]) -> bytes:
+    """Serialize a rank's trace payload (``{"rank", "events",
+    "machine_info", "total_cycles"}``) as sorted-key JSON: byte-stable
+    for identical streams, which is what the cross-transport
+    bit-identity tests hash."""
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+def unpack_trace(body: bytes) -> dict[str, Any]:
+    try:
+        obj = json.loads(body.decode())
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise FrameError(f"malformed trace frame: {exc}") from None
+    if not isinstance(obj, dict):
+        raise FrameError(f"trace frame decoded to {type(obj).__name__}, not dict")
     return obj
 
 

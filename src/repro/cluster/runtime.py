@@ -21,9 +21,11 @@ in the process-global cache exactly like parked pool workers.
 
 from __future__ import annotations
 
+import logging
 import signal
 import socket
 import time
+import traceback
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -31,9 +33,21 @@ import numpy as np
 
 from ..errors import ClusterError, ConfigurationError
 from ..mpi.wavefront import KBASweep3D, RankBoundary
+from ..obs.context import adopt_payload
+from ..obs.flight import enable_flight, flight
+from ..obs.log import get_logger, log_event
 from ..sweep.flux import SweepTally
 from ..sweep.input import InputDeck
-from .frames import KIND_CONTROL, pack_control, recv_frame, send_frame, unpack_control
+from .frames import (
+    KIND_CONTROL,
+    KIND_TRACE,
+    pack_control,
+    pack_trace,
+    recv_frame,
+    send_frame,
+    unpack_control,
+    unpack_trace,
+)
 from .transport import (
     DEFAULT_RECV_TIMEOUT,
     Endpoint,
@@ -46,6 +60,8 @@ from .transport import (
 #: barrier verdicts
 GO = "go"
 STOP = "stop"
+
+_log = get_logger("cluster.rank")
 
 
 @dataclass(frozen=True)
@@ -103,6 +119,11 @@ class RankReport:
     span_s: float
     transport: dict[str, Any]
     metrics: dict[str, Any] | None = None
+    #: captured trace stream (``config.trace`` runs): ``{"rank",
+    #: "events", "machine_info", "total_cycles"}``.  Socket ranks strip
+    #: this off and ship it as a TRACE frame; local (threaded) ranks
+    #: hand it to the driver directly.
+    trace: dict[str, Any] | None = None
 
 
 class TransportBoundary(RankBoundary):
@@ -198,6 +219,19 @@ def run_rank_solve(
             manifest.config, "metrics", False
         ):
             metrics = sweeper.metrics.to_dict()
+        trace = None
+        bus = getattr(sweeper, "trace", None)
+        if bus is not None and getattr(bus, "enabled", False):
+            from ..obs.merge import events_to_wire
+
+            # the rank's whole solve on one bus from cycle 0: directly
+            # comparable across transports, no timestamp alignment
+            trace = {
+                "rank": endpoint.rank,
+                "events": events_to_wire(bus.events),
+                "machine_info": dict(bus.machine_info),
+                "total_cycles": bus.now,
+            }
         return RankReport(
             rank=endpoint.rank,
             iterations=done,
@@ -210,6 +244,7 @@ def run_rank_solve(
             span_s=span,
             transport=endpoint.stats.to_dict(),
             metrics=metrics,
+            trace=trace,
         )
     finally:
         close = getattr(sweeper, "close", None)
@@ -232,16 +267,30 @@ class ControlChannel:
     def send(self, payload: dict[str, Any]) -> None:
         send_frame(self.sock, KIND_CONTROL, pack_control(payload))
 
-    def recv(self) -> dict[str, Any]:
+    def send_trace(self, payload: dict[str, Any]) -> None:
+        """Ship a rank's trace stream as a TRACE frame (JSON body)."""
+        send_frame(self.sock, KIND_TRACE, pack_trace(payload))
+
+    def recv_any(self) -> tuple[int, dict[str, Any]]:
+        """One frame of either channel kind: ``(KIND_CONTROL, dict)``
+        or ``(KIND_TRACE, dict)``."""
         try:
             kind, body = recv_frame(self.sock)
         except socket.timeout as exc:
             raise ClusterError("control channel timed out") from exc
         if kind == 0:
             raise ClusterError("control channel closed by peer")
+        if kind == KIND_TRACE:
+            return kind, unpack_trace(body)
         if kind != KIND_CONTROL:
             raise ClusterError(f"unexpected frame kind {kind} on control channel")
-        return unpack_control(body)
+        return kind, unpack_control(body)
+
+    def recv(self) -> dict[str, Any]:
+        kind, payload = self.recv_any()
+        if kind != KIND_CONTROL:
+            raise ClusterError("unexpected trace frame on control channel")
+        return payload
 
     def close(self) -> None:
         self.sock.close()
@@ -270,13 +319,17 @@ def rank_main(connect: str, rank: int, timeout: float = DEFAULT_RECV_TIMEOUT) ->
     """
     signal.signal(signal.SIGTERM, signal.SIG_IGN)
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    enable_flight()
     host, port = _parse_connect(connect)
     ctl = ControlChannel(
         socket.create_connection((host, port), timeout=timeout), timeout
     )
     endpoint: SocketEndpoint | None = None
     try:
-        ctl.send({"t": "hello", "rank": rank})
+        # t_wall rides every rendezvous message so the parent can
+        # estimate per-rank clock offsets (metadata only; event streams
+        # stay wall-clock-free)
+        ctl.send({"t": "hello", "rank": rank, "t_wall": time.time()})
         while True:
             msg = ctl.recv()
             if msg["t"] == "bye":
@@ -284,6 +337,13 @@ def rank_main(connect: str, rank: int, timeout: float = DEFAULT_RECV_TIMEOUT) ->
             if msg["t"] != "manifest":
                 raise ClusterError(f"expected manifest, got {msg['t']!r}")
             manifest = RankManifest.from_payload(msg["payload"])
+            adopt_payload(msg.get("obs"), identity=f"rank{rank}")
+            log_event(
+                _log, logging.INFO, "manifest received",
+                rank=rank, engine=manifest.engine,
+                grid=[manifest.P, manifest.Q],
+            )
+            flight().note("manifest", rank=rank, engine=manifest.engine)
             if endpoint is not None:
                 endpoint.close()
             if msg.get("transport", "socket") == "mpi":
@@ -307,7 +367,7 @@ def rank_main(connect: str, rank: int, timeout: float = DEFAULT_RECV_TIMEOUT) ->
             def barrier(i: int, diff: float, scale: float) -> str:
                 ctl.send({
                     "t": "iter", "rank": rank, "i": i,
-                    "diff": diff, "scale": scale,
+                    "diff": diff, "scale": scale, "t_wall": time.time(),
                 })
                 verdict = ctl.recv()
                 if verdict["t"] not in (GO, STOP):
@@ -316,7 +376,29 @@ def rank_main(connect: str, rank: int, timeout: float = DEFAULT_RECV_TIMEOUT) ->
                     )
                 return verdict["t"]
 
-            report = run_rank_solve(manifest, endpoint, barrier)
+            try:
+                report = run_rank_solve(manifest, endpoint, barrier)
+            except Exception as exc:
+                # ship the post-mortem before dying: the parent turns
+                # this into a ClusterError carrying the flight dump
+                log_event(
+                    _log, logging.ERROR, "rank solve crashed",
+                    rank=rank, error=str(exc),
+                )
+                ctl.send({
+                    "t": "crash",
+                    "rank": rank,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "traceback": traceback.format_exc(),
+                    "flight": flight().dump("rank-crash"),
+                })
+                return 1
+            trace = report.trace
+            if trace is not None:
+                # the stream travels as its own TRACE frame (JSON), not
+                # inside the pickled result
+                report.trace = None
+                ctl.send_trace(trace)
             ctl.send({"t": "result", "report": report})
     finally:
         if endpoint is not None:

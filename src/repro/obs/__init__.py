@@ -1,0 +1,44 @@
+"""Cross-process observability: trace context, structured logs, flight data.
+
+The simulated machine already observes itself (:mod:`repro.trace`,
+:mod:`repro.metrics`) -- but those streams stop at the process
+boundary, and the reproduction now spans PersistentPool workers, the
+serve daemon, and socket cluster ranks.  This package is the glue that
+carries observability *across* processes:
+
+* :mod:`repro.obs.context` -- a compact W3C-traceparent-compatible
+  :class:`~repro.obs.context.TraceContext` (trace id, span id, process
+  identity) minted at the outermost entry point (an HTTP request, a CLI
+  invocation) and threaded through pool bind payloads and cluster
+  manifests, so every process's logs and flight dumps correlate.
+* :mod:`repro.obs.log` -- stdlib-``logging`` structured NDJSON (or
+  human text) emission with trace/job/rank fields injected from the
+  current context.
+* :mod:`repro.obs.flight` -- a bounded per-process ring buffer of
+  recent notes + log records, dumped to a JSON artifact on failure or
+  ``SIGUSR2``; a shared no-op singleton when disabled, mirroring
+  :data:`repro.trace.bus.NULL_BUS`.
+* :mod:`repro.obs.merge` -- deterministic merges of per-rank / per-run
+  trace-event streams into one Perfetto timeline (``rank{R}/SPE{N}``
+  tracks).
+"""
+
+from .context import TraceContext, current_context, mint_context, set_context
+from .flight import FlightRecorder, NULL_FLIGHT, enable_flight, flight
+from .log import configure_logging, get_logger
+from .merge import merge_chrome_docs, rank_chrome_trace
+
+__all__ = [
+    "TraceContext",
+    "current_context",
+    "mint_context",
+    "set_context",
+    "FlightRecorder",
+    "NULL_FLIGHT",
+    "enable_flight",
+    "flight",
+    "configure_logging",
+    "get_logger",
+    "merge_chrome_docs",
+    "rank_chrome_trace",
+]

@@ -1,0 +1,156 @@
+"""Trace context: one identity threaded across every process of a solve.
+
+A :class:`TraceContext` is deliberately tiny -- a 128-bit trace id, a
+64-bit span id, the parent span it was forked from, and a free-form
+``identity`` string naming the process's role (``serve``, ``worker3``,
+``rank2``).  It is compatible with the W3C ``traceparent`` header
+(``00-{trace_id}-{span_id}-01``), so the serve daemon can adopt a
+caller's trace or mint a fresh one, and every downstream process --
+pool workers via the bind payload, cluster ranks via the manifest
+message -- runs under a child of the same trace.
+
+The context rides a :class:`contextvars.ContextVar`, which follows
+asyncio tasks and ``asyncio.to_thread`` hand-offs for free; forked
+worker processes inherit the parent's value and overwrite it with their
+own child context when they adopt a bind payload.
+
+Nothing here touches the simulated machine's cycle-stamped
+:class:`~repro.trace.bus.TraceBus` events: trace context correlates
+*host-side* artifacts (log lines, flight dumps, job records), while the
+event streams themselves stay bit-deterministic and context-free.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+from dataclasses import dataclass, field, replace
+
+from ..errors import ReproError
+
+_TRACEPARENT_VERSION = "00"
+
+
+class ContextError(ReproError):
+    """Malformed trace-context header."""
+
+
+def _hex_token(nbytes: int) -> str:
+    return os.urandom(nbytes).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One process's position in a distributed trace."""
+
+    #: 32 lowercase hex chars, shared by every process of one request/solve
+    trace_id: str
+    #: 16 lowercase hex chars, unique to this process/span
+    span_id: str
+    #: the span this one was forked from ("" at the root)
+    parent_id: str = ""
+    #: role of the process holding the context (serve, worker3, rank2, cli)
+    identity: str = ""
+    #: correlation keys merged into every structured log line (job_id, ...)
+    fields: dict = field(default_factory=dict)
+
+    def child(self, identity: str, **fields) -> "TraceContext":
+        """Fork a child span for a downstream process or request stage."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=_hex_token(8),
+            parent_id=self.span_id,
+            identity=identity,
+            fields={**self.fields, **fields},
+        )
+
+    def with_fields(self, **fields) -> "TraceContext":
+        return replace(self, fields={**self.fields, **fields})
+
+    def to_traceparent(self) -> str:
+        """The W3C ``traceparent`` header value for this span."""
+        return f"{_TRACEPARENT_VERSION}-{self.trace_id}-{self.span_id}-01"
+
+    def to_payload(self) -> dict:
+        """A pickle/JSON-safe form for bind payloads and manifests."""
+        return {
+            "traceparent": self.to_traceparent(),
+            "identity": self.identity,
+            "fields": dict(self.fields),
+        }
+
+
+def mint_context(identity: str = "", **fields) -> TraceContext:
+    """A fresh root context (no caller supplied one)."""
+    return TraceContext(
+        trace_id=_hex_token(16),
+        span_id=_hex_token(8),
+        identity=identity,
+        fields=dict(fields),
+    )
+
+
+def parse_traceparent(header: str, identity: str = "") -> TraceContext:
+    """Adopt a W3C ``traceparent`` header: same trace, a fresh child span."""
+    parts = header.strip().lower().split("-")
+    if len(parts) != 4:
+        raise ContextError(f"traceparent wants 4 dash-separated fields, got {header!r}")
+    version, trace_id, parent_span, _flags = parts
+    if len(version) != 2 or len(trace_id) != 32 or len(parent_span) != 16:
+        raise ContextError(f"malformed traceparent {header!r}")
+    try:
+        int(trace_id, 16), int(parent_span, 16)
+    except ValueError:
+        raise ContextError(f"non-hex traceparent {header!r}") from None
+    if int(trace_id, 16) == 0:
+        raise ContextError("traceparent trace-id must be non-zero")
+    return TraceContext(
+        trace_id=trace_id,
+        span_id=_hex_token(8),
+        parent_id=parent_span,
+        identity=identity,
+    )
+
+
+def from_payload(payload: dict, identity: str = "") -> TraceContext:
+    """Rebuild a child context from :meth:`TraceContext.to_payload`
+    (what forked workers and cluster ranks do on bind)."""
+    ctx = parse_traceparent(payload["traceparent"], identity=identity)
+    return ctx.with_fields(**payload.get("fields", {}))
+
+
+# -- the current context ------------------------------------------------------
+
+_CURRENT: contextvars.ContextVar[TraceContext | None] = contextvars.ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current_context() -> TraceContext | None:
+    """The context of the running task/thread/process, or ``None``."""
+    return _CURRENT.get()
+
+
+def set_context(ctx: TraceContext | None) -> contextvars.Token:
+    """Install ``ctx`` as the current context; returns the reset token."""
+    return _CURRENT.set(ctx)
+
+
+def reset_context(token: contextvars.Token) -> None:
+    _CURRENT.reset(token)
+
+
+def adopt_payload(payload: dict | None, identity: str) -> TraceContext | None:
+    """What a downstream process does with the ``obs`` slot of a bind
+    payload / manifest: install a child context under its own identity.
+    ``None`` payloads (tracing caller absent) clear the context."""
+    if not payload:
+        set_context(None)
+        return None
+    try:
+        ctx = from_payload(payload, identity=identity)
+    except (ContextError, KeyError, TypeError):
+        set_context(None)
+        return None
+    set_context(ctx)
+    return ctx

@@ -1,0 +1,150 @@
+"""Structured logging: NDJSON (or human text) with trace correlation.
+
+One stdlib ``logging`` hierarchy rooted at ``repro``: the serve daemon
+logs requests, the pool logs worker lifecycle, the cluster driver logs
+rendezvous -- all through :func:`get_logger`, all silent until
+:func:`configure_logging` installs a handler (so library use stays
+quiet and near-free: an unconfigured ``logger.info`` is one enabled-for
+check).
+
+Structured fields travel via ``extra={"fields": {...}}`` -- the helper
+:func:`log_event` packages that -- and the formatter merges in the
+current :class:`~repro.obs.context.TraceContext`'s trace_id / identity
+/ correlation fields, so one ``grep trace_id`` collects a request's
+lines across serve, workers and ranks.
+
+Two formats:
+
+* ``ndjson`` -- one sorted-key JSON object per line: machine-mergeable,
+  the default for daemons;
+* ``text`` -- ``HH:MM:SS LEVEL logger: message key=value ...`` for
+  humans at a terminal (``--log-format text``).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, TextIO
+
+from .context import current_context
+
+#: root of the package's logger hierarchy
+ROOT_LOGGER = "repro"
+
+LOG_FORMATS = ("ndjson", "text")
+
+#: LogRecord attributes that are plumbing, not payload
+_RESERVED = frozenset(
+    vars(logging.LogRecord("", 0, "", 0, "", (), None))
+) | {"message", "asctime"}
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The ``repro.<name>`` logger (``repro`` itself for empty name)."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}" if name else ROOT_LOGGER)
+
+
+def log_event(
+    logger: logging.Logger, level: int, message: str, **fields: Any
+) -> None:
+    """One structured line: ``message`` plus sorted ``fields``."""
+    if logger.isEnabledFor(level):
+        logger.log(level, message, extra={"fields": fields})
+
+
+def record_fields(record: logging.LogRecord) -> dict[str, Any]:
+    """Every structured field on ``record``: the explicit ``fields``
+    dict plus any bare ``extra`` keys, trace context merged in."""
+    fields: dict[str, Any] = {}
+    ctx = current_context()
+    if ctx is not None:
+        fields["trace_id"] = ctx.trace_id
+        fields["span_id"] = ctx.span_id
+        if ctx.identity:
+            fields["identity"] = ctx.identity
+        fields.update(ctx.fields)
+    for key, value in vars(record).items():
+        if key not in _RESERVED and key != "fields":
+            fields[key] = value
+    explicit = getattr(record, "fields", None)
+    if isinstance(explicit, dict):
+        fields.update(explicit)
+    return fields
+
+
+class NdjsonFormatter(logging.Formatter):
+    """One JSON object per record, keys sorted for stable diffs."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        payload.update(record_fields(record))
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=repr)
+
+
+class TextFormatter(logging.Formatter):
+    """``HH:MM:SS LEVEL logger: message key=value ...`` for terminals."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        line = (
+            f"{stamp} {record.levelname:<7s} {record.name}: "
+            f"{record.getMessage()}"
+        )
+        fields = record_fields(record)
+        if fields:
+            line += " " + " ".join(
+                f"{k}={fields[k]}" for k in sorted(fields)
+            )
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+def make_formatter(fmt: str) -> logging.Formatter:
+    if fmt == "ndjson":
+        return NdjsonFormatter()
+    if fmt == "text":
+        return TextFormatter()
+    raise ValueError(f"log format must be one of {LOG_FORMATS}, got {fmt!r}")
+
+
+def configure_logging(
+    fmt: str = "ndjson",
+    level: str | int = "info",
+    stream: TextIO | None = None,
+) -> logging.Handler:
+    """Install one handler on the ``repro`` root logger (replacing any
+    previous :func:`configure_logging` handler), and return it.
+
+    Logs go to ``stream`` (default stderr, keeping stdout clean for
+    command output and NDJSON job streams).
+    """
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+        if not isinstance(level, int):
+            raise ValueError(f"unknown log level {level!r}")
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs", False):
+            root.removeHandler(handler)
+            handler.close()
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(make_formatter(fmt))
+    handler.setLevel(level)
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    # threshold at the *handler*: the logger stays wide open so the
+    # flight recorder's ring sees below-threshold records too
+    root.setLevel(logging.DEBUG)
+    root.propagate = False
+    return handler

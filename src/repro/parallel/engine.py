@@ -50,6 +50,7 @@ import numpy as np
 
 from ..cell.isa_compile import STATS, stats_delta
 from ..errors import ConfigurationError, ParallelError
+from ..obs.flight import flight as _flight
 from ..sweep.flux import SweepTally
 from ..sweep.pipelining import VacuumBoundary
 from .shm import AttachedArrays, SharedArrayPool
@@ -183,11 +184,18 @@ class ParallelEngine:
         return self._ws.metrics_queue if self.solver.config.metrics else None
 
     def _bind_payload(self) -> dict:
+        from ..obs.context import current_context
+
+        ctx = current_context()
         return {
             "kind": "block" if self.granularity == "block" else "diagonal",
             "deck": self.solver.deck,
             "config": self.solver.config,
             "manifest": self.shm.manifest(),
+            # trace context for the workers' logs/flight dumps; absent
+            # when no caller minted one (bits of the solve never depend
+            # on it)
+            "obs": ctx.to_payload() if ctx is not None else None,
         }
 
     def _ensure_started(self) -> None:
@@ -259,8 +267,16 @@ class ParallelEngine:
         base_now = bus.now
         try:
             results = drive_units(self, seq, len(self.units))
-        except ParallelError:
+        except ParallelError as exc:
             self._dirty = True
+            fl = _flight()
+            if fl.enabled:
+                fl.note(
+                    "parallel-error", error=str(exc), units=len(self.units),
+                    workers=self.workers, granularity=self.granularity,
+                )
+                fl.attach_bus(bus)
+                fl.dump_to_file("parallel-error")
             raise
 
         # deterministic reduction, strictly in serial unit order
@@ -285,12 +301,18 @@ class ParallelEngine:
                 # unit order is kept anyway, mirroring the flux replay
                 solver.metrics.merge(r.metrics)
             if bus.enabled and r.events is not None:
-                offset = bus.now - r.start
+                # replay the cycle cursor instead of shifting captured
+                # timestamps: each event lands at the parent's `now` and
+                # advances it by its own span, the exact recurrence the
+                # serial emit path runs -- so the merged stream is
+                # byte-identical to a serial trace, timestamps included
+                # (a `ts + offset` rebase is not float-exact)
                 for ev in r.events:
                     bus.events.append(
-                        replace(ev, seq=len(bus.events), ts=ev.ts + offset)
+                        replace(ev, seq=len(bus.events), ts=bus.now)
                     )
-                bus.now += r.span
+                    if ev.dur:
+                        bus.now += ev.dur
         solver.host.zero_flux()
         replay_flux(solver.host, self.psi, solver.quad, solver.basis, solver.deck)
         tally.leakage = boundary.leakage
@@ -557,6 +579,15 @@ def drive_units(engine, seq: int, total: int) -> dict[int, UnitResult]:
 # -- worker processes (pool workers, forked by WorkerSet) ---------------------
 
 
+def _adopt_bind_context(payload: dict, lane: int) -> None:
+    """Install the bind payload's trace context (if any) as this worker
+    process's own, under a ``worker{lane}`` identity, so the worker's
+    log lines and flight dumps correlate with the parent's trace."""
+    from ..obs.context import adopt_payload
+
+    adopt_payload(payload.get("obs"), identity=f"worker{lane}")
+
+
 def _queue_pool_worker(ws, lane: int) -> None:
     """Queue-protocol worker loop (block and cluster engines): take
     bind payloads and unit indices from the shared task queue, execute
@@ -571,6 +602,7 @@ def _queue_pool_worker(ws, lane: int) -> None:
                 if state is not None:
                     state.close()
                     state = None
+                _adopt_bind_context(task[1], lane)
                 try:
                     state = _build_bound_state(task[1])
                 except BaseException:  # pragma: no cover - surfaced per unit
@@ -618,6 +650,7 @@ def _diagonal_pool_worker(ws, lane: int) -> None:
                     state = None
                 try:
                     payload = ws.bind_queue.get(timeout=_RESULT_TIMEOUT)
+                    _adopt_bind_context(payload, lane)
                     state = _build_bound_state(payload)
                 except BaseException:  # pragma: no cover - surfaced via ctrl
                     traceback.print_exc()

@@ -42,7 +42,13 @@ import numpy as np
 
 from ..errors import ConfigurationError, ParallelError
 from ..metrics.registry import MetricsRegistry
+from ..obs.log import get_logger, log_event
 from .shm import SegmentRegistry, SharedArrayPool
+
+import logging
+
+#: structured lifecycle log (silent until obs.log.configure_logging)
+_log = get_logger("pool")
 
 #: worker-set protocol kinds: ``queue`` serves the block and cluster
 #: engines (shared task/result queues), ``diagonal`` the lane protocol
@@ -232,9 +238,17 @@ class PersistentPool:
             if ws is not None:
                 if ws.healthy():
                     self.metrics.count("parallel.pool.workers.reused")
+                    log_event(
+                        _log, logging.INFO, "worker set reused",
+                        kind=kind, workers=int(workers),
+                    )
                     return ws
                 ws.stop()  # pragma: no cover - a parked set lost a process
             self.metrics.count("parallel.pool.workers.forked")
+            log_event(
+                _log, logging.INFO, "worker set forked",
+                kind=kind, workers=int(workers),
+            )
             return WorkerSet(kind, workers)
 
     def release(self, ws: WorkerSet, discard: bool = False) -> None:
@@ -253,9 +267,17 @@ class PersistentPool:
             ):
                 self._parked[key] = ws
                 self.metrics.count("parallel.pool.workers.parked")
+                log_event(
+                    _log, logging.INFO, "worker set parked",
+                    kind=ws.kind, workers=ws.workers,
+                )
             else:
                 ws.stop()
                 self.metrics.count("parallel.pool.workers.stopped")
+                log_event(
+                    _log, logging.INFO, "worker set stopped",
+                    kind=ws.kind, workers=ws.workers, discarded=bool(discard),
+                )
 
     @contextlib.contextmanager
     def lease(self, tenant: str = "default"):
@@ -289,6 +311,7 @@ class PersistentPool:
 
     def count_bind(self) -> None:
         self.metrics.count("parallel.pool.binds")
+        log_event(_log, logging.DEBUG, "solver bound to worker set")
 
     def count_compile(self, delta: dict) -> None:
         """Fold a :func:`repro.cell.isa_compile.stats_delta` (or the
@@ -329,6 +352,11 @@ class PersistentPool:
             self._closed = True
             parked = list(self._parked.values())
             self._parked = {}
+        if parked:
+            log_event(
+                _log, logging.INFO, "pool shutdown",
+                parked_sets=len(parked),
+            )
         for ws in parked:
             ws.stop()
         self.segments.close()

@@ -13,7 +13,10 @@ checks the current tree against them:
   machines, so the default tolerance is generous (x2; CI uses x3) --
   the gate catches the order-of-magnitude regressions that matter
   (e.g. a fast path silently falling back to per-cell Python loops),
-  not scheduler jitter;
+  not scheduler jitter.  The same record must carry an
+  ``obs_off_wall_seconds`` field -- the trace-off + log-off wall the
+  bench measured under ``assert_obs_quiet()`` -- within the same
+  ceiling, pinning that disabled observability costs nothing;
 * **serve smoke** -- re-measures one warm 16^3 job end to end through
   a loopback :class:`~repro.serve.app.ServeApp` (transport, admission,
   fair queue, job store and solve included) and compares against the
@@ -151,11 +154,35 @@ def check_functional(
         measured = measure_functional_smoke()
     ceiling = base * tolerance
     ok = measured <= ceiling
-    return [Finding(
+    findings = [Finding(
         name, "functional-wall", ok,
         f"measured {measured:.3f}s vs baseline {base:.3f}s "
         f"(x{tolerance:.1f} ceiling {ceiling:.3f}s)",
     )]
+    # obs overhead pin: the committed trace-off + log-off wall of the
+    # same smoke deck (recorded by bench_functional_wall.py under an
+    # assert_obs_quiet() bracket) must sit within noise of wall_seconds
+    # -- disabled observability is supposed to cost nothing.
+    obs_off = rec.get("obs_off_wall_seconds")
+    if obs_off is None:
+        findings.append(Finding(
+            name, "obs-off-wall", False,
+            f"no obs_off_wall_seconds on the '{SMOKE_DECK}' record "
+            f"(regenerate benchmarks/bench_functional_wall.py)",
+        ))
+    elif not float(obs_off) > 0:
+        findings.append(Finding(
+            name, "obs-off-wall", False,
+            f"obs_off_wall_seconds={obs_off!r} is not positive",
+        ))
+    else:
+        obs_off = float(obs_off)
+        findings.append(Finding(
+            name, "obs-off-wall", obs_off <= ceiling,
+            f"committed obs-off wall {obs_off:.3f}s vs baseline "
+            f"{base:.3f}s (x{tolerance:.1f} ceiling {ceiling:.3f}s)",
+        ))
+    return findings
 
 
 def measure_isa_compiled() -> float:

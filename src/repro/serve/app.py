@@ -42,12 +42,25 @@ Metric names (see ``docs/SERVING.md``):
 from __future__ import annotations
 
 import asyncio
+import json
+import logging
 import signal
 import time
+import traceback
 
 from .. import __version__
 from ..errors import InputDeckError
 from ..metrics.export import PROMETHEUS_CONTENT_TYPE, to_prometheus_text
+from ..obs.context import (
+    ContextError,
+    current_context,
+    mint_context,
+    parse_traceparent,
+    reset_context,
+    set_context,
+)
+from ..obs.flight import flight
+from ..obs.log import get_logger, log_event
 from .decks import (
     deck_cost,
     deck_from_request,
@@ -81,6 +94,9 @@ MS_BUCKETS = (1, 10, 100, 1000, 10_000, 60_000)
 
 #: seconds between event-log polls while streaming NDJSON
 EVENT_POLL_SECONDS = 0.05
+
+_access = get_logger("serve.access")
+_log = get_logger("serve")
 
 
 class ServeApp:
@@ -136,6 +152,7 @@ class ServeApp:
         except DeckTooLargeError:
             self.registry.count("serve.jobs_rejected.deck")
             raise
+        ctx = current_context()
         job = self.store.create(
             tenant=str(doc.get("tenant", "default")),
             deck_text=deck_to_text(deck),
@@ -143,6 +160,8 @@ class ServeApp:
             cost=deck_cost(deck),
             isa=bool(doc.get("isa", True)),
             metrics=bool(doc.get("metrics", False)),
+            trace=bool(doc.get("trace", False)),
+            trace_id=ctx.trace_id if ctx is not None else "",
         )
         klass = size_class(deck.grid.num_cells)
         self.queue.push(job, job.cost, klass)
@@ -175,8 +194,20 @@ class ServeApp:
                 self.runner.run_job, job, self.store
             )
         except Exception as exc:
-            self.store.mark_failed(job.id, f"{type(exc).__name__}: {exc}")
+            fl = flight()
+            dump = fl.dump(f"job-failed:{job.id}") if fl.enabled else None
+            self.store.mark_failed(
+                job.id,
+                f"{type(exc).__name__}: {exc}",
+                error_type=type(exc).__name__,
+                tb=traceback.format_exc(),
+                flight=dump,
+            )
             self.registry.count("serve.jobs_failed")
+            log_event(
+                _log, logging.ERROR, "job failed",
+                job_id=job.id, error=f"{type(exc).__name__}: {exc}",
+            )
         else:
             self.store.mark_done(job.id, result)
             self.registry.count("serve.jobs_completed")
@@ -211,6 +242,7 @@ class ServeApp:
                     "GET /healthz", "GET /version", "GET /metrics",
                     "GET /decks", "POST /jobs", "GET /jobs",
                     "GET /jobs/{id}", "GET /jobs/{id}/events",
+                    "GET /jobs/{id}/trace", "GET /jobs/{id}/flight",
                 ],
             })
         if path == "/healthz" and method == "GET":
@@ -241,7 +273,9 @@ class ServeApp:
                 return Response.error(503, str(exc))
             except InputDeckError as exc:
                 return Response.error(400, str(exc))
-            return Response.json(snapshot, status=202)
+            response = Response.json(snapshot, status=202)
+            response.job_id = snapshot["id"]  # for the access log
+            return response
         if path == "/jobs" and method == "GET":
             return Response.json({"jobs": self.store.list()})
         if path.startswith("/jobs/"):
@@ -255,6 +289,39 @@ class ServeApp:
                 # handled by the connection loop (streaming); reaching
                 # here means the method was wrong
                 return Response.error(405, "events endpoint is GET-only")
+            if len(parts) == 4 and parts[3] == "trace" and method == "GET":
+                try:
+                    doc = self.store.get_trace(parts[2])
+                except UnknownJobError as exc:
+                    return Response.error(404, str(exc))
+                if doc is None:
+                    return Response.error(
+                        404,
+                        "no trace for this job; submit with "
+                        '{"trace": true} and wait for completion',
+                    )
+                # sorted-keys + trailing newline: byte-identical to
+                # trace.export.write_chrome_trace of a direct solve
+                return Response(
+                    status=200,
+                    body=(json.dumps(doc, sort_keys=True) + "\n").encode(),
+                    content_type="application/json",
+                )
+            if len(parts) == 4 and parts[3] == "flight" and method == "GET":
+                try:
+                    dump = self.store.get_flight(parts[2])
+                except UnknownJobError as exc:
+                    return Response.error(404, str(exc))
+                if dump is None:
+                    return Response.error(
+                        404, "no flight-recorder dump for this job"
+                    )
+                return Response(
+                    status=200,
+                    body=(json.dumps(dump, sort_keys=True, default=repr)
+                          + "\n").encode(),
+                    content_type="application/json",
+                )
         return Response.error(404, f"no route for {method} {request.path}")
 
     def _is_event_stream(self, request: Request) -> str | None:
@@ -284,8 +351,32 @@ class ServeApp:
                 return
             await asyncio.sleep(EVENT_POLL_SECONDS)
 
+    def _request_context(self, request: Request):
+        """Continue the caller's trace from a ``traceparent`` header, or
+        start a fresh one; either way every request gets an identity."""
+        header = request.headers.get("traceparent", "")
+        if header:
+            try:
+                return parse_traceparent(header, identity="serve")
+            except ContextError:
+                pass  # malformed header: start a fresh trace
+        return mint_context(identity="serve")
+
+    def _access_log(self, request: Request, status: int,
+                    job_id: str, elapsed: float) -> None:
+        log_event(
+            _access, logging.INFO, "request",
+            method=request.method, path=request.path, status=status,
+            duration_ms=round(elapsed * 1000, 3), job_id=job_id,
+        )
+
     async def handle_connection(self, reader, writer) -> None:
         """One connection, one request, one response (or NDJSON stream)."""
+        t0 = time.monotonic()
+        request = None
+        status = 0
+        log_job_id = ""
+        token = None
         try:
             try:
                 request = await read_request(
@@ -294,15 +385,19 @@ class ServeApp:
             except HttpError as exc:
                 if exc.status == 413:
                     self.registry.count("serve.jobs_rejected.payload")
+                status = exc.status
                 await write_response(
                     writer, Response.error(exc.status, exc.message)
                 )
                 return
             if request is None:
                 return
+            ctx = self._request_context(request)
+            token = set_context(ctx)
             self.registry.count("serve.http_requests")
             job_id = self._is_event_stream(request)
             if job_id is not None:
+                status, log_job_id = 200, job_id
                 await self._stream_events(writer, request, job_id)
                 return
             try:
@@ -313,11 +408,25 @@ class ServeApp:
                 response = Response.error(
                     500, f"{type(exc).__name__}: {exc}"
                 )
+            response.headers.setdefault("x-request-id", ctx.span_id)
+            response.headers.setdefault("x-trace-id", ctx.trace_id)
+            status = response.status
+            log_job_id = getattr(response, "job_id", "")
             await write_response(writer, response)
         except (ConnectionResetError, BrokenPipeError,
                 asyncio.CancelledError):
             pass
         finally:
+            if request is not None:
+                if not log_job_id:
+                    parts = request.path.rstrip("/").split("/")
+                    if len(parts) >= 3 and parts[1] == "jobs":
+                        log_job_id = parts[2]
+                self._access_log(
+                    request, status, log_job_id, time.monotonic() - t0
+                )
+            if token is not None:
+                reset_context(token)
             try:
                 writer.close()
                 await writer.wait_closed()

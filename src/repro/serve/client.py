@@ -42,18 +42,32 @@ class ServeClient:
     def _request(
         self, method: str, path: str, payload: Any = None
     ) -> tuple[int, bytes]:
+        status, _headers, body = self.raw(method, path, payload)
+        return status, body
+
+    def raw(
+        self, method: str, path: str, payload: Any = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One request, returning ``(status, response headers, body)``
+        with header names lowercased -- the seam for callers that need
+        ``x-request-id`` / ``x-trace-id`` or want to send a
+        ``traceparent`` of their own."""
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
         try:
             body = None
-            headers = {}
+            send_headers = dict(headers or {})
             if payload is not None:
                 body = json.dumps(payload).encode("utf-8")
-                headers["Content-Type"] = "application/json"
-            conn.request(method, path, body=body, headers=headers)
+                send_headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=send_headers)
             response = conn.getresponse()
-            return response.status, response.read()
+            resp_headers = {
+                k.lower(): v for k, v in response.getheaders()
+            }
+            return response.status, resp_headers, response.read()
         finally:
             conn.close()
 
@@ -81,8 +95,21 @@ class ServeClient:
     def submit(self, **request: Any) -> dict:
         """Submit a job: ``submit(cube=16, sn=4, nm=2, iterations=1)``,
         ``submit(example="shielding")`` or ``submit(deck=deck_text)``;
-        extra keys (``tenant``, ``isa``, ``metrics``) pass through."""
+        extra keys (``tenant``, ``isa``, ``metrics``, ``trace``) pass
+        through."""
         return self._json("POST", "/jobs", request)
+
+    def trace(self, job_id: str) -> bytes:
+        """The job's Perfetto trace document, exact bytes as served
+        (load into ui.perfetto.dev, or ``json.loads`` it)."""
+        status, body = self._request("GET", f"/jobs/{job_id}/trace")
+        if status != 200:
+            raise ServeClientError(status, body.decode("utf-8", "replace"))
+        return body
+
+    def flight(self, job_id: str) -> dict:
+        """The flight-recorder dump attached to a failed job."""
+        return self._json("GET", f"/jobs/{job_id}/flight")
 
     def jobs(self) -> list[dict]:
         return self._json("GET", "/jobs")["jobs"]

@@ -38,6 +38,9 @@ FAILED = "failed"
 #: states a job can never leave
 TERMINAL = (DONE, FAILED)
 
+#: failure tracebacks are truncated to this many characters in the store
+MAX_TRACEBACK_CHARS = 4000
+
 
 class UnknownJobError(ReproError):
     """Lookup of a job id the store has never issued."""
@@ -54,6 +57,8 @@ class Job:
     cost: float  #: estimated work units, the fair-queue service demand
     isa: bool  #: run the SPE kernel through the compiled SPU ISA
     metrics: bool  #: collect the per-SPE cycle-attribution registry
+    trace: bool = False  #: capture the machine trace (Perfetto via /trace)
+    trace_id: str = ""  #: distributed-trace id of the submitting request
     state: str = QUEUED
     submitted_at: float = 0.0
     started_at: Optional[float] = None
@@ -62,6 +67,10 @@ class Job:
     progress_total: int = 0
     result: Optional[dict] = None  #: flux summary + caches, when DONE
     error: Optional[str] = None  #: failure message, when FAILED
+    error_type: Optional[str] = None  #: exception class name, when FAILED
+    traceback: Optional[str] = None  #: truncated traceback, when FAILED
+    trace_doc: Optional[dict] = None  #: Perfetto document (trace jobs, DONE)
+    flight: Optional[dict] = None  #: flight-recorder dump (FAILED jobs)
     events: list[dict] = field(default_factory=list)
     _seq: "itertools.count" = field(default_factory=itertools.count)
 
@@ -76,6 +85,7 @@ class Job:
             "cost": self.cost,
             "isa": self.isa,
             "metrics": self.metrics,
+            "trace": self.trace,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -84,10 +94,18 @@ class Job:
                 "total": self.progress_total,
             },
         }
+        if self.trace_id:
+            doc["trace_id"] = self.trace_id
         if self.state == DONE:
             doc["result"] = self.result
+            doc["has_trace"] = self.trace_doc is not None
         if self.state == FAILED:
             doc["error"] = self.error
+            if self.error_type:
+                doc["error_type"] = self.error_type
+            if self.traceback:
+                doc["traceback"] = self.traceback
+            doc["has_flight"] = self.flight is not None
         if self.started_at is not None:
             end = self.finished_at
             doc["queue_seconds"] = self.started_at - self.submitted_at
@@ -115,6 +133,8 @@ class JobStore:
         cost: float,
         isa: bool,
         metrics: bool,
+        trace: bool = False,
+        trace_id: str = "",
     ) -> Job:
         with self._lock:
             job = Job(
@@ -125,6 +145,8 @@ class JobStore:
                 cost=cost,
                 isa=isa,
                 metrics=metrics,
+                trace=trace,
+                trace_id=trace_id,
                 submitted_at=self._clock(),
             )
             self._jobs[job.id] = job
@@ -164,13 +186,40 @@ class JobStore:
             job.result = result
             self._append_event(job, {"state": DONE})
 
-    def mark_failed(self, job_id: str, error: str) -> None:
+    def mark_failed(
+        self,
+        job_id: str,
+        error: str,
+        error_type: Optional[str] = None,
+        tb: Optional[str] = None,
+        flight: Optional[dict] = None,
+    ) -> None:
         with self._lock:
             job = self._get(job_id)
             job.state = FAILED
             job.finished_at = self._clock()
             job.error = str(error)
+            job.error_type = error_type
+            if tb:
+                # keep the tail: the raising frame is the useful part
+                job.traceback = tb[-MAX_TRACEBACK_CHARS:]
+            job.flight = flight
             self._append_event(job, {"state": FAILED, "error": str(error)})
+
+    # -- observability artifacts ---------------------------------------------
+
+    def attach_trace(self, job_id: str, doc: dict) -> None:
+        """Attach the solve's Perfetto document (``GET /jobs/{id}/trace``)."""
+        with self._lock:
+            self._get(job_id).trace_doc = doc
+
+    def get_trace(self, job_id: str) -> Optional[dict]:
+        with self._lock:
+            return self._get(job_id).trace_doc
+
+    def get_flight(self, job_id: str) -> Optional[dict]:
+        with self._lock:
+            return self._get(job_id).flight
 
     # -- reads ---------------------------------------------------------------
 

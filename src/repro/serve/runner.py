@@ -33,6 +33,12 @@ import numpy as np
 from ..cell.isa_compile import STATS, stats_delta
 from ..core.solver import CellSweep3D
 from ..metrics.registry import MetricsRegistry
+from ..obs.context import (
+    TraceContext,
+    mint_context,
+    reset_context,
+    set_context,
+)
 from ..parallel.pool import PersistentPool, resolve_pool
 from ..sweep.deckfile import parse_deck
 from .jobs import Job, JobStore
@@ -98,11 +104,29 @@ class SolveRunner:
         Called from a scheduler-owned worker thread.  Raises on solver
         failure -- the scheduler marks the job failed with the message.
         """
+        # continue the submitting request's trace in this solve thread
+        # (the scheduler task does not carry the request context), so
+        # pool bind payloads and worker logs correlate to the job
+        ctx = mint_context(identity="runner", job_id=job.id)
+        if job.trace_id:
+            ctx = TraceContext(
+                trace_id=job.trace_id, span_id=ctx.span_id,
+                identity="runner", fields=dict(ctx.fields),
+            )
+        token = set_context(ctx)
+        try:
+            return self._run_job(job, store)
+        finally:
+            reset_context(token)
+
+    def _run_job(self, job: Job, store: JobStore) -> dict:
         deck = parse_deck(job.deck_text)
         isa = job.isa and deck.material_box is None
         config = self._base_config.with_(isa_kernel=isa)
         if job.metrics:
             config = config.with_(metrics=True)
+        if job.trace:
+            config = config.with_(trace=True)
         job_mark = STATS.snapshot()
         t0 = time.perf_counter()
         with self.pool.lease(job.tenant):
@@ -162,6 +186,12 @@ class SolveRunner:
             attribution.verify()
             payload["cycle_attribution"] = attribution.to_dict()
             payload["registry"] = solver.metrics.to_dict()
+        if job.trace:
+            from ..trace.export import to_chrome_trace
+
+            # byte-identical to a direct solve's trace file: the doc
+            # carries no job/request identity, only machine events
+            store.attach_trace(job.id, to_chrome_trace(solver.trace))
         return payload
 
     def close(self) -> None:

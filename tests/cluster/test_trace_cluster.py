@@ -1,0 +1,117 @@
+"""Cross-transport trace identity and the merged cluster timeline.
+
+Every rank runs its own TraceBus from cycle 0, ships the stream back as
+a JSON TRACE frame (socket) or hands it to the driver in-process
+(LocalFabric), and the driver merges deterministically.  The acceptance
+bar: per-rank event streams are *byte-identical* between the two
+transports for the same deck, and the merged Perfetto document carries
+one ``rank{R}`` process per rank.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.driver import default_cluster_config, run_cluster_solve
+from repro.errors import ClusterError
+from repro.obs.merge import rank_stream_signature
+from repro.sweep.input import small_deck
+
+P, Q = 1, 2
+
+
+def make_deck():
+    return small_deck(n=8, sn=4, nm=2, iterations=1)
+
+
+TCFG = default_cluster_config().with_(trace=True)
+
+
+@pytest.fixture(scope="module")
+def local_report():
+    return run_cluster_solve(
+        make_deck(), P, Q, transport="local", engine="cell", config=TCFG
+    )
+
+
+@pytest.fixture(scope="module")
+def socket_report():
+    return run_cluster_solve(
+        make_deck(), P, Q, transport="socket", engine="cell", config=TCFG,
+        spawn="fork",
+    )
+
+
+def test_all_ranks_captured(local_report, socket_report):
+    assert sorted(local_report.traces) == list(range(P * Q))
+    assert sorted(socket_report.traces) == list(range(P * Q))
+
+
+def test_rank_streams_identical_across_transports(
+    local_report, socket_report
+):
+    """The tentpole bit: each socket rank's wire stream -- timestamps
+    included -- equals the LocalFabric rank's for the same deck."""
+    for rank in range(P * Q):
+        assert rank_stream_signature(
+            socket_report.traces[rank]
+        ) == rank_stream_signature(local_report.traces[rank]), (
+            f"rank {rank} stream differs between transports"
+        )
+
+
+def test_flux_still_identical_under_tracing(local_report, socket_report):
+    assert local_report.flux_digest == socket_report.flux_digest
+
+
+def test_merged_doc_has_per_rank_tracks(socket_report):
+    doc = socket_report.chrome_trace()
+    processes = [
+        (ev["pid"], ev["args"]["name"])
+        for ev in doc["traceEvents"]
+        if ev.get("ph") == "M" and ev["name"] == "process_name"
+    ]
+    assert processes == [(r, f"rank{r}") for r in range(P * Q)]
+    threads = {
+        ev["args"]["name"]
+        for ev in doc["traceEvents"]
+        if ev.get("ph") == "M" and ev["name"] == "thread_name"
+    }
+    assert "SPE0" in threads
+    assert doc["otherData"]["ranks"] == P * Q
+
+
+def test_merged_docs_agree_across_transports(local_report, socket_report):
+    """Merged traceEvents are byte-equal; wall-clock metadata (socket
+    clock offsets) stays out of the event stream by design."""
+    local = json.dumps(
+        local_report.chrome_trace()["traceEvents"], sort_keys=True
+    )
+    sock = json.dumps(
+        socket_report.chrome_trace()["traceEvents"], sort_keys=True
+    )
+    assert local == sock
+
+
+def test_socket_report_carries_clock_offsets(socket_report):
+    offsets = socket_report.clock_offsets
+    assert sorted(offsets) == list(range(P * Q))
+    doc = socket_report.chrome_trace()
+    assert sorted(doc["otherData"]["clock_offsets_s"]) == [
+        str(r) for r in range(P * Q)
+    ]
+
+
+def test_trace_ranks_in_report_dict(socket_report):
+    assert socket_report.to_dict()["trace_ranks"] == list(range(P * Q))
+
+
+def test_untraced_solve_has_no_trace():
+    report = run_cluster_solve(
+        make_deck(), 1, 2, transport="local", engine="tile"
+    )
+    assert report.traces == {}
+    with pytest.raises(ClusterError):
+        report.chrome_trace()

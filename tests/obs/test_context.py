@@ -1,0 +1,139 @@
+"""Trace-context propagation: mint, traceparent round-trips, adoption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.context import (
+    ContextError,
+    TraceContext,
+    adopt_payload,
+    current_context,
+    from_payload,
+    mint_context,
+    parse_traceparent,
+    reset_context,
+    set_context,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_context():
+    token = set_context(None)
+    yield
+    reset_context(token)
+
+
+def test_mint_shapes():
+    ctx = mint_context(identity="serve", job_id="job-1")
+    assert len(ctx.trace_id) == 32
+    assert len(ctx.span_id) == 16
+    int(ctx.trace_id, 16), int(ctx.span_id, 16)
+    assert ctx.parent_id == ""
+    assert ctx.identity == "serve"
+    assert ctx.fields == {"job_id": "job-1"}
+
+
+def test_mint_is_unique():
+    a, b = mint_context(), mint_context()
+    assert a.trace_id != b.trace_id
+    assert a.span_id != b.span_id
+
+
+def test_traceparent_round_trip():
+    ctx = mint_context(identity="cli")
+    header = ctx.to_traceparent()
+    assert header == f"00-{ctx.trace_id}-{ctx.span_id}-01"
+    adopted = parse_traceparent(header, identity="serve")
+    assert adopted.trace_id == ctx.trace_id
+    assert adopted.parent_id == ctx.span_id
+    assert adopted.span_id != ctx.span_id  # fresh child span
+    assert adopted.identity == "serve"
+
+
+@pytest.mark.parametrize("header", [
+    "",
+    "garbage",
+    "00-abc-def-01",
+    "00-" + "z" * 32 + "-" + "0" * 16 + "-01",
+    "00-" + "0" * 32 + "-" + "1" * 16 + "-01",  # zero trace id
+    "00-" + "a" * 32 + "-" + "b" * 16,
+])
+def test_malformed_traceparent_rejected(header):
+    with pytest.raises(ContextError):
+        parse_traceparent(header)
+
+
+def test_child_keeps_trace_id_and_fields():
+    root = mint_context(identity="serve", job_id="job-7")
+    child = root.child("worker0", lane=0)
+    assert child.trace_id == root.trace_id
+    assert child.parent_id == root.span_id
+    assert child.identity == "worker0"
+    assert child.fields == {"job_id": "job-7", "lane": 0}
+
+
+def test_payload_round_trip():
+    root = mint_context(identity="driver", deck="16^3")
+    payload = root.to_payload()
+    rebuilt = from_payload(payload, identity="rank3")
+    assert rebuilt.trace_id == root.trace_id
+    assert rebuilt.parent_id == root.span_id
+    assert rebuilt.identity == "rank3"
+    assert rebuilt.fields == {"deck": "16^3"}
+
+
+def test_adopt_payload_installs_current():
+    root = mint_context(identity="driver")
+    ctx = adopt_payload(root.to_payload(), identity="rank1")
+    assert ctx is not None
+    assert current_context() is ctx
+    assert ctx.trace_id == root.trace_id
+
+
+@pytest.mark.parametrize("payload", [None, {}, {"traceparent": "nope"},
+                                     {"wrong": "keys"}])
+def test_adopt_bad_payload_clears(payload):
+    set_context(mint_context())
+    assert adopt_payload(payload, identity="rank1") is None
+    assert current_context() is None
+
+
+def test_set_reset_context():
+    assert current_context() is None
+    ctx = mint_context()
+    token = set_context(ctx)
+    assert current_context() is ctx
+    reset_context(token)
+    assert current_context() is None
+
+
+def test_with_fields_is_pure():
+    a = mint_context(identity="x", k=1)
+    b = a.with_fields(j=2)
+    assert a.fields == {"k": 1}
+    assert b.fields == {"k": 1, "j": 2}
+    assert b.trace_id == a.trace_id and b.span_id == a.span_id
+
+
+def test_context_is_frozen():
+    ctx = mint_context()
+    with pytest.raises(Exception):
+        ctx.trace_id = "0" * 32  # type: ignore[misc]
+
+
+def test_context_follows_threads():
+    """contextvars copy into worker threads the way asyncio.to_thread
+    hands off -- each thread sees its own installed context."""
+    import concurrent.futures
+    import contextvars
+
+    ctx = mint_context(identity="main")
+    set_context(ctx)
+
+    def read():
+        return current_context()
+
+    with concurrent.futures.ThreadPoolExecutor(1) as pool:
+        seen = pool.submit(contextvars.copy_context().run, read).result()
+    assert seen is ctx

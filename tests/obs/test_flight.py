@@ -1,0 +1,162 @@
+"""The flight recorder: bounded ring, dumps, null path, log capture."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.obs.context import mint_context, reset_context, set_context
+from repro.obs.flight import (
+    NULL_FLIGHT,
+    FlightRecorder,
+    disable_flight,
+    enable_flight,
+    flight,
+)
+from repro.obs.log import get_logger, log_event
+from repro.trace.bus import TraceBus
+
+
+@pytest.fixture(autouse=True)
+def clean_flight():
+    token = set_context(None)
+    disable_flight()
+    yield
+    reset_context(token)
+    disable_flight()
+
+
+def test_ring_is_bounded():
+    rec = FlightRecorder(capacity=4)
+    for i in range(10):
+        rec.note("tick", i=i)
+    assert len(rec.entries) == 4
+    assert [e["i"] for e in rec.entries] == [6, 7, 8, 9]
+
+
+def test_dump_shape():
+    rec = FlightRecorder()
+    ctx = mint_context(identity="rank2", job_id="job-1")
+    token = set_context(ctx)
+    try:
+        rec.note("manifest", rank=2)
+        dump = rec.dump("rank-crash")
+    finally:
+        reset_context(token)
+    assert dump["flight"] == 1
+    assert dump["reason"] == "rank-crash"
+    assert dump["trace_id"] == ctx.trace_id
+    assert dump["identity"] == "rank2"
+    assert dump["context_fields"] == {"job_id": "job-1"}
+    assert dump["entries"][0]["name"] == "manifest"
+    json.dumps(dump)  # JSON-serializable as-is
+
+
+def test_dump_includes_bus_tail():
+    rec = FlightRecorder(event_tail=2)
+    bus = TraceBus()
+    bus.span("SPE0", "KernelExec", 10.0, chunk=1)
+    bus.span("SPE0", "KernelExec", 12.0, chunk=2)
+    bus.instant("PPE", "WorkDone", chunk=2)
+    rec.attach_bus(bus)
+    dump = rec.dump("test")
+    (tail,) = dump["trace_tails"]
+    assert tail["total_events"] == 3
+    assert tail["now_cycles"] == bus.now
+    assert len(tail["tail"]) == 2  # event_tail truncates
+    assert tail["tail"][-1][4] == "WorkDone"
+
+
+def test_attach_bus_dedups_and_skips_disabled():
+    rec = FlightRecorder()
+    bus = TraceBus()
+    rec.attach_bus(bus)
+    rec.attach_bus(bus)
+    assert len(rec._buses) == 1
+    from repro.trace.bus import NULL_BUS
+
+    rec.attach_bus(NULL_BUS)
+    assert len(rec._buses) == 1
+
+
+def test_dump_to_file_auto_name(tmp_path):
+    rec = FlightRecorder(dump_dir=tmp_path)
+    rec.note("x")
+    path = rec.dump_to_file("parallel-error")
+    assert path.parent == tmp_path
+    assert path.name.endswith("-parallel-error.json")
+    loaded = json.loads(path.read_text())
+    assert loaded["flight"] == 1
+    assert loaded["entries"][0]["name"] == "x"
+
+
+def test_null_flight_is_free_and_safe():
+    assert flight() is NULL_FLIGHT
+    assert not NULL_FLIGHT.enabled
+    NULL_FLIGHT.note("ignored")
+    NULL_FLIGHT.attach_bus(TraceBus())
+    assert NULL_FLIGHT.dump_to_file("r") is None
+    dump = NULL_FLIGHT.dump("r")
+    assert dump["enabled"] is False and dump["entries"] == []
+
+
+def test_enable_flight_idempotent(tmp_path):
+    rec = enable_flight()
+    assert flight() is rec
+    again = enable_flight(dump_dir=tmp_path)
+    assert again is rec
+    assert rec.dump_dir == tmp_path
+
+
+def test_enabled_flight_captures_repro_logs():
+    rec = enable_flight()
+    log_event(get_logger("pool"), logging.INFO, "worker set forked",
+              workers=2)
+    (entry,) = [e for e in rec.entries if e["kind"] == "log"]
+    assert entry["msg"] == "worker set forked"
+    assert entry["workers"] == 2
+    assert entry["logger"] == "repro.pool"
+
+
+def test_disable_flight_removes_handler():
+    enable_flight()
+    disable_flight()
+    assert flight() is NULL_FLIGHT
+    root = logging.getLogger("repro")
+    from repro.obs.flight import _FlightLogHandler
+
+    assert not any(isinstance(h, _FlightLogHandler) for h in root.handlers)
+
+
+def test_parallel_error_dumps_flight(tmp_path, monkeypatch):
+    """A ParallelError abort writes a flight dump when enabled."""
+    from repro.core.levels import MachineConfig
+    from repro.core.solver import CellSweep3D
+    from repro.errors import ParallelError
+    from repro.sweep import small_deck
+
+    import repro.parallel.engine as engine_mod
+
+    monkeypatch.chdir(tmp_path)
+    enable_flight(dump_dir=tmp_path)
+    cfg = MachineConfig(
+        aligned_rows=True, structured_loops=True, double_buffer=True,
+        simd=True, dma_lists=True, bank_offsets=True,
+    )
+    deck = small_deck(n=6, sn=4, nm=2, iterations=1, mk=3)
+
+    def sabotage(*a, **k):
+        raise ParallelError("worker 1 died (simulated)")
+
+    with CellSweep3D(deck, cfg, workers=2) as solver:
+        monkeypatch.setattr(engine_mod, "drive_units", sabotage)
+        with pytest.raises(ParallelError):
+            solver.solve()
+        monkeypatch.undo()
+    dumps = sorted(tmp_path.glob("flight-*-parallel-error.json"))
+    assert dumps, "no flight dump written on ParallelError"
+    doc = json.loads(dumps[0].read_text())
+    notes = [e for e in doc["entries"] if e.get("name") == "parallel-error"]
+    assert notes and "simulated" in notes[0]["error"]

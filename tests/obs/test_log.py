@@ -1,0 +1,128 @@
+"""Structured logging: NDJSON shape, text format, handler lifecycle."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.context import mint_context, reset_context, set_context
+from repro.obs.log import (
+    ROOT_LOGGER,
+    configure_logging,
+    get_logger,
+    log_event,
+    make_formatter,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_logging():
+    token = set_context(None)
+    yield
+    reset_context(token)
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs", False):
+            root.removeHandler(handler)
+            handler.close()
+    root.setLevel(logging.NOTSET)
+
+
+def configured(fmt="ndjson", level="info"):
+    stream = io.StringIO()
+    configure_logging(fmt=fmt, level=level, stream=stream)
+    return stream
+
+
+def test_ndjson_line_shape():
+    stream = configured()
+    log_event(get_logger("pool"), logging.INFO, "worker set forked",
+              kind="block", workers=4)
+    doc = json.loads(stream.getvalue())
+    assert doc["msg"] == "worker set forked"
+    assert doc["logger"] == "repro.pool"
+    assert doc["level"] == "info"
+    assert doc["kind"] == "block" and doc["workers"] == 4
+    assert isinstance(doc["ts"], float)
+
+
+def test_ndjson_merges_trace_context():
+    stream = configured()
+    ctx = mint_context(identity="serve", job_id="job-9")
+    token = set_context(ctx)
+    try:
+        log_event(get_logger("serve"), logging.INFO, "request", status=200)
+    finally:
+        reset_context(token)
+    doc = json.loads(stream.getvalue())
+    assert doc["trace_id"] == ctx.trace_id
+    assert doc["span_id"] == ctx.span_id
+    assert doc["identity"] == "serve"
+    assert doc["job_id"] == "job-9"
+    assert doc["status"] == 200
+
+
+def test_ndjson_lines_are_sorted_keys():
+    stream = configured()
+    log_event(get_logger("x"), logging.INFO, "m", b=1, a=2)
+    line = stream.getvalue().strip()
+    assert line == json.dumps(json.loads(line), sort_keys=True)
+
+
+def test_text_format_readable():
+    stream = configured(fmt="text")
+    log_event(get_logger("cluster.rank"), logging.WARNING, "slow rendezvous",
+              rank=3)
+    line = stream.getvalue()
+    assert "WARNING" in line
+    assert "repro.cluster.rank: slow rendezvous" in line
+    assert "rank=3" in line
+
+
+def test_level_threshold():
+    stream = configured(level="warning")
+    log_event(get_logger("x"), logging.INFO, "dropped")
+    log_event(get_logger("x"), logging.WARNING, "kept")
+    lines = stream.getvalue().strip().splitlines()
+    assert len(lines) == 1 and "kept" in lines[0]
+
+
+def test_unconfigured_logging_is_silent(capsys):
+    log_event(get_logger("pool"), logging.INFO, "nobody listening")
+    out = capsys.readouterr()
+    assert out.out == "" and out.err == ""
+
+
+def test_reconfigure_replaces_handler():
+    a = configured()
+    b = configured()
+    log_event(get_logger("x"), logging.INFO, "once")
+    assert a.getvalue() == ""
+    assert b.getvalue().count("\n") == 1
+    root = logging.getLogger(ROOT_LOGGER)
+    obs = [h for h in root.handlers if getattr(h, "_repro_obs", False)]
+    assert len(obs) == 1
+
+
+def test_bad_format_rejected():
+    with pytest.raises(ValueError):
+        make_formatter("xml")
+
+
+def test_bad_level_rejected():
+    with pytest.raises(ValueError):
+        configure_logging(level="chatty", stream=io.StringIO())
+
+
+def test_exception_rendered():
+    stream = configured()
+    logger = get_logger("x")
+    try:
+        raise RuntimeError("boom")
+    except RuntimeError:
+        logger.exception("it broke")
+    doc = json.loads(stream.getvalue())
+    assert "RuntimeError: boom" in doc["exc"]

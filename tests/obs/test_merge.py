@@ -1,0 +1,166 @@
+"""Trace merging: wire round-trips, rank documents, file merges."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.merge import (
+    events_from_wire,
+    events_to_wire,
+    load_trace_doc,
+    merge_chrome_docs,
+    rank_chrome_trace,
+    rank_stream_signature,
+)
+from repro.trace.bus import TraceBus
+from repro.trace.export import to_chrome_trace
+
+
+def make_bus(chunks=3):
+    bus = TraceBus()
+    bus.machine_info = {"num_spes": 8}
+    for i in range(chunks):
+        bus.span("PPE", "SyncDispatch", 20.0, chunk=i)
+        bus.span("SPE0", "KernelExec", 100.0 + i, chunk=i)
+        bus.instant("SPE0", "WorkDone", chunk=i)
+    return bus
+
+
+def rank_payload(rank, bus):
+    return {
+        "rank": rank,
+        "events": events_to_wire(bus.events),
+        "machine_info": dict(bus.machine_info),
+        "total_cycles": bus.now,
+    }
+
+
+def test_wire_round_trip_exact():
+    bus = make_bus()
+    rebuilt = events_from_wire(events_to_wire(bus.events))
+    assert rebuilt == bus.events
+
+
+def test_wire_survives_json():
+    bus = make_bus()
+    rows = json.loads(json.dumps(events_to_wire(bus.events)))
+    assert events_from_wire(rows) == bus.events
+
+
+def test_rank_stream_signature_stable():
+    a = rank_payload(0, make_bus())
+    b = rank_payload(0, make_bus())
+    assert rank_stream_signature(a) == rank_stream_signature(b)
+    assert rank_stream_signature(a) != rank_stream_signature(
+        rank_payload(0, make_bus(chunks=4))
+    )
+
+
+def test_rank_chrome_trace_structure():
+    doc = rank_chrome_trace(
+        {1: rank_payload(1, make_bus()), 0: rank_payload(0, make_bus())},
+        clock_offsets={0: 0.001, 1: 0.002},
+    )
+    events = doc["traceEvents"]
+    names = [
+        (ev["pid"], ev["args"]["name"])
+        for ev in events
+        if ev.get("ph") == "M" and ev["name"] == "process_name"
+    ]
+    assert names == [(0, "rank0"), (1, "rank1")]  # ascending rank order
+    threads = {
+        (ev["pid"], ev["args"]["name"])
+        for ev in events
+        if ev.get("ph") == "M" and ev["name"] == "thread_name"
+    }
+    assert (0, "PPE") in threads and (1, "SPE0") in threads
+    assert doc["otherData"]["ranks"] == 2
+    assert doc["otherData"]["num_spes"] == 8
+    assert doc["otherData"]["clock_offsets_s"] == {"0": 0.001, "1": 0.002}
+
+
+def test_rank_chrome_trace_is_deterministic():
+    traces = {r: rank_payload(r, make_bus()) for r in (0, 1, 2)}
+    a = json.dumps(rank_chrome_trace(traces), sort_keys=True)
+    b = json.dumps(rank_chrome_trace(dict(reversed(traces.items()))),
+                   sort_keys=True)
+    assert a == b
+
+
+def test_single_rank_events_match_direct_export():
+    """The per-rank slice of the merged doc carries the same X/i events,
+    same timestamps, as to_chrome_trace of the same bus."""
+    bus = make_bus()
+    merged = rank_chrome_trace({0: rank_payload(0, bus)})
+    direct = to_chrome_trace(bus)
+
+    def xi(doc):
+        return [
+            {k: v for k, v in ev.items() if k != "pid"}
+            for ev in doc["traceEvents"]
+            if ev.get("ph") in ("X", "i")
+        ]
+
+    assert xi(merged) == xi(direct)
+
+
+def test_rank_chrome_trace_empty_rejected_upstream():
+    doc = rank_chrome_trace({})
+    assert doc["traceEvents"] == []
+    assert doc["otherData"]["ranks"] == 0
+
+
+def test_load_trace_doc_chrome(tmp_path):
+    path = tmp_path / "t.json"
+    doc = to_chrome_trace(make_bus())
+    path.write_text(json.dumps(doc))
+    assert load_trace_doc(path) == doc
+
+
+def test_load_trace_doc_flight(tmp_path):
+    bus = make_bus()
+    dump = {
+        "flight": 1,
+        "reason": "sigusr2",
+        "trace_id": "ab" * 16,
+        "identity": "worker0",
+        "trace_tails": [
+            {"total_events": len(bus.events), "now_cycles": bus.now,
+             "tail": events_to_wire(bus.events)},
+        ],
+    }
+    path = tmp_path / "flight.json"
+    path.write_text(json.dumps(dump))
+    doc = load_trace_doc(path)
+    assert len(doc["traceEvents"]) == len(bus.events)
+    assert doc["otherData"]["flight_reason"] == "sigusr2"
+
+
+def test_load_trace_doc_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"hello": "world"}))
+    with pytest.raises(ValueError):
+        load_trace_doc(path)
+
+
+def test_merge_chrome_docs_rehomes_pids():
+    a = to_chrome_trace(make_bus())
+    b = to_chrome_trace(make_bus(chunks=2))
+    merged = merge_chrome_docs([a, b], ["serial", "parallel"])
+    pids = {ev["pid"] for ev in merged["traceEvents"]}
+    assert pids == {0, 1000}  # no collision between inputs
+    labels = [
+        ev["args"]["name"]
+        for ev in merged["traceEvents"]
+        if ev.get("ph") == "M" and ev["name"] == "process_name"
+    ]
+    assert any(lbl.startswith("serial") for lbl in labels)
+    assert any(lbl.startswith("parallel") for lbl in labels)
+    assert merged["otherData"]["merged_from"] == ["serial", "parallel"]
+
+
+def test_merge_chrome_docs_wants_labels():
+    with pytest.raises(ValueError):
+        merge_chrome_docs([{}], ["a", "b"])

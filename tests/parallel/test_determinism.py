@@ -263,6 +263,46 @@ def test_compiled_isa_trace_stream_identical(isa_pool):
         ]
 
 
+# -- trace byte-identity ------------------------------------------------------
+#
+# Stronger than stream equivalence: the parent replays each unit's cycle
+# cursor instead of rebasing timestamps, so the *serialized Perfetto
+# document* -- timestamps included -- is the same bytes for any worker
+# count.  This is what lets `GET /jobs/{id}/trace` and the cluster
+# merge promise bit-identical artifacts.
+
+
+def _trace_bytes(bus) -> bytes:
+    import json
+
+    from repro.trace.export import to_chrome_trace
+
+    return json.dumps(to_chrome_trace(bus), sort_keys=True).encode()
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_chrome_trace_byte_identical_across_workers(workers):
+    tcfg = CFG.with_(trace=True)
+    serial = CellSweep3D(make_deck(), tcfg)
+    serial.solve()
+    expected = _trace_bytes(serial.trace)
+    with CellSweep3D(make_deck(), tcfg, workers=workers) as solver:
+        solver.solve()
+        assert _trace_bytes(solver.trace) == expected
+
+
+def test_compiled_isa_chrome_trace_byte_identical(isa_pool):
+    tcfg = ICFG.with_(trace=True)
+    serial = CellSweep3D(make_deck(), tcfg)
+    serial.solve()
+    expected = _trace_bytes(serial.trace)
+    with CellSweep3D(
+        make_deck(), tcfg, workers=2, pool=isa_pool
+    ) as solver:
+        solver.solve()
+        assert _trace_bytes(solver.trace) == expected
+
+
 def test_prepare_fallback_warns_once():
     """A scheduler that cannot honor the diagonal-batched prepare hook
     triggers one warning and the ``parallel.prepare_fallback`` counter

@@ -21,7 +21,8 @@ from repro.perf.baseline import (
 )
 
 FUNCTIONAL = [
-    {"deck": "16^3 x 1 iter", "wall_seconds": 1.5, "converged": True},
+    {"deck": "16^3 x 1 iter", "wall_seconds": 1.5,
+     "obs_off_wall_seconds": 1.4, "converged": True},
     {"deck": "24^3 x 1 iter", "wall_seconds": 4.2, "converged": True},
 ]
 
@@ -114,17 +115,39 @@ class TestLoading:
 class TestFunctionalGate:
     def test_within_tolerance_passes(self):
         findings = check_functional(FUNCTIONAL, tolerance=2.0, measured=2.9)
-        assert [f.ok for f in findings] == [True]
+        assert [f.ok for f in findings] == [True, True]
+        assert [f.check for f in findings] == ["functional-wall",
+                                               "obs-off-wall"]
 
     def test_regression_fails(self):
         findings = check_functional(FUNCTIONAL, tolerance=2.0, measured=3.1)
-        assert [f.ok for f in findings] == [False]
+        assert [f.ok for f in findings] == [False, True]
         assert "3.100s" in findings[0].detail
 
     def test_missing_record_fails(self):
         findings = check_functional([{"deck": "other"}], tolerance=2.0,
                                     measured=0.1)
         assert not findings[0].ok
+
+    def test_missing_obs_off_field_fails(self):
+        bare = [{"deck": "16^3 x 1 iter", "wall_seconds": 1.5}]
+        findings = check_functional(bare, tolerance=2.0, measured=1.0)
+        assert any(not f.ok and f.check == "obs-off-wall"
+                   for f in findings)
+
+    def test_obs_off_regression_fails(self):
+        bad = json.loads(json.dumps(FUNCTIONAL))
+        bad[0]["obs_off_wall_seconds"] = 3.1  # above the x2 ceiling
+        findings = check_functional(bad, tolerance=2.0, measured=1.0)
+        assert any(not f.ok and f.check == "obs-off-wall"
+                   for f in findings)
+
+    def test_nonpositive_obs_off_fails(self):
+        bad = json.loads(json.dumps(FUNCTIONAL))
+        bad[0]["obs_off_wall_seconds"] = 0.0
+        findings = check_functional(bad, tolerance=2.0, measured=1.0)
+        assert any(not f.ok and f.check == "obs-off-wall"
+                   for f in findings)
 
 
 class TestStructuralGate:

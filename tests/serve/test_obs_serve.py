@@ -1,0 +1,203 @@
+"""Serve-layer observability: trace endpoint, request ids, failure
+artifacts, access logs.
+
+The trace acceptance mirrors the flux referee: the Perfetto document
+``GET /jobs/{id}/trace`` serves must be **byte-identical** to exporting
+a direct :class:`CellSweep3D` solve of the same deck -- the server adds
+transport, never trace content.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.core.solver import CellSweep3D
+from repro.obs.flight import disable_flight, enable_flight
+from repro.obs.log import ROOT_LOGGER, configure_logging
+from repro.perf.processors import measured_cell_config
+from repro.serve import ServeClientError
+from repro.sweep.deckfile import parse_deck
+
+from test_server import DECK, run_server
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    disable_flight()
+    yield
+    disable_flight()
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs", False):
+            root.removeHandler(handler)
+            handler.close()
+    root.setLevel(logging.NOTSET)
+
+
+class TestTraceEndpoint:
+    def test_trace_byte_identical_to_direct_solve(self):
+        def scenario(client, app):
+            job = client.submit(trace=True, **DECK)
+            done = client.wait(job["id"])
+            assert done["state"] == "done", done.get("error")
+            assert done["has_trace"] is True
+            return done, client.trace(job["id"])
+
+        done, served = run_server(scenario)
+        deck = parse_deck(done["deck"])
+        config = measured_cell_config().with_(isa_kernel=True, trace=True)
+        solver = CellSweep3D(deck, config)
+        solver.solve()
+        from repro.trace.export import to_chrome_trace
+
+        direct = (
+            json.dumps(to_chrome_trace(solver.trace), sort_keys=True) + "\n"
+        ).encode()
+        assert served == direct
+
+    def test_untraced_job_404s(self):
+        def scenario(client, app):
+            job = client.submit(**DECK)
+            done = client.wait(job["id"])
+            assert done["state"] == "done"
+            assert done["has_trace"] is False
+            with pytest.raises(ServeClientError) as exc:
+                client.trace(job["id"])
+            assert exc.value.status == 404
+            with pytest.raises(ServeClientError) as exc:
+                client.trace("job-404")
+            assert exc.value.status == 404
+
+        run_server(scenario)
+
+
+class TestRequestIdentity:
+    def test_every_response_carries_request_and_trace_ids(self):
+        def scenario(client, app):
+            status, headers, _ = client.raw("GET", "/healthz")
+            assert status == 200
+            assert len(headers["x-request-id"]) == 16
+            assert len(headers["x-trace-id"]) == 32
+            int(headers["x-request-id"], 16)
+            int(headers["x-trace-id"], 16)
+            # two requests, two spans, distinct trace ids
+            _, headers2, _ = client.raw("GET", "/healthz")
+            assert headers2["x-request-id"] != headers["x-request-id"]
+            assert headers2["x-trace-id"] != headers["x-trace-id"]
+
+        run_server(scenario)
+
+    def test_traceparent_header_is_adopted(self):
+        trace_id = "deadbeef" * 4
+        parent_span = "cafe" * 4
+
+        def scenario(client, app):
+            status, headers, body = client.raw(
+                "POST", "/jobs", DECK,
+                headers={"traceparent": f"00-{trace_id}-{parent_span}-01"},
+            )
+            assert status == 202
+            assert headers["x-trace-id"] == trace_id
+            assert headers["x-request-id"] != parent_span  # child span
+            job = json.loads(body)
+            assert job["trace_id"] == trace_id
+            done = client.wait(job["id"])
+            assert done["trace_id"] == trace_id
+
+        run_server(scenario)
+
+    def test_malformed_traceparent_minted_fresh(self):
+        def scenario(client, app):
+            status, headers, _ = client.raw(
+                "GET", "/healthz", headers={"traceparent": "bogus"}
+            )
+            assert status == 200
+            assert len(headers["x-trace-id"]) == 32
+
+        run_server(scenario)
+
+
+class TestFailureArtifacts:
+    @staticmethod
+    def _sabotage(app, message="synthetic solver failure"):
+        def explode(job, store):
+            raise ValueError(message)
+
+        app.runner.run_job = explode
+
+    def test_failed_job_snapshot_has_class_and_traceback(self):
+        def scenario(client, app):
+            self._sabotage(app)
+            job = client.submit(**DECK)
+            done = client.wait(job["id"])
+            assert done["state"] == "failed"
+            assert done["error"] == "ValueError: synthetic solver failure"
+            assert done["error_type"] == "ValueError"
+            assert "ValueError: synthetic solver failure" in done["traceback"]
+            assert "explode" in done["traceback"]  # the raising frame
+
+        run_server(scenario)
+
+    def test_failed_job_attaches_flight_dump_when_enabled(self):
+        enable_flight()
+
+        def scenario(client, app):
+            self._sabotage(app)
+            job = client.submit(**DECK)
+            done = client.wait(job["id"])
+            assert done["state"] == "failed"
+            assert done["has_flight"] is True
+            dump = client.flight(job["id"])
+            assert dump["flight"] == 1
+            assert dump["reason"] == f"job-failed:{job['id']}"
+
+        run_server(scenario)
+
+    def test_flight_404_when_disabled(self):
+        def scenario(client, app):
+            self._sabotage(app)
+            job = client.submit(**DECK)
+            done = client.wait(job["id"])
+            assert done["state"] == "failed"
+            assert done["has_flight"] is False
+            with pytest.raises(ServeClientError) as exc:
+                client.flight(job["id"])
+            assert exc.value.status == 404
+
+        run_server(scenario)
+
+
+class TestAccessLog:
+    def test_structured_access_lines(self):
+        stream = io.StringIO()
+        configure_logging(fmt="ndjson", level="info", stream=stream)
+
+        def scenario(client, app):
+            client.healthz()
+            job = client.submit(**DECK)
+            client.wait(job["id"])
+            return job["id"]
+
+        job_id = run_server(scenario)
+        lines = [
+            json.loads(line)
+            for line in stream.getvalue().splitlines()
+            if json.loads(line).get("logger") == "repro.serve.access"
+        ]
+        assert lines, "no access-log lines emitted"
+        for doc in lines:
+            assert doc["msg"] == "request"
+            assert doc["method"] in ("GET", "POST")
+            assert doc["path"].startswith("/")
+            assert isinstance(doc["status"], int)
+            assert doc["duration_ms"] >= 0
+            assert "trace_id" in doc
+        submit = next(d for d in lines if d["method"] == "POST")
+        assert submit["status"] == 202
+        assert submit["job_id"] == job_id
+        polls = [d for d in lines if d["path"] == f"/jobs/{job_id}"]
+        assert polls and all(d["job_id"] == job_id for d in polls)
